@@ -1,0 +1,137 @@
+// §V-E capacity model vs simulation: the critical capable-peer ratio.
+//
+// The paper cites [23] (stochastic fluid theory): "there exists a
+// critical value in the ratio of the number of high upload contribution
+// peers and the number of opposite peers".  We sweep the capable share of
+// the population, compare the measured continuity against the fluid bound
+// min(1, rho), and locate the knee.
+#include "bench_util.h"
+
+#include <cmath>
+
+#include "analysis/continuity.h"
+#include "model/capacity_model.h"
+#include "workload/user_types.h"
+
+namespace {
+
+using namespace coolstream;
+
+workload::UserTypeModel with_capable_share(double capable) {
+  auto m = workload::UserTypeModel::coolstreaming_2006();
+  auto& d = m.profiles[static_cast<std::size_t>(net::ConnectionType::kDirect)];
+  auto& u = m.profiles[static_cast<std::size_t>(net::ConnectionType::kUpnp)];
+  auto& n = m.profiles[static_cast<std::size_t>(net::ConnectionType::kNat)];
+  auto& f =
+      m.profiles[static_cast<std::size_t>(net::ConnectionType::kFirewall)];
+  const double cap0 = d.share + u.share;
+  const double weak0 = n.share + f.share;
+  d.share *= capable / cap0;
+  u.share *= capable / cap0;
+  n.share *= (1.0 - capable) / weak0;
+  f.share *= (1.0 - capable) / weak0;
+  return m;
+}
+
+/// Mean upload of a type class from its lognormal (untruncated).
+double class_mean(const workload::TypeProfile& p) {
+  return std::exp(p.capacity_mu + 0.5 * p.capacity_sigma * p.capacity_sigma);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  core::Params params;
+  bench::print_header(
+      "Capacity model: critical capable-peer ratio ([23], §V-E)", args,
+      params);
+
+  const std::size_t users = bench::scaled(300, args);
+
+  analysis::banner(std::cout,
+                   "Measured continuity vs fluid bound min(1, rho)");
+  analysis::Table t({"capable share", "resource index rho", "fluid bound",
+                     "measured continuity", "stall time share", "lag p50 (s)"});
+  for (double capable : {0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.50}) {
+    workload::Scenario s = workload::Scenario::steady(users, 1800.0);
+    bench::peer_driven_servers(s, users, 4);
+    s.users = with_capable_share(capable);
+
+    // Fluid-model inputs matching the generated population.
+    const auto& prof = s.users.profiles;
+    model::CapacityInputs in;
+    in.peers = users;
+    in.capable_fraction = capable;
+    const double cap_d = prof[0].share * class_mean(prof[0]) +
+                         prof[1].share * class_mean(prof[1]);
+    const double cap_w = prof[2].share * class_mean(prof[2]) +
+                         prof[3].share * class_mean(prof[3]);
+    in.capable_upload_bps = capable > 0.0 ? cap_d / capable : 0.0;
+    in.weak_upload_bps = capable < 1.0 ? cap_w / (1.0 - capable) : 0.0;
+    in.server_capacity_bps =
+        s.system.server_capacity_bps * s.system.server_count;
+    in.stream_rate_bps = s.params.stream_rate_bps;
+
+    sim::Simulation simulation(args.seed +
+                               static_cast<std::uint64_t>(capable * 1000));
+    logging::LogServer log;
+    workload::ScenarioRunner runner(simulation, s, &log);
+    runner.run();
+    const double measured = analysis::average_continuity(
+        logging::reconstruct_sessions(log.parse_all()));
+
+    // Capacity shortfall that the continuity index hides shows up as
+    // player stalls (the paper's §V-D caveat that reported continuity can
+    // be "higher than realistic"); measure it from simulator ground truth.
+    double stall_seconds = 0.0;
+    double play_seconds = 0.0;
+    core::System& sys = runner.system();
+    for (net::NodeId id = 0;; ++id) {
+      const core::Peer* p = sys.peer(id);
+      if (p == nullptr) break;
+      if (p->kind() != core::PeerKind::kViewer) continue;
+      stall_seconds += p->stats().stall_seconds;
+      play_seconds += static_cast<double>(p->stats().blocks_due) /
+                      s.params.block_rate;
+    }
+    const double stall_share =
+        play_seconds > 0.0 ? stall_seconds / (play_seconds + stall_seconds)
+                           : 0.0;
+
+    const auto lag = coolstream::bench::measure_playback_lag(sys);
+    t.row({analysis::pct(capable, 0),
+           analysis::fmt(model::resource_index(in), 2),
+           analysis::pct(model::continuity_upper_bound(in)),
+           analysis::pct(measured, 1), analysis::pct(stall_share, 1),
+           analysis::fmt(lag.p50, 0)});
+  }
+  t.print(std::cout);
+
+  // Report the model's critical fraction for this deployment.
+  {
+    const auto m = workload::UserTypeModel::coolstreaming_2006();
+    model::CapacityInputs in;
+    in.peers = users;
+    in.capable_fraction = 0.3;
+    in.capable_upload_bps =
+        (m.profiles[0].share * class_mean(m.profiles[0]) +
+         m.profiles[1].share * class_mean(m.profiles[1])) /
+        0.3;
+    in.weak_upload_bps = (m.profiles[2].share * class_mean(m.profiles[2]) +
+                          m.profiles[3].share * class_mean(m.profiles[3])) /
+                         0.7;
+    in.server_capacity_bps =
+        0.08 * static_cast<double>(users) * params.stream_rate_bps;
+    in.stream_rate_bps = params.stream_rate_bps;
+    std::cout << "\nmodel critical capable fraction c*: "
+              << analysis::pct(model::critical_capable_fraction(in))
+              << "   (2006 deployment sat at ~30%)\n";
+  }
+
+  bench::paper_note(
+      "Measured continuity should track the fluid bound: ~rho below the "
+      "critical capable share, saturating near 100% above it — the "
+      "critical-ratio phenomenon of [23] that §V-E invokes.");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fig. 8: average continuity index over time, split by user connection
+// type, during the evening peak.
+//
+// Paper: every type stays above ~98%; the index dips when the program
+// ends and churn spikes; counter-intuitively, direct-connect users can
+// measure slightly LOWER than NAT/firewall users because (i) NAT users'
+// bad intervals often go unreported (they depart before the next 5-minute
+// status report) and (ii) direct users are swamped by partnership and
+// stream requests during churn.
+#include "bench_util.h"
+
+#include "analysis/continuity.h"
+
+int main(int argc, char** argv) {
+  using namespace coolstream;
+  const auto args = bench::parse_args(argc, argv);
+
+  workload::Scenario scenario =
+      workload::Scenario::evening(bench::scaled(700, args), 3.0);
+  bench::peer_driven_servers(scenario, bench::scaled(700, args));
+  scenario.sessions.crash_fraction = 0.15;  // churn loses last reports
+  bench::print_header("Fig. 8: continuity index by user type over time",
+                      args, scenario.params);
+
+  sim::Simulation simulation(args.seed);
+  logging::LogServer log;
+  workload::ScenarioRunner runner(simulation, scenario, &log);
+  const auto result = bench::run_and_reconstruct(runner, log);
+
+  const auto buckets =
+      analysis::continuity_by_type_over_time(result.sessions, 300.0);
+  analysis::banner(std::cout,
+                   "Continuity index per 5-minute bucket (from QoS reports)");
+  analysis::Table t(
+      {"t (min)", "direct", "upnp", "nat", "firewall", "overall"});
+  for (const auto& b : buckets) {
+    bool any = false;
+    for (auto d : b.due) any = any || d > 0;
+    if (!any) continue;
+    std::vector<std::string> cells = {analysis::fmt(b.start / 60.0, 0)};
+    for (int type = 0; type < net::kConnectionTypeCount; ++type) {
+      const auto ct = static_cast<net::ConnectionType>(type);
+      cells.push_back(
+          b.due[static_cast<std::size_t>(type)] == 0
+              ? "-"
+              : analysis::pct(b.continuity(ct), 2));
+    }
+    cells.push_back(analysis::pct(b.overall(), 2));
+    t.row(std::move(cells));
+  }
+  t.print(std::cout);
+
+  const auto avg = analysis::average_continuity_by_type(result.sessions);
+  analysis::banner(std::cout, "Whole-run average by type");
+  analysis::Table a({"type", "continuity"});
+  for (int type = 0; type < net::kConnectionTypeCount; ++type) {
+    a.row({std::string(net::to_string(static_cast<net::ConnectionType>(type))),
+           analysis::pct(avg[static_cast<std::size_t>(type)], 2)});
+  }
+  a.row({"overall",
+         analysis::pct(analysis::average_continuity(result.sessions), 2)});
+  a.print(std::cout);
+
+  bench::paper_note(
+      "All user types sustain a very high continuity index (>= ~97-98%); "
+      "the index decreases near the program end as users leave; the "
+      "direct-vs-NAT difference is marginal and can invert due to the "
+      "5-minute reporting granularity (Fig. 8).");
+  return 0;
+}

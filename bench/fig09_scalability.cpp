@@ -1,0 +1,96 @@
+// Fig. 9: average continuity index against (a) system size and (b) join
+// rate.
+//
+// Paper: the continuity index stays ~97% across system sizes and under
+// join-rate bursts (flash crowds) — the self-scaling property.
+#include "bench_util.h"
+
+#include <cmath>
+
+#include "analysis/continuity.h"
+#include "analysis/session_analysis.h"
+
+namespace {
+
+struct SweepPoint {
+  double x = 0.0;
+  double continuity = 0.0;
+  double ready_p50 = 0.0;
+  double lag_p50 = 0.0;
+  double lag_p90 = 0.0;
+  std::size_t sessions = 0;
+};
+
+SweepPoint run_point(coolstream::workload::Scenario scenario,
+                     std::uint64_t seed, double x) {
+  using namespace coolstream;
+  sim::Simulation simulation(seed);
+  logging::LogServer log;
+  workload::ScenarioRunner runner(simulation, scenario, &log);
+  runner.run();
+  const auto lag = coolstream::bench::measure_playback_lag(runner.system());
+  const auto sessions = logging::reconstruct_sessions(log.parse_all());
+  SweepPoint p;
+  p.lag_p50 = lag.p50;
+  p.lag_p90 = lag.p90;
+  p.x = x;
+  p.continuity = analysis::average_continuity(sessions);
+  const auto delays = analysis::startup_delays(sessions);
+  p.ready_p50 =
+      delays.media_ready.empty() ? 0.0 : delays.media_ready.quantile(0.5);
+  p.sessions = sessions.sessions.size();
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace coolstream;
+  const auto args = bench::parse_args(argc, argv);
+  core::Params params;
+  bench::print_header("Fig. 9: continuity vs system size and join rate",
+                      args, params);
+
+  // ---- Fig. 9a: sweep system size ----------------------------------------
+  analysis::banner(std::cout, "Fig. 9a: continuity vs system size");
+  analysis::Table ta({"target users", "sessions", "avg continuity",
+                      "median ready (s)", "lag p50 (s)", "lag p90 (s)"});
+  for (std::size_t n : {100u, 200u, 400u, 800u}) {
+    const auto target = bench::scaled(n, args);
+    workload::Scenario s = workload::Scenario::steady(target, 1800.0);
+    bench::peer_driven_servers(s, target);
+    const auto p = run_point(s, args.seed + n, static_cast<double>(target));
+    ta.row({std::to_string(target), std::to_string(p.sessions),
+            analysis::pct(p.continuity, 2), analysis::fmt(p.ready_p50, 1),
+            analysis::fmt(p.lag_p50, 0), analysis::fmt(p.lag_p90, 0)});
+  }
+  ta.print(std::cout);
+
+  // ---- Fig. 9b: sweep join rate (flash-crowd amplitude) -------------------
+  analysis::banner(std::cout, "Fig. 9b: continuity vs join rate");
+  analysis::Table tb({"join-rate multiplier", "sessions", "avg continuity",
+                      "median ready (s)", "lag p50 (s)", "lag p90 (s)"});
+  const auto base_users = bench::scaled(300, args);
+  for (double mult : {1.0, 2.0, 4.0, 8.0}) {
+    workload::Scenario s = workload::Scenario::steady(base_users, 1800.0);
+    bench::peer_driven_servers(s, base_users);
+    // Scale the arrival rate up while shortening sessions so the
+    // population target stays comparable: pure join-rate stress.
+    const double base_rate = s.arrivals.rate(0.0);
+    s.arrivals = workload::RateProfile::constant(base_rate * mult);
+    s.sessions.duration_mu -= std::log(mult);
+    s.sessions.long_tail_prob /= mult;
+    const auto p = run_point(s, args.seed + static_cast<std::uint64_t>(mult),
+                             mult);
+    tb.row({analysis::fmt(mult, 1), std::to_string(p.sessions),
+            analysis::pct(p.continuity, 2), analysis::fmt(p.ready_p50, 1),
+            analysis::fmt(p.lag_p50, 0), analysis::fmt(p.lag_p90, 0)});
+  }
+  tb.print(std::cout);
+
+  bench::paper_note(
+      "The continuity index holds around ~97% across system sizes and "
+      "join rates (Fig. 9a/9b) — normal sessions see stable quality even "
+      "under flash crowds; the stress shows up in startup, not playback.");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Peer-wise performance (the paper's §VI open issue #1).
+//
+// The authors could not derive per-peer performance from their data set;
+// our log pipeline can.  This bench characterizes the self-stabilizing
+// property: per-session continuity and partnership-churn distributions,
+// their correlation, and the fraction of sessions in the stable regime.
+#include "bench_util.h"
+
+#include "analysis/peer_stability.h"
+#include "analysis/session_analysis.h"
+
+int main(int argc, char** argv) {
+  using namespace coolstream;
+  const auto args = bench::parse_args(argc, argv);
+
+  workload::Scenario scenario =
+      workload::Scenario::evening(bench::scaled(600, args), 2.5);
+  bench::peer_driven_servers(scenario, bench::scaled(600, args));
+  bench::print_header("Peer-wise performance (§VI open issue 1)", args,
+                      scenario.params);
+
+  sim::Simulation simulation(args.seed);
+  logging::LogServer log;
+  workload::ScenarioRunner runner(simulation, scenario, &log);
+  const auto result = bench::run_and_reconstruct(runner, log);
+  const auto report = analysis::peerwise_report(result.sessions);
+  const auto sessions = analysis::session_stability(result.sessions);
+
+  std::cout << "\nsessions with >= 60 s of measured playback: "
+            << sessions.size() << "\n";
+
+  analysis::banner(std::cout, "Per-session continuity distribution");
+  analysis::Table tc({"stat", "value"});
+  tc.row({"p50", analysis::pct(report.continuity.median, 2)});
+  tc.row({"mean", analysis::pct(report.continuity.mean, 2)});
+  tc.row({"p10-equivalent (min over p90 mass)",
+          analysis::pct(report.continuity.p90 < report.continuity.median
+                            ? report.continuity.p90
+                            : report.continuity.min,
+                        2)});
+  tc.row({"min", analysis::pct(report.continuity.min, 2)});
+  tc.print(std::cout);
+
+  analysis::banner(std::cout,
+                   "Per-session partnership churn (changes per minute)");
+  analysis::Table tk({"stat", "value"});
+  tk.row({"p50", analysis::fmt(report.churn_per_min.median, 2)});
+  tk.row({"p90", analysis::fmt(report.churn_per_min.p90, 2)});
+  tk.row({"p99", analysis::fmt(report.churn_per_min.p99, 2)});
+  tk.row({"max", analysis::fmt(report.churn_per_min.max, 2)});
+  tk.print(std::cout);
+
+  analysis::banner(std::cout, "Churn by observed user type");
+  analysis::Table tt({"type", "sessions", "partner changes / min"});
+  for (int t = 0; t < net::kConnectionTypeCount; ++t) {
+    tt.row({std::string(net::to_string(static_cast<net::ConnectionType>(t))),
+            std::to_string(report.sessions_by_type[static_cast<std::size_t>(t)]),
+            analysis::fmt(report.churn_by_type[static_cast<std::size_t>(t)], 2)});
+  }
+  tt.print(std::cout);
+
+  std::cout << "\ncorrelation(partnership churn, continuity): "
+            << analysis::fmt(report.churn_quality_correlation, 3)
+            << "\nstable regime (continuity >= 99%, below-median churn): "
+            << analysis::pct(report.stable_fraction) << " of sessions\n";
+
+  bench::paper_note(
+      "Self-stabilization signature: the bulk of sessions sit in a "
+      "high-continuity / low-churn regime and quality correlates "
+      "negatively with partnership churn.  The churn itself concentrates "
+      "at direct/UPnP peers — \"the small percentage of the "
+      "direct-connected users are swamped by a large number of "
+      "partnership establishments and stream requests\" (§V-D) — the "
+      "per-peer view the paper's data set could not provide.");
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "analysis/continuity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace coolstream::analysis {
+
+double ContinuityBucket::overall() const noexcept {
+  std::uint64_t d = 0;
+  std::uint64_t o = 0;
+  for (std::size_t i = 0; i < due.size(); ++i) {
+    d += due[i];
+    o += on_time[i];
+  }
+  return d == 0 ? 1.0 : static_cast<double>(o) / static_cast<double>(d);
+}
+
+std::vector<ContinuityBucket> continuity_by_type_over_time(
+    const logging::SessionLog& log, double bucket_width) {
+  std::vector<ContinuityBucket> buckets;
+  auto bucket_for = [&](double t) -> ContinuityBucket& {
+    const auto idx = static_cast<std::size_t>(
+        std::max(0.0, t) / bucket_width);
+    while (buckets.size() <= idx) {
+      ContinuityBucket b;
+      b.start = bucket_width * static_cast<double>(buckets.size());
+      buckets.push_back(b);
+    }
+    return buckets[idx];
+  };
+  for (const auto& s : log.sessions) {
+    const auto type = static_cast<std::size_t>(s.observed_type());
+    for (const auto& q : s.qos) {
+      ContinuityBucket& b = bucket_for(q.time);
+      b.due[type] += q.blocks_due;
+      b.on_time[type] += q.blocks_on_time;
+    }
+  }
+  return buckets;
+}
+
+double average_continuity(const logging::SessionLog& log) {
+  std::uint64_t due = 0;
+  std::uint64_t on_time = 0;
+  for (const auto& s : log.sessions) {
+    for (const auto& q : s.qos) {
+      due += q.blocks_due;
+      on_time += q.blocks_on_time;
+    }
+  }
+  return due == 0 ? 1.0
+                  : static_cast<double>(on_time) / static_cast<double>(due);
+}
+
+std::array<double, net::kConnectionTypeCount> average_continuity_by_type(
+    const logging::SessionLog& log) {
+  std::array<std::uint64_t, net::kConnectionTypeCount> due{};
+  std::array<std::uint64_t, net::kConnectionTypeCount> on_time{};
+  for (const auto& s : log.sessions) {
+    const auto type = static_cast<std::size_t>(s.observed_type());
+    for (const auto& q : s.qos) {
+      due[type] += q.blocks_due;
+      on_time[type] += q.blocks_on_time;
+    }
+  }
+  std::array<double, net::kConnectionTypeCount> out{};
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = due[i] == 0 ? 1.0
+                         : static_cast<double>(on_time[i]) /
+                               static_cast<double>(due[i]);
+  }
+  return out;
+}
+
+}  // namespace coolstream::analysis

@@ -1,0 +1,48 @@
+// Continuity-index pipelines (Figs. 8 and 9).
+//
+// "Continuity index is defined as the number of blocks that arrive before
+// playback deadlines over the total number of blocks" (§V-D).  The
+// pipeline aggregates the 5-minute QoS status reports from the log —
+// reproducing the paper's measurement artefacts: intervals with no due
+// blocks contribute nothing, and peers that depart before their next
+// report never deliver their last interval.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "logging/sessions.h"
+#include "net/connectivity.h"
+
+namespace coolstream::analysis {
+
+/// One time bucket of Fig. 8: mean continuity per observed user type.
+struct ContinuityBucket {
+  double start = 0.0;  ///< bucket start time (s)
+  /// Sum of due / on-time blocks per type; mean continuity is the ratio.
+  std::array<std::uint64_t, net::kConnectionTypeCount> due{};
+  std::array<std::uint64_t, net::kConnectionTypeCount> on_time{};
+
+  double continuity(net::ConnectionType t) const noexcept {
+    const auto i = static_cast<std::size_t>(t);
+    return due[i] == 0 ? 1.0
+                       : static_cast<double>(on_time[i]) /
+                             static_cast<double>(due[i]);
+  }
+  /// All types pooled.
+  double overall() const noexcept;
+};
+
+/// Buckets QoS samples by report time (width seconds) and observed type.
+std::vector<ContinuityBucket> continuity_by_type_over_time(
+    const logging::SessionLog& log, double bucket_width);
+
+/// Average continuity index over the whole log (block-weighted), as used
+/// for the Fig. 9 sweep points.
+double average_continuity(const logging::SessionLog& log);
+
+/// Average continuity per observed type over the whole log.
+std::array<double, net::kConnectionTypeCount> average_continuity_by_type(
+    const logging::SessionLog& log);
+
+}  // namespace coolstream::analysis

@@ -1,0 +1,86 @@
+#include "analysis/csv.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace coolstream::analysis {
+namespace {
+
+std::string opt_time(const std::optional<double>& t) {
+  if (!t) return "";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", *t);
+  return buf;
+}
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void csv_row(std::ostream& os, const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) os << ',';
+    os << csv_escape(fields[i]);
+  }
+  os << '\n';
+}
+
+void write_sessions_csv(std::ostream& os, const logging::SessionLog& log) {
+  csv_row(os, {"user_id", "session_id", "join", "start_sub", "ready",
+               "leave", "duration", "start_sub_delay", "ready_delay",
+               "buffering_delay", "is_normal", "address", "private",
+               "observed_type", "had_incoming", "had_outgoing", "bytes_up",
+               "bytes_down", "continuity", "partner_changes"});
+  for (const auto& s : log.sessions) {
+    auto opt_num = [](const std::optional<double>& v) {
+      return v ? num(*v) : std::string();
+    };
+    csv_row(os, {std::to_string(s.user_id), std::to_string(s.session_id),
+                 opt_time(s.join_time), opt_time(s.start_subscription_time_abs),
+                 opt_time(s.media_ready_time_abs), opt_time(s.leave_time),
+                 opt_num(s.duration()), opt_num(s.start_subscription_delay()),
+                 opt_num(s.media_ready_delay()), opt_num(s.buffering_delay()),
+                 s.is_normal() ? "1" : "0", s.address,
+                 s.private_address ? "1" : "0",
+                 std::string(net::to_string(s.observed_type())),
+                 s.had_incoming ? "1" : "0", s.had_outgoing ? "1" : "0",
+                 std::to_string(s.bytes_up), std::to_string(s.bytes_down),
+                 opt_num(s.continuity()),
+                 std::to_string(s.partner_changes)});
+  }
+}
+
+void write_qos_csv(std::ostream& os, const logging::SessionLog& log) {
+  csv_row(os, {"user_id", "session_id", "time", "blocks_due",
+               "blocks_on_time", "continuity"});
+  for (const auto& s : log.sessions) {
+    for (const auto& q : s.qos) {
+      const double continuity =
+          q.blocks_due == 0 ? 1.0
+                            : static_cast<double>(q.blocks_on_time) /
+                                  static_cast<double>(q.blocks_due);
+      csv_row(os, {std::to_string(s.user_id), std::to_string(s.session_id),
+                   num(q.time), std::to_string(q.blocks_due),
+                   std::to_string(q.blocks_on_time), num(continuity)});
+    }
+  }
+}
+
+}  // namespace coolstream::analysis

@@ -1,0 +1,33 @@
+// CSV export of the measurement pipeline's outputs.
+//
+// RFC-4180-style quoting; writers for the session table and QoS samples so
+// recorded broadcasts can be analyzed outside this repository (R/pandas).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "logging/sessions.h"
+
+namespace coolstream::analysis {
+
+/// Quotes a CSV field when needed (commas, quotes, newlines).
+std::string csv_escape(const std::string& field);
+
+/// Writes one CSV row.
+void csv_row(std::ostream& os, const std::vector<std::string>& fields);
+
+/// Writes the per-session table: one row per session with identity,
+/// timing, classification and traffic columns.  Column order is stable:
+///   user_id,session_id,join,start_sub,ready,leave,duration,
+///   start_sub_delay,ready_delay,buffering_delay,is_normal,address,
+///   private,observed_type,had_incoming,had_outgoing,bytes_up,bytes_down,
+///   continuity,partner_changes
+void write_sessions_csv(std::ostream& os, const logging::SessionLog& log);
+
+/// Writes the QoS samples table: one row per 5-minute QoS report:
+///   user_id,session_id,time,blocks_due,blocks_on_time,continuity
+void write_qos_csv(std::ostream& os, const logging::SessionLog& log);
+
+}  // namespace coolstream::analysis

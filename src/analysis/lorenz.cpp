@@ -1,0 +1,96 @@
+#include "analysis/lorenz.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace coolstream::analysis {
+namespace {
+
+/// Ascending-sorted copy with the total; empty/zero-total handled by
+/// callers.
+std::pair<std::vector<double>, double> sorted_with_total(
+    std::span<const double> values) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  double total = 0.0;
+  for (double v : sorted) {
+    assert(v >= 0.0);
+    total += v;
+  }
+  return {std::move(sorted), total};
+}
+
+}  // namespace
+
+std::vector<std::pair<double, double>> lorenz_curve(
+    std::span<const double> values, std::size_t points) {
+  std::vector<std::pair<double, double>> curve;
+  auto [sorted, total] = sorted_with_total(values);
+  if (sorted.empty() || total <= 0.0 || points < 2) {
+    curve.emplace_back(0.0, 0.0);
+    curve.emplace_back(1.0, 1.0);
+    return curve;
+  }
+  // Cumulative sums, then sample the curve at `points` population levels.
+  std::vector<double> cum(sorted.size());
+  double run = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    run += sorted[i];
+    cum[i] = run;
+  }
+  curve.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double p =
+        static_cast<double>(i) / static_cast<double>(points - 1);
+    // floor keeps L(p) at or below the diagonal (the bottom floor(p*n)
+    // contributors hold at most p of the total).
+    const auto k = static_cast<std::size_t>(
+        std::floor(p * static_cast<double>(sorted.size())));
+    const double l = k == 0 ? 0.0 : cum[k - 1] / total;
+    curve.emplace_back(p, l);
+  }
+  return curve;
+}
+
+double gini(std::span<const double> values) {
+  auto [sorted, total] = sorted_with_total(values);
+  const auto n = sorted.size();
+  if (n == 0 || total <= 0.0) return 0.0;
+  // G = (2 * sum_i i*x_i) / (n * total) - (n + 1) / n, i = 1..n ascending.
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    weighted += static_cast<double>(i + 1) * sorted[i];
+  }
+  const double nd = static_cast<double>(n);
+  return 2.0 * weighted / (nd * total) - (nd + 1.0) / nd;
+}
+
+double top_share(std::span<const double> values, double fraction) {
+  assert(fraction >= 0.0 && fraction <= 1.0);
+  auto [sorted, total] = sorted_with_total(values);
+  if (sorted.empty() || total <= 0.0) return 0.0;
+  const auto take = static_cast<std::size_t>(
+      std::round(fraction * static_cast<double>(sorted.size())));
+  double sum = 0.0;
+  for (std::size_t i = sorted.size() - take; i < sorted.size(); ++i) {
+    sum += sorted[i];
+  }
+  return sum / total;
+}
+
+double population_for_share(std::span<const double> values, double share) {
+  assert(share >= 0.0 && share <= 1.0);
+  auto [sorted, total] = sorted_with_total(values);
+  if (sorted.empty() || total <= 0.0) return 0.0;
+  double need = share * total;
+  std::size_t taken = 0;
+  for (std::size_t i = sorted.size(); i-- > 0;) {
+    need -= sorted[i];
+    ++taken;
+    if (need <= 0.0) break;
+  }
+  return static_cast<double>(taken) / static_cast<double>(sorted.size());
+}
+
+}  // namespace coolstream::analysis

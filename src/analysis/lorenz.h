@@ -1,0 +1,33 @@
+// Contribution concentration: Lorenz curve, Gini coefficient, top-k share.
+//
+// Fig. 3b plots the user upload-bytes contribution distribution; the
+// paper's headline is that ~30% of peers (direct + UPnP) contribute more
+// than 80% of the upload bandwidth.  top_share() answers exactly that
+// question from the traffic reports.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace coolstream::analysis {
+
+/// Lorenz curve of non-negative contributions: points (p, L(p)) where L(p)
+/// is the fraction of the total contributed by the *bottom* p of the
+/// population.  Includes (0,0) and (1,1).
+std::vector<std::pair<double, double>> lorenz_curve(
+    std::span<const double> values, std::size_t points = 21);
+
+/// Gini coefficient in [0, 1]; 0 = perfectly even contributions.
+double gini(std::span<const double> values);
+
+/// Fraction of the total contributed by the top `fraction` of the
+/// population (e.g. top_share(v, 0.3) -> "top 30% contribute X").
+double top_share(std::span<const double> values, double fraction);
+
+/// Smallest population fraction whose members jointly contribute at least
+/// `share` of the total (e.g. population_for_share(v, 0.8) -> "80% of
+/// upload comes from the top X of peers").
+double population_for_share(std::span<const double> values, double share);
+
+}  // namespace coolstream::analysis

@@ -1,0 +1,21 @@
+#include "analysis/overhead.h"
+
+namespace coolstream::analysis {
+
+OverheadReport measure_overhead(const net::Transport& transport,
+                                double data_bytes,
+                                ControlMessageCosts costs) {
+  OverheadReport report;
+  for (int k = 0; k < net::kMessageKindCount; ++k) {
+    const auto kind = static_cast<net::MessageKind>(k);
+    const std::uint64_t n = transport.sent(kind);
+    report.messages[static_cast<std::size_t>(k)] = n;
+    const double b = static_cast<double>(n) * costs.cost_of(kind);
+    report.bytes[static_cast<std::size_t>(k)] = b;
+    report.control_bytes_total += b;
+  }
+  report.data_bytes_total = data_bytes;
+  return report;
+}
+
+}  // namespace coolstream::analysis

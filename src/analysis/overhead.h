@@ -1,0 +1,63 @@
+// Control-plane overhead accounting.
+//
+// One of the data-driven design's selling points (§III-A) is efficiency:
+// no overlay-maintenance traffic beyond gossip, periodic buffer maps and
+// subscription management.  This module turns the transport's per-kind
+// message counters into a byte-level overhead estimate and compares it to
+// the data plane.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "net/transport.h"
+
+namespace coolstream::analysis {
+
+/// Estimated wire cost per control message, in bytes (typical sizes for
+/// the respective payloads plus TCP/IP framing).
+struct ControlMessageCosts {
+  double gossip = 120.0;       ///< a few mCache entries + headers
+  double buffer_map = 90.0;    ///< 2K-tuple BM + headers
+  double subscribe = 60.0;
+  double partnership = 80.0;
+  double report = 160.0;       ///< HTTP log string
+
+  double cost_of(net::MessageKind kind) const noexcept {
+    switch (kind) {
+      case net::MessageKind::kGossip:
+        return gossip;
+      case net::MessageKind::kBufferMap:
+        return buffer_map;
+      case net::MessageKind::kSubscribe:
+        return subscribe;
+      case net::MessageKind::kPartnership:
+        return partnership;
+      case net::MessageKind::kReport:
+        return report;
+    }
+    return 0.0;
+  }
+};
+
+/// Overhead summary relative to the delivered video bytes.
+struct OverheadReport {
+  std::array<std::uint64_t, net::kMessageKindCount> messages{};
+  std::array<double, net::kMessageKindCount> bytes{};
+  double control_bytes_total = 0.0;
+  double data_bytes_total = 0.0;
+
+  /// control / (control + data); the paper-era mesh systems ran ~1-2 %.
+  double overhead_ratio() const noexcept {
+    const double total = control_bytes_total + data_bytes_total;
+    return total <= 0.0 ? 0.0 : control_bytes_total / total;
+  }
+};
+
+/// Builds the report from a transport's counters and the data plane's
+/// delivered bytes.
+OverheadReport measure_overhead(const net::Transport& transport,
+                                double data_bytes,
+                                ControlMessageCosts costs = {});
+
+}  // namespace coolstream::analysis

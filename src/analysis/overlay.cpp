@@ -1,0 +1,104 @@
+#include "analysis/overlay.h"
+
+#include <unordered_map>
+
+#include "net/connectivity.h"
+
+namespace coolstream::analysis {
+namespace {
+
+bool is_capable_type(net::ConnectionType t) {
+  return t == net::ConnectionType::kDirect || t == net::ConnectionType::kUpnp;
+}
+
+}  // namespace
+
+OverlayMetrics measure_overlay(const net::TopologySnapshot& snapshot) {
+  OverlayMetrics m;
+  std::unordered_map<net::NodeId, const net::SnapshotNode*> by_id;
+  by_id.reserve(snapshot.nodes.size());
+  for (const auto& n : snapshot.nodes) by_id[n.id] = &n;
+
+  std::size_t server_parents = 0;
+  std::size_t capable_parents = 0;
+  std::size_t weak_parents = 0;
+  std::size_t viewer_viewer_links = 0;
+  std::size_t random_links = 0;
+  std::size_t fully_stable = 0;
+  std::size_t starving = 0;
+  std::size_t partners_total = 0;
+  double depth_sum = 0.0;
+  std::size_t depth_count = 0;
+
+  for (const auto& n : snapshot.nodes) {
+    if (n.is_server) continue;
+    ++m.viewers;
+    partners_total += n.partners.size();
+
+    bool all_stable = true;
+    bool any_missing = false;
+    for (net::NodeId parent_id : n.parents) {
+      if (parent_id == net::kInvalidNode) {
+        any_missing = true;
+        all_stable = false;
+        continue;
+      }
+      auto it = by_id.find(parent_id);
+      if (it == by_id.end()) {
+        any_missing = true;
+        all_stable = false;
+        continue;
+      }
+      const net::SnapshotNode& parent = *it->second;
+      ++m.subscribed_edges;
+      if (parent.is_server) {
+        ++server_parents;
+      } else {
+        ++viewer_viewer_links;
+        if (is_capable_type(parent.type)) {
+          ++capable_parents;
+        } else {
+          ++weak_parents;
+          all_stable = false;
+          if (!is_capable_type(n.type)) ++random_links;
+        }
+      }
+    }
+    if (all_stable && !any_missing && !n.parents.empty()) ++fully_stable;
+    if (any_missing) ++starving;
+
+    if (n.depth >= 0) {
+      depth_sum += n.depth;
+      ++depth_count;
+      m.max_depth = std::max(m.max_depth, n.depth);
+      const auto d = static_cast<std::size_t>(n.depth);
+      if (m.depth_histogram.size() <= d) m.depth_histogram.resize(d + 1, 0);
+      ++m.depth_histogram[d];
+    } else {
+      ++m.unreachable;
+    }
+  }
+
+  if (m.subscribed_edges > 0) {
+    const auto e = static_cast<double>(m.subscribed_edges);
+    m.parent_share_server = static_cast<double>(server_parents) / e;
+    m.parent_share_capable = static_cast<double>(capable_parents) / e;
+    m.parent_share_weak = static_cast<double>(weak_parents) / e;
+  }
+  if (viewer_viewer_links > 0) {
+    m.random_link_fraction = static_cast<double>(random_links) /
+                             static_cast<double>(viewer_viewer_links);
+  }
+  if (m.viewers > 0) {
+    const auto v = static_cast<double>(m.viewers);
+    m.fully_stable_parent_fraction = static_cast<double>(fully_stable) / v;
+    m.starving_fraction = static_cast<double>(starving) / v;
+    m.mean_partners = static_cast<double>(partners_total) / v;
+  }
+  if (depth_count > 0) {
+    m.mean_depth = depth_sum / static_cast<double>(depth_count);
+  }
+  return m;
+}
+
+}  // namespace coolstream::analysis

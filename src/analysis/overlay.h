@@ -1,0 +1,61 @@
+// Overlay structure metrics (Fig. 4 and the §V-B discussion).
+//
+// From a TopologySnapshot we measure the structural properties the paper
+// conjectures for its "conceptual overlay":
+//   * peers clog under direct-connect/UPnP parents (and servers);
+//   * "random links" — NAT/firewall peers serving NAT/firewall peers —
+//     are rare;
+//   * the overlay is shallow and tree-like, with depth dominated by the
+//     capable peers near the source.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace coolstream::net {
+struct TopologySnapshot;
+}
+
+namespace coolstream::analysis {
+
+/// Structural census of one snapshot.
+struct OverlayMetrics {
+  std::size_t viewers = 0;            ///< live non-server nodes
+  std::size_t subscribed_edges = 0;   ///< sub-stream parent links (viewer side)
+
+  /// Of all sub-stream parent links held by viewers: fraction whose parent
+  /// is a server / direct / UPnP / NAT / firewall node.
+  double parent_share_server = 0.0;
+  double parent_share_capable = 0.0;  ///< direct + UPnP (non-server)
+  double parent_share_weak = 0.0;     ///< NAT + firewall
+
+  /// Fraction of viewer->viewer sub-stream links where *both* endpoints
+  /// are NAT/firewall peers ("random links" in Fig. 4).
+  double random_link_fraction = 0.0;
+
+  /// Fraction of viewers whose every subscribed sub-stream comes from a
+  /// server/direct/UPnP parent — the "converged" peers of §V-B.
+  double fully_stable_parent_fraction = 0.0;
+
+  /// Fraction of viewers with at least one unsubscribed sub-stream.
+  double starving_fraction = 0.0;
+
+  /// Depth statistics over viewers reachable from the servers.
+  double mean_depth = 0.0;
+  int max_depth = 0;
+  std::size_t unreachable = 0;
+
+  /// Mean partners per viewer.
+  double mean_partners = 0.0;
+
+  /// Histogram of viewer depths (index = depth, starting at 1).
+  std::vector<std::size_t> depth_histogram;
+};
+
+/// Computes the census.  The snapshot must have depths computed (the
+/// System does this in snapshot()).
+OverlayMetrics measure_overlay(const net::TopologySnapshot& snapshot);
+
+}  // namespace coolstream::analysis

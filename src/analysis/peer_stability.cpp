@@ -1,0 +1,74 @@
+#include "analysis/peer_stability.h"
+
+#include <algorithm>
+
+namespace coolstream::analysis {
+
+std::vector<SessionStability> session_stability(
+    const logging::SessionLog& log, double min_duration_s) {
+  std::vector<SessionStability> out;
+  for (const auto& s : log.sessions) {
+    const auto continuity = s.continuity();
+    if (!continuity) continue;  // no QoS data: never played a full interval
+    // Duration: measured when closed; for still-open sessions use the span
+    // from join to the last QoS report.
+    double duration = 0.0;
+    if (auto d = s.duration()) {
+      duration = *d;
+    } else if (s.join_time && !s.qos.empty()) {
+      duration = s.qos.back().time - *s.join_time;
+    }
+    if (duration < min_duration_s) continue;
+    SessionStability entry;
+    entry.continuity = *continuity;
+    entry.partner_changes_per_min =
+        static_cast<double>(s.partner_changes) / (duration / 60.0);
+    entry.duration_s = duration;
+    entry.observed_type = s.observed_type();
+    out.push_back(entry);
+  }
+  return out;
+}
+
+PeerwiseReport peerwise_report(const logging::SessionLog& log,
+                               double min_duration_s) {
+  const auto sessions = session_stability(log, min_duration_s);
+  PeerwiseReport report;
+  if (sessions.empty()) return report;
+
+  std::vector<double> continuity;
+  std::vector<double> churn;
+  continuity.reserve(sessions.size());
+  churn.reserve(sessions.size());
+  std::array<double, net::kConnectionTypeCount> churn_sum{};
+  for (const auto& s : sessions) {
+    continuity.push_back(s.continuity);
+    churn.push_back(s.partner_changes_per_min);
+    const auto t = static_cast<std::size_t>(s.observed_type);
+    churn_sum[t] += s.partner_changes_per_min;
+    ++report.sessions_by_type[t];
+  }
+  report.continuity = summarize(continuity);
+  report.churn_per_min = summarize(churn);
+  report.churn_quality_correlation = pearson(churn, continuity);
+
+  const double churn_median = report.churn_per_min.median;
+  std::size_t stable = 0;
+  for (const auto& s : sessions) {
+    if (s.continuity >= 0.99 && s.partner_changes_per_min <= churn_median) {
+      ++stable;
+    }
+  }
+  report.stable_fraction =
+      static_cast<double>(stable) / static_cast<double>(sessions.size());
+
+  for (std::size_t t = 0; t < net::kConnectionTypeCount; ++t) {
+    report.churn_by_type[t] =
+        report.sessions_by_type[t] == 0
+            ? 0.0
+            : churn_sum[t] / static_cast<double>(report.sessions_by_type[t]);
+  }
+  return report;
+}
+
+}  // namespace coolstream::analysis

@@ -1,0 +1,54 @@
+// Peer-wise performance (the paper's first open issue).
+//
+// "First, the data set does not allow us to derive the peer-wise
+// performance, which we believe it is of great relevance in understanding
+// the self-stabilizing property of the system." (§VI)
+//
+// Our log *does* allow it: every session carries its own QoS samples and
+// its compact partner reports, so we can measure per-session continuity
+// distributions, per-session partnership churn, and how the two relate —
+// the self-stabilization signature (high-churn peers should be the
+// low-quality minority, and most peers should sit in a stable, high-
+// quality regime).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "analysis/stats.h"
+#include "logging/sessions.h"
+#include "net/connectivity.h"
+
+namespace coolstream::analysis {
+
+/// One session's stability coordinates.
+struct SessionStability {
+  double continuity = 1.0;          ///< session-aggregated continuity
+  double partner_changes_per_min = 0.0;
+  double duration_s = 0.0;
+  net::ConnectionType observed_type = net::ConnectionType::kDirect;
+};
+
+/// Extracts stability coordinates for sessions that played long enough to
+/// produce at least one QoS sample with due blocks and have a measurable
+/// duration of at least `min_duration_s`.
+std::vector<SessionStability> session_stability(
+    const logging::SessionLog& log, double min_duration_s = 60.0);
+
+/// Aggregate peer-wise view.
+struct PeerwiseReport {
+  Summary continuity;                 ///< distribution across sessions
+  Summary churn_per_min;              ///< partner changes per minute
+  double churn_quality_correlation = 0.0;  ///< Pearson(churn, continuity)
+  /// Fraction of sessions in the "stable regime": continuity >= 0.99 and
+  /// below-median partnership churn.
+  double stable_fraction = 0.0;
+  /// Mean partner changes per minute by observed type.
+  std::array<double, net::kConnectionTypeCount> churn_by_type{};
+  std::array<std::size_t, net::kConnectionTypeCount> sessions_by_type{};
+};
+
+PeerwiseReport peerwise_report(const logging::SessionLog& log,
+                               double min_duration_s = 60.0);
+
+}  // namespace coolstream::analysis

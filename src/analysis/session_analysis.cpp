@@ -1,0 +1,138 @@
+#include "analysis/session_analysis.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace coolstream::analysis {
+
+TypeDistribution observed_type_distribution(const logging::SessionLog& log) {
+  TypeDistribution dist;
+  // Classify each *user* once, from the union of its sessions' partner
+  // direction flags (a user that ever accepted an inbound partnership is
+  // reachable).  Only users with at least one closed session classify.
+  for (const auto& user : log.users) {
+    bool any_closed = false;
+    bool private_addr = false;
+    bool had_in = false;
+    bool had_out = false;
+    for (std::size_t idx : user.session_indices) {
+      const auto& s = log.sessions[idx];
+      if (!s.leave_time) continue;
+      any_closed = true;
+      private_addr = private_addr || s.private_address;
+      had_in = had_in || s.had_incoming;
+      had_out = had_out || s.had_outgoing;
+    }
+    if (!any_closed) continue;
+    const auto type = net::classify_observed(private_addr, had_in, had_out);
+    ++dist.counts[static_cast<std::size_t>(type)];
+    ++dist.total;
+  }
+  return dist;
+}
+
+ContributionBreakdown upload_contributions(const logging::SessionLog& log) {
+  ContributionBreakdown out;
+  for (const auto& user : log.users) {
+    double bytes = 0.0;
+    bool private_addr = false;
+    bool had_in = false;
+    bool had_out = false;
+    for (std::size_t idx : user.session_indices) {
+      const auto& s = log.sessions[idx];
+      bytes += static_cast<double>(s.bytes_up);
+      private_addr = private_addr || s.private_address;
+      had_in = had_in || s.had_incoming;
+      had_out = had_out || s.had_outgoing;
+    }
+    out.per_user_bytes.push_back(bytes);
+    const auto type = net::classify_observed(private_addr, had_in, had_out);
+    out.bytes_by_type[static_cast<std::size_t>(type)] += bytes;
+    out.total_bytes += bytes;
+  }
+  return out;
+}
+
+StartupDelays startup_delays(const logging::SessionLog& log) {
+  std::vector<double> start_sub;
+  std::vector<double> ready;
+  std::vector<double> buffering;
+  for (const auto& s : log.sessions) {
+    if (auto d = s.start_subscription_delay()) start_sub.push_back(*d);
+    if (auto d = s.media_ready_delay()) ready.push_back(*d);
+    if (auto d = s.buffering_delay()) buffering.push_back(*d);
+  }
+  return StartupDelays{Ecdf(std::move(start_sub)), Ecdf(std::move(ready)),
+                       Ecdf(std::move(buffering))};
+}
+
+std::vector<Ecdf> ready_delay_by_period(const logging::SessionLog& log,
+                                        std::span<const double> edges) {
+  std::vector<std::vector<double>> buckets(
+      edges.size() >= 2 ? edges.size() - 1 : 0);
+  for (const auto& s : log.sessions) {
+    const auto d = s.media_ready_delay();
+    if (!d || !s.join_time) continue;
+    for (std::size_t p = 0; p + 1 < edges.size(); ++p) {
+      if (*s.join_time >= edges[p] && *s.join_time < edges[p + 1]) {
+        buckets[p].push_back(*d);
+        break;
+      }
+    }
+  }
+  std::vector<Ecdf> out;
+  out.reserve(buckets.size());
+  for (auto& b : buckets) out.emplace_back(std::move(b));
+  return out;
+}
+
+std::vector<double> session_durations(const logging::SessionLog& log) {
+  std::vector<double> out;
+  for (const auto& s : log.sessions) {
+    if (auto d = s.duration()) out.push_back(*d);
+  }
+  return out;
+}
+
+double short_session_fraction(const logging::SessionLog& log,
+                              double threshold_s) {
+  std::size_t total = 0;
+  std::size_t short_count = 0;
+  for (const auto& s : log.sessions) {
+    if (auto d = s.duration()) {
+      ++total;
+      if (*d < threshold_s) ++short_count;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(short_count) /
+                          static_cast<double>(total);
+}
+
+double RetryDistribution::fraction_with_retries() const noexcept {
+  if (total_users == 0) return 0.0;
+  std::size_t with = 0;
+  for (std::size_t r = 1; r < users_by_retries.size(); ++r) {
+    with += users_by_retries[r];
+  }
+  return static_cast<double>(with) / static_cast<double>(total_users);
+}
+
+RetryDistribution retry_distribution(const logging::SessionLog& log,
+                                     std::size_t max_bucket) {
+  RetryDistribution out;
+  out.users_by_retries.assign(max_bucket + 1, 0);
+  for (const auto& user : log.users) {
+    ++out.total_users;
+    if (!user.ever_succeeded) {
+      ++out.never_succeeded;
+      continue;
+    }
+    const auto r = std::min<std::size_t>(user.retries_before_success,
+                                         max_bucket);
+    ++out.users_by_retries[r];
+  }
+  return out;
+}
+
+}  // namespace coolstream::analysis

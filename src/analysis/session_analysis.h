@@ -1,0 +1,86 @@
+// Session-level figure pipelines (Figs. 3, 6, 7, 10).
+//
+// Everything here consumes a logging::SessionLog — the reconstruction of
+// the paper's log file — and produces the series the figures plot.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "analysis/stats.h"
+#include "logging/sessions.h"
+#include "net/connectivity.h"
+
+namespace coolstream::analysis {
+
+/// Fig. 3a: observed user-type shares (by the §V-B classification applied
+/// to logged sessions that reported both join and leave).
+struct TypeDistribution {
+  std::array<std::size_t, net::kConnectionTypeCount> counts{};
+  std::size_t total = 0;
+
+  double share(net::ConnectionType t) const noexcept {
+    return total == 0 ? 0.0
+                      : static_cast<double>(
+                            counts[static_cast<std::size_t>(t)]) /
+                            static_cast<double>(total);
+  }
+};
+
+TypeDistribution observed_type_distribution(
+    const logging::SessionLog& log);
+
+/// Fig. 3b inputs: per-user upload bytes (summed across sessions from the
+/// traffic reports), and the same split by observed type.
+struct ContributionBreakdown {
+  std::vector<double> per_user_bytes;  ///< all users, unordered
+  std::array<double, net::kConnectionTypeCount> bytes_by_type{};
+  double total_bytes = 0.0;
+
+  double type_share(net::ConnectionType t) const noexcept {
+    return total_bytes == 0.0
+               ? 0.0
+               : bytes_by_type[static_cast<std::size_t>(t)] / total_bytes;
+  }
+};
+
+ContributionBreakdown upload_contributions(const logging::SessionLog& log);
+
+/// Fig. 6: delays of normal sessions.
+struct StartupDelays {
+  Ecdf start_subscription;  ///< join -> start-subscription
+  Ecdf media_ready;         ///< join -> media-player-ready
+  Ecdf buffering;           ///< start-subscription -> ready (the 10-20 s)
+};
+
+StartupDelays startup_delays(const logging::SessionLog& log);
+
+/// Fig. 7: media-ready delay split across time-of-run periods.  `edges`
+/// has N+1 boundaries (seconds) producing N period ECDFs labelled by
+/// their [edge_i, edge_i+1) window on join time.
+std::vector<Ecdf> ready_delay_by_period(const logging::SessionLog& log,
+                                        std::span<const double> edges);
+
+/// Fig. 10a: session durations (seconds) of sessions with join+leave.
+std::vector<double> session_durations(const logging::SessionLog& log);
+
+/// Fraction of logged sessions shorter than `threshold_s`.
+double short_session_fraction(const logging::SessionLog& log,
+                              double threshold_s = 60.0);
+
+/// Fig. 10b: distribution of per-user retry counts; index r = users that
+/// needed exactly r extra attempts before success (index capped at the
+/// last bucket, which accumulates ">= size-1"; users that never succeeded
+/// count in `never_succeeded`).
+struct RetryDistribution {
+  std::vector<std::size_t> users_by_retries;  ///< index = retries
+  std::size_t never_succeeded = 0;
+  std::size_t total_users = 0;
+
+  double fraction_with_retries() const noexcept;
+};
+
+RetryDistribution retry_distribution(const logging::SessionLog& log,
+                                     std::size_t max_bucket = 6);
+
+}  // namespace coolstream::analysis

@@ -1,0 +1,82 @@
+// Basic statistics: summaries, empirical CDFs and histograms.
+//
+// All figure pipelines reduce to these primitives: Fig. 6/7 are empirical
+// CDFs of delays, Fig. 10 a histogram of durations and retries, Fig. 8/9
+// bucketed means.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace coolstream::analysis {
+
+/// Five-number-ish summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes a Summary (empty input yields all zeros).
+Summary summarize(std::span<const double> values);
+
+/// Pearson correlation coefficient of two equal-length samples; 0 when
+/// fewer than two points or when either sample is constant.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Empirical cumulative distribution function.
+class Ecdf {
+ public:
+  Ecdf() = default;
+  explicit Ecdf(std::vector<double> values);
+
+  std::size_t size() const noexcept { return sorted_.size(); }
+  bool empty() const noexcept { return sorted_.empty(); }
+
+  /// P(X <= x); 0 for empty samples.
+  double at(double x) const noexcept;
+
+  /// Inverse CDF; q in [0, 1].  Uses the nearest-rank method.
+  double quantile(double q) const;
+
+  const std::vector<double>& sorted() const noexcept { return sorted_; }
+
+  /// Evaluation grid: `points` (x, F(x)) pairs spanning [min, max].
+  std::vector<std::pair<double, double>> curve(std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into
+/// the edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value) noexcept;
+  void add_n(double value, std::size_t n) noexcept;
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const noexcept { return total_; }
+  double bin_lo(std::size_t bin) const noexcept;
+  double bin_hi(std::size_t bin) const noexcept;
+  /// Fraction of samples in `bin` (0 when empty).
+  double fraction(std::size_t bin) const noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace coolstream::analysis

@@ -1,0 +1,94 @@
+#include "core/buffer_map.h"
+
+#include <algorithm>
+#include <cassert>
+#include <charconv>
+
+namespace coolstream::core {
+
+BufferMap::BufferMap(int k)
+    : latest_(static_cast<std::size_t>(k), SeqNum{-1}),
+      subscribed_(static_cast<std::size_t>(k), 0) {
+  assert(k >= 1);
+}
+
+SeqNum BufferMap::latest(SubstreamId i) const {
+  assert(i >= 0 && i < substream_count());
+  return latest_[static_cast<std::size_t>(i)];
+}
+
+void BufferMap::set_latest(SubstreamId i, SeqNum seq) {
+  assert(i >= 0 && i < substream_count());
+  latest_[static_cast<std::size_t>(i)] = seq;
+}
+
+bool BufferMap::subscribed(SubstreamId i) const {
+  assert(i >= 0 && i < substream_count());
+  return subscribed_[static_cast<std::size_t>(i)] != 0;
+}
+
+void BufferMap::set_subscribed(SubstreamId i, bool on) {
+  assert(i >= 0 && i < substream_count());
+  subscribed_[static_cast<std::size_t>(i)] = on ? 1 : 0;
+}
+
+SeqNum BufferMap::max_latest() const noexcept {
+  if (latest_.empty()) return -1;
+  return *std::max_element(latest_.begin(), latest_.end());
+}
+
+SeqNum BufferMap::min_latest() const noexcept {
+  if (latest_.empty()) return -1;
+  return *std::min_element(latest_.begin(), latest_.end());
+}
+
+SeqNum BufferMap::spread() const noexcept {
+  return latest_.empty() ? 0 : max_latest() - min_latest();
+}
+
+std::string BufferMap::encode() const {
+  std::string out;
+  for (std::size_t i = 0; i < latest_.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += std::to_string(latest_[i]);
+  }
+  out.push_back('|');
+  for (std::uint8_t s : subscribed_) out.push_back(s ? '1' : '0');
+  return out;
+}
+
+std::optional<BufferMap> BufferMap::decode(const std::string& text) {
+  const std::size_t bar = text.find('|');
+  if (bar == std::string::npos) return std::nullopt;
+  const std::string_view nums(text.data(), bar);
+  const std::string_view bits(text.data() + bar + 1, text.size() - bar - 1);
+
+  std::vector<SeqNum> latest;
+  std::size_t pos = 0;
+  while (pos <= nums.size() && !nums.empty()) {
+    std::size_t comma = nums.find(',', pos);
+    if (comma == std::string_view::npos) comma = nums.size();
+    SeqNum value = 0;
+    const auto* begin = nums.data() + pos;
+    const auto* end = nums.data() + comma;
+    auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end) return std::nullopt;
+    latest.push_back(value);
+    if (comma == nums.size()) break;
+    pos = comma + 1;
+  }
+  if (latest.empty() || latest.size() != bits.size()) return std::nullopt;
+
+  BufferMap bm(static_cast<int>(latest.size()));
+  for (std::size_t i = 0; i < latest.size(); ++i) {
+    bm.latest_[i] = latest[i];
+    if (bits[i] == '1') {
+      bm.subscribed_[i] = 1;
+    } else if (bits[i] != '0') {
+      return std::nullopt;
+    }
+  }
+  return bm;
+}
+
+}  // namespace coolstream::core

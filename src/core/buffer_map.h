@@ -1,0 +1,70 @@
+// The Buffer Map (BM), §III-C.
+//
+// "BM is represented by a 2K-tuple, where K is the number of sub-streams.
+// The first K components of the tuple records the sequence number of the
+// latest received block from each sub-stream.  The second K components of
+// the tuple represents the subscription of sub-streams from the partner."
+//
+// BMs are exchanged periodically between partners; partner selection and
+// the adaptation inequalities (§IV-B) evaluate against the latest BM
+// received from each partner.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/stream_types.h"
+
+namespace coolstream::core {
+
+/// A 2K-tuple buffer map.
+class BufferMap {
+ public:
+  BufferMap() = default;
+
+  /// Creates an empty BM for `k` sub-streams (latest = -1, no
+  /// subscriptions).
+  explicit BufferMap(int k);
+
+  int substream_count() const noexcept {
+    return static_cast<int>(latest_.size());
+  }
+
+  /// Latest received sequence number of sub-stream `i` (-1: none yet).
+  SeqNum latest(SubstreamId i) const;
+  void set_latest(SubstreamId i, SeqNum seq);
+
+  /// Whether the sender requests (subscribes to) sub-stream `i` from the
+  /// partner this BM is sent to.
+  bool subscribed(SubstreamId i) const;
+  void set_subscribed(SubstreamId i, bool on);
+
+  /// Highest latest() across sub-streams; -1 when nothing received.
+  SeqNum max_latest() const noexcept;
+  /// Lowest latest() across sub-streams.
+  SeqNum min_latest() const noexcept;
+  /// max_latest() - min_latest(): the within-node sub-stream spread that
+  /// Ineq. (1) bounds by T_s.
+  SeqNum spread() const noexcept;
+
+  const std::vector<SeqNum>& latest_all() const noexcept { return latest_; }
+
+  /// Compact wire encoding: "l0,l1,...|s0s1..." where si is '0'/'1'.
+  std::string encode() const;
+  /// Parses encode() output.  Returns nullopt on malformed input or when
+  /// the sub-stream count disagrees between the two halves.
+  static std::optional<BufferMap> decode(const std::string& text);
+
+  /// Wire size in bytes (for control-overhead accounting).
+  std::size_t wire_size() const { return encode().size(); }
+
+  friend bool operator==(const BufferMap&, const BufferMap&) = default;
+
+ private:
+  std::vector<SeqNum> latest_;
+  std::vector<std::uint8_t> subscribed_;
+};
+
+}  // namespace coolstream::core

@@ -1,0 +1,94 @@
+// Membership cache (mCache), §III-B and §V-C.
+//
+// "Each node ... maintains a membership cache (mCache) containing a partial
+// list of the currently active nodes in the system."  Entries are refreshed
+// by gossip and by the boot-strap list; when the cache is full, "the update
+// of the mCache entries is achieved by randomly replacing entries when new
+// partnership is established" (§V-C) — the very policy the paper blames for
+// flash-crowd pollution (the cache fills with newly joined peers that
+// cannot provide stable streams, lengthening media-ready times, Fig. 7).
+//
+// The alternative replacement policy (evict the *youngest* entry, keeping
+// long-lived peers) implements the improvement the paper suggests and is
+// exercised by the ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/types.h"
+#include "sim/rng.h"
+
+namespace coolstream::core {
+
+/// mCache replacement policy.
+enum class McachePolicy : unsigned char {
+  kRandomReplace = 0,  ///< the deployed Coolstreaming policy
+  kPreferOld = 1,      ///< suggested improvement: keep older (stabler) peers
+};
+
+/// One known-peer entry.  Entries carry the peer's address class: a node
+/// can tell from the advertised IP whether the peer is publicly reachable
+/// (public address or UPnP mapping), so it never wastes a connection
+/// attempt on a plain-NAT peer.
+struct McacheEntry {
+  net::NodeId id = net::kInvalidNode;
+  double first_seen = 0.0;  ///< when this node (reportedly) joined
+  double updated = 0.0;     ///< when we last heard about it
+  bool reachable = true;    ///< accepts inbound connections
+};
+
+/// Bounded partial view of the overlay membership.
+class Mcache {
+ public:
+  Mcache(std::size_t capacity, McachePolicy policy)
+      : capacity_(capacity), policy_(policy) {}
+
+  /// Inserts or refreshes an entry.  When full, evicts per policy:
+  /// kRandomReplace evicts a uniformly random entry; kPreferOld evicts the
+  /// entry with the largest first_seen (the youngest peer).
+  void upsert(const McacheEntry& entry, sim::Rng& rng);
+
+  /// Removes `id` if present (e.g. learned that the peer left).
+  void remove(net::NodeId id);
+
+  /// True when `id` is in the cache.
+  bool contains(net::NodeId id) const noexcept;
+
+  /// Up to `k` distinct entries chosen uniformly at random, excluding
+  /// entries for which `excluded` returns true.  The predicate may take
+  /// either the entry or just its node id.
+  template <typename ExcludeFn>
+  std::vector<McacheEntry> sample(std::size_t k, sim::Rng& rng,
+                                  ExcludeFn&& excluded) const {
+    std::vector<std::size_t> eligible;
+    eligible.reserve(entries_.size());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if constexpr (std::is_invocable_v<ExcludeFn, const McacheEntry&>) {
+        if (!excluded(entries_[i])) eligible.push_back(i);
+      } else {
+        if (!excluded(entries_[i].id)) eligible.push_back(i);
+      }
+    }
+    const std::size_t take = std::min(k, eligible.size());
+    std::vector<McacheEntry> out;
+    out.reserve(take);
+    for (std::size_t pick : rng.sample_indices(eligible.size(), take)) {
+      out.push_back(entries_[eligible[pick]]);
+    }
+    return out;
+  }
+
+  const std::vector<McacheEntry>& entries() const noexcept { return entries_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  McachePolicy policy() const noexcept { return policy_; }
+
+ private:
+  std::size_t capacity_;
+  McachePolicy policy_;
+  std::vector<McacheEntry> entries_;
+};
+
+}  // namespace coolstream::core

@@ -1,0 +1,791 @@
+#include "core/peer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "core/system.h"
+
+namespace coolstream::core {
+namespace {
+
+/// Cap on the per-connection credit bucket: a connection can burst at most
+/// this many whole blocks in one tick beyond its steady rate.
+constexpr double kMaxCredit = 4.0;
+
+/// Partner-change entries retained per status-report interval (the paper's
+/// compact partner report bounds log load).
+constexpr std::size_t kMaxIntervalChanges = 64;
+
+}  // namespace
+
+Peer::Peer(System& system, net::NodeId id, PeerSpec spec,
+           std::uint64_t session_id, double now)
+    : sys_(system),
+      id_(id),
+      spec_(spec),
+      session_id_(session_id),
+      joined_at_(now),
+      sync_(system.params().substream_count),
+      cache_(static_cast<SeqNum>(
+          std::max(1.0, system.params().buffer_blocks()))),
+      mcache_(static_cast<std::size_t>(system.params().mcache_size),
+              system.config().mcache_policy),
+      parents_(static_cast<std::size_t>(system.params().substream_count),
+               net::kInvalidNode),
+      sub_since_(static_cast<std::size_t>(system.params().substream_count),
+                 0.0),
+      credits_(static_cast<std::size_t>(system.params().substream_count),
+               0.0) {
+  // Stagger periodic timers with a random phase so thousands of peers do
+  // not fire on the same tick edge.
+  const Params& p = system.params();
+  sim::Rng& rng = system.rng();
+  next_bm_push_ = now + rng.uniform(0.0, p.bm_exchange_period);
+  next_gossip_ = now + rng.uniform(0.0, p.gossip_period);
+  next_adaptation_ = now + rng.uniform(0.0, p.adaptation_check_period);
+  next_refill_ = now + rng.uniform(0.0, p.partner_refill_period);
+  next_report_ = now + p.status_report_period;
+}
+
+double Peer::upload_blocks_per_sec() const noexcept {
+  return spec_.upload_capacity_bps / sys_.params().block_size_bits();
+}
+
+PartnerState* Peer::find_partner(net::NodeId pid) noexcept {
+  for (auto& ps : partners_) {
+    if (ps.id == pid) return &ps;
+  }
+  return nullptr;
+}
+
+const PartnerState* Peer::find_partner(net::NodeId pid) const noexcept {
+  for (const auto& ps : partners_) {
+    if (ps.id == pid) return &ps;
+  }
+  return nullptr;
+}
+
+bool Peer::partners_full() const noexcept {
+  return partner_count() >=
+         static_cast<std::size_t>(sys_.max_partners_of(*this));
+}
+
+BufferMap Peer::current_bm() const {
+  BufferMap bm(sys_.params().substream_count);
+  for (int j = 0; j < sys_.params().substream_count; ++j) {
+    bm.set_latest(j, sync_.head(j));
+  }
+  return bm;
+}
+
+// --------------------------------------------------------------------------
+// Join process (§IV-A)
+// --------------------------------------------------------------------------
+
+void Peer::start_join() {
+  if (spec_.kind == PeerKind::kServer) {
+    // Servers are operational immediately; they are fed from the encoder.
+    phase_ = PeerPhase::kPlaying;
+    server_feed(sys_.now());
+    return;
+  }
+  logging::ActivityReport r;
+  r.header = {spec_.user_id, session_id_, sys_.now()};
+  r.activity = logging::Activity::kJoin;
+  r.address = spec_.address.to_string();
+  sys_.report(logging::Report(r));
+  sys_.request_bootstrap_list(id_);
+}
+
+void Peer::on_bootstrap_list(const std::vector<McacheEntry>& list) {
+  if (!alive()) return;
+  for (const auto& e : list) {
+    if (e.id != id_) mcache_.upsert(e, sys_.rng());
+  }
+  const auto want = static_cast<std::size_t>(
+      sys_.params().initial_partner_target);
+  try_establish_partnerships(want);
+}
+
+void Peer::try_establish_partnerships(std::size_t want) {
+  if (want == 0) return;
+  // Candidates must be reachable: the address in the mCache entry reveals
+  // plain-NAT peers, so no attempt is wasted on them (they can only ever
+  // partner with us by initiating themselves).
+  auto candidates =
+      mcache_.sample(want, sys_.rng(), [this](const McacheEntry& cand) {
+        return !cand.reachable || cand.id == id_ ||
+               find_partner(cand.id) != nullptr || !sys_.is_live(cand.id);
+      });
+  for (const auto& cand : candidates) {
+    ++pending_attempts_;
+    ++stats_.partnership_attempts;
+    sys_.attempt_partnership(id_, cand.id);
+  }
+}
+
+void Peer::on_partnership_established(net::NodeId pid, bool incoming) {
+  if (!alive()) return;
+  if (!incoming && pending_attempts_ > 0) --pending_attempts_;
+  if (find_partner(pid) != nullptr) return;  // already partners
+  PartnerState ps;
+  ps.id = pid;
+  ps.incoming = incoming;
+  ps.established = sys_.now();
+  ps.bm = BufferMap(sys_.params().substream_count);
+  partners_.push_back(std::move(ps));
+  had_incoming_ = had_incoming_ || incoming;
+  had_outgoing_ = had_outgoing_ || !incoming;
+  if (interval_changes_.size() < kMaxIntervalChanges) {
+    interval_changes_.push_back(
+        logging::PartnerChange{pid, /*added=*/true, incoming});
+  }
+  // "The update of the mCache entries is achieved by randomly replacing
+  // entries when new partnership is established" (§V-C).
+  mcache_.upsert(
+      McacheEntry{pid, sys_.now(), sys_.now(), sys_.is_reachable(pid)},
+      sys_.rng());
+  // Give the new partner our buffer map right away so it can select
+  // parents without waiting for the next periodic exchange.
+  sys_.push_bm(id_, pid, current_bm());
+}
+
+void Peer::on_partnership_rejected(net::NodeId pid) {
+  if (!alive()) return;
+  if (pending_attempts_ > 0) --pending_attempts_;
+  ++stats_.partnership_rejections;
+  // A full or unreachable peer is not useful right now; forget it so the
+  // next sample draws elsewhere.
+  mcache_.remove(pid);
+}
+
+void Peer::on_partner_left(net::NodeId pid) {
+  if (!alive()) return;
+  auto it = std::find_if(partners_.begin(), partners_.end(),
+                         [pid](const PartnerState& ps) { return ps.id == pid; });
+  if (it == partners_.end()) return;
+  const bool was_incoming = it->incoming;
+  partners_.erase(it);
+  if (interval_changes_.size() < kMaxIntervalChanges) {
+    interval_changes_.push_back(
+        logging::PartnerChange{pid, /*added=*/false, was_incoming});
+  }
+  mcache_.remove(pid);
+  // Stop serving any of its sub-stream subscriptions.
+  std::erase_if(out_links_,
+                [pid](const OutLink& l) { return l.child == pid; });
+  // If it was a parent, reselect immediately: losing a parent must not wait
+  // for the cool-down (the cool-down guards competition-driven churn).
+  for (std::size_t j = 0; j < parents_.size(); ++j) {
+    if (parents_[j] == pid) {
+      end_subscription(static_cast<SubstreamId>(j));
+      parents_[j] = net::kInvalidNode;
+      if (start_decided_) reselect(static_cast<SubstreamId>(j));
+    }
+  }
+}
+
+void Peer::on_bm_received(net::NodeId from, const BufferMap& bm) {
+  if (!alive()) return;
+  PartnerState* ps = find_partner(from);
+  if (ps == nullptr) return;  // stale sender
+  ps->bm = bm;
+  ps->bm_time = sys_.now();
+  if (phase_ == PeerPhase::kJoining && !start_decided_ && !first_bm_at_) {
+    first_bm_at_ = sys_.now();
+  }
+}
+
+void Peer::on_gossip(const std::vector<McacheEntry>& entries) {
+  if (!alive()) return;
+  for (const auto& e : entries) {
+    if (e.id != id_) mcache_.upsert(e, sys_.rng());
+  }
+}
+
+void Peer::on_subscribe(net::NodeId child, SubstreamId j) {
+  if (!alive()) return;
+  // "A parent node however will always accept requests and it will simply
+  // push out all blocks of a sub-stream in need" (§IV-B): no admission
+  // control — this is what makes peer competition possible.
+  for (const auto& l : out_links_) {
+    if (l.child == child && l.substream == j) return;  // already serving
+  }
+  out_links_.push_back(OutLink{child, j});
+}
+
+void Peer::on_unsubscribe(net::NodeId child, SubstreamId j) {
+  std::erase_if(out_links_, [child, j](const OutLink& l) {
+    return l.child == child && l.substream == j;
+  });
+}
+
+void Peer::decide_start_offset() {
+  const Params& p = sys_.params();
+  // m = the largest sequence number available across partners (§IV-A).
+  SeqNum m = -1;
+  for (const auto& ps : partners_) {
+    if (ps.bm_time >= 0.0) m = std::max(m, ps.bm.max_latest());
+  }
+  if (m < 0) return;  // no usable buffer map yet; keep waiting
+
+  // "a node subscribes from a block that is shifted by a parameter T_p
+  // from the latest block m."
+  const SeqNum s0 =
+      std::max<SeqNum>(0, m - static_cast<SeqNum>(p.tp_blocks()));
+  for (int j = 0; j < p.substream_count; ++j) {
+    sync_.start_at(j, s0);
+  }
+  play_start_seq_ = global_of(0, s0, p.substream_count);
+  sync_.set_combined_floor(play_start_seq_ - 1);
+  last_deadline_counted_ = play_start_seq_ - 1;
+  start_decided_ = true;
+  phase_ = PeerPhase::kBuffering;
+
+  for (int j = 0; j < p.substream_count; ++j) {
+    const net::NodeId parent = select_parent(j, net::kInvalidNode);
+    if (parent != net::kInvalidNode) subscribe_substream(j, parent);
+  }
+}
+
+void Peer::end_subscription(SubstreamId j) {
+  const net::NodeId parent = parents_[static_cast<std::size_t>(j)];
+  if (parent == net::kInvalidNode) return;
+  const double lifetime = sys_.now() - sub_since_[static_cast<std::size_t>(j)];
+  const Peer* p = sys_.peer(parent);
+  const bool capable =
+      p != nullptr && (p->kind() == PeerKind::kServer ||
+                       net::accepts_inbound(p->spec().type));
+  if (capable) {
+    ++stats_.capable_subscriptions_ended;
+    stats_.capable_subscription_time += lifetime;
+  } else {
+    ++stats_.weak_subscriptions_ended;
+    stats_.weak_subscription_time += lifetime;
+  }
+}
+
+void Peer::subscribe_substream(SubstreamId j, net::NodeId parent) {
+  end_subscription(j);
+  parents_[static_cast<std::size_t>(j)] = parent;
+  sub_since_[static_cast<std::size_t>(j)] = sys_.now();
+  credits_[static_cast<std::size_t>(j)] = 0.0;
+  sys_.subscribe(id_, parent, j);
+  if (!start_sub_emitted_) {
+    start_sub_emitted_ = true;
+    logging::ActivityReport r;
+    r.header = {spec_.user_id, session_id_, sys_.now()};
+    r.activity = logging::Activity::kStartSubscription;
+    sys_.report(logging::Report(r));
+    sys_.notify(id_, SessionEvent::kStartSubscription);
+  }
+}
+
+net::NodeId Peer::select_parent(SubstreamId j, net::NodeId exclude) const {
+  const Params& p = sys_.params();
+  const auto ts = static_cast<SeqNum>(p.ts_blocks());
+  const auto tp = static_cast<SeqNum>(p.tp_blocks());
+
+  SeqNum own_max = -1;
+  for (int i = 0; i < p.substream_count; ++i) {
+    own_max = std::max(own_max, sync_.head(i));
+  }
+  SeqNum partner_max = -1;
+  for (const auto& ps : partners_) {
+    if (ps.bm_time >= 0.0) partner_max = std::max(partner_max, ps.bm.max_latest());
+  }
+
+  // Qualified candidates satisfy both inequalities (§IV-B): adopting them
+  // must neither leave sub-stream j more than T_s behind our freshest
+  // sub-stream (1) nor hand us a parent more than T_p behind the best
+  // partner (2) — and they must actually have blocks we still need.
+  std::vector<net::NodeId> qualified;
+  net::NodeId best_fallback = net::kInvalidNode;
+  SeqNum best_latest = sync_.head(j);
+  for (const auto& ps : partners_) {
+    if (ps.id == exclude || ps.bm_time < 0.0 || !sys_.is_live(ps.id)) continue;
+    const SeqNum latest = ps.bm.latest(j);
+    if (latest <= sync_.head(j)) continue;  // nothing new to offer
+    const bool ineq1_ok = own_max - latest < ts;
+    const bool ineq2_ok = partner_max - latest < tp;
+    if (ineq1_ok && ineq2_ok) qualified.push_back(ps.id);
+    if (latest > best_latest) {
+      best_latest = latest;
+      best_fallback = ps.id;
+    }
+  }
+  if (!qualified.empty()) {
+    // "Nodes could subscribe to sub-streams from different partners"
+    // (§III-C): spread the load by restricting the random choice to the
+    // qualified partners serving the fewest of our other sub-streams —
+    // without this, every starving peer dumps all K sub-streams on its
+    // single best partner and crushes it.
+    auto my_load = [this](net::NodeId cand) {
+      int load = 0;
+      for (net::NodeId parent : parents_) {
+        if (parent == cand) ++load;
+      }
+      return load;
+    };
+    int min_load = std::numeric_limits<int>::max();
+    for (net::NodeId cand : qualified) {
+      min_load = std::min(min_load, my_load(cand));
+    }
+    std::vector<net::NodeId> least_loaded;
+    for (net::NodeId cand : qualified) {
+      if (my_load(cand) == min_load) least_loaded.push_back(cand);
+    }
+    // "If there is more than one qualified partners, the peer will choose
+    // one of them randomly."
+    return least_loaded[sys_.rng().below(least_loaded.size())];
+  }
+  // Temporary parent (§IV-B): the best available even if under-qualified;
+  // it may be abandoned during the next adaptation.
+  return best_fallback;
+}
+
+void Peer::reselect(SubstreamId j) {
+  const net::NodeId old = parents_[static_cast<std::size_t>(j)];
+  const net::NodeId next = select_parent(j, old);
+  if (next == net::kInvalidNode) {
+    // No alternative candidate.  Keep a live current parent (a temporary
+    // parent still delivers *some* blocks, §IV-B); only clear the slot
+    // when the parent is gone.
+    if (old != net::kInvalidNode && !sys_.is_live(old)) {
+      parents_[static_cast<std::size_t>(j)] = net::kInvalidNode;
+    }
+    return;
+  }
+  if (next == old) return;
+  if (old != net::kInvalidNode && sys_.is_live(old)) {
+    sys_.unsubscribe(id_, old, j);
+  }
+  ++stats_.parent_switches;
+  subscribe_substream(j, next);
+}
+
+// --------------------------------------------------------------------------
+// Adaptation (§IV-B)
+// --------------------------------------------------------------------------
+
+void Peer::run_adaptation(double now, bool cooldown_exempt) {
+  if (!start_decided_) return;
+  const Params& p = sys_.params();
+  const auto ts = static_cast<SeqNum>(p.ts_blocks());
+  const auto tp = static_cast<SeqNum>(p.tp_blocks());
+
+  SeqNum own_max = -1;
+  for (int i = 0; i < p.substream_count; ++i) {
+    own_max = std::max(own_max, sync_.head(i));
+  }
+  SeqNum partner_max = -1;
+  for (const auto& ps : partners_) {
+    if (ps.bm_time >= 0.0) partner_max = std::max(partner_max, ps.bm.max_latest());
+  }
+
+  bool gated_work = false;
+  std::vector<SubstreamId> to_fix;
+  for (int j = 0; j < p.substream_count; ++j) {
+    const net::NodeId parent = parents_[static_cast<std::size_t>(j)];
+    if (parent == net::kInvalidNode || !sys_.is_live(parent) ||
+        find_partner(parent) == nullptr) {
+      to_fix.push_back(j);  // orphaned sub-stream: exempt from cool-down
+      continue;
+    }
+    const PartnerState* ps = find_partner(parent);
+    // Inequality (1).  The paper states it two ways: the prose bounds the
+    // spread between any two sub-streams *within* the node by T_s, while
+    // the printed formula bounds the deviation between the node's and the
+    // *parent's* latest blocks.  Both signal insufficient parent upload —
+    // the first catches one lagging sub-stream, the second catches uniform
+    // starvation (all sub-streams equally behind an overloaded parent) —
+    // so we trigger on either.
+    const bool ineq1_spread = own_max - sync_.head(j) >= ts;
+    const bool ineq1_parent_lag =
+        ps->bm_time >= 0.0 && ps->bm.latest(j) - sync_.head(j) >= ts;
+    // Inequality (2): the parent must not lag the best partner by T_p or
+    // more (a better source is known).
+    const bool ineq2_violated =
+        ps->bm_time >= 0.0 && partner_max - ps->bm.latest(j) >= tp;
+    if (ineq1_spread || ineq1_parent_lag || ineq2_violated) {
+      if (cooldown_exempt || now - last_adaptation_ >= p.ta_seconds) {
+        to_fix.push_back(j);
+        gated_work = true;
+      }
+    }
+  }
+  if (to_fix.empty()) return;
+  for (SubstreamId j : to_fix) reselect(j);
+  if (gated_work) {
+    last_adaptation_ = now;
+    ++stats_.adaptations;
+  }
+}
+
+void Peer::drop_worst_partner() {
+  // Keep current parents; drop the non-parent partner with the stalest /
+  // lowest buffer map to make room for fresh candidates (§III-B: nodes
+  // "drop some partners and re-establish partnership with other peers").
+  const PartnerState* worst = nullptr;
+  for (const auto& ps : partners_) {
+    bool is_parent = false;
+    for (net::NodeId parent : parents_) {
+      if (parent == ps.id) {
+        is_parent = true;
+        break;
+      }
+    }
+    if (is_parent) continue;
+    if (worst == nullptr || ps.bm.max_latest() < worst->bm.max_latest()) {
+      worst = &ps;
+    }
+  }
+  if (worst != nullptr) sys_.break_partnership(id_, worst->id);
+}
+
+// --------------------------------------------------------------------------
+// Periodic driver
+// --------------------------------------------------------------------------
+
+void Peer::on_tick(double now) {
+  if (!alive()) return;
+  const Params& p = sys_.params();
+
+  if (spec_.kind == PeerKind::kServer) {
+    server_feed(now);
+    if (now >= next_bm_push_) {
+      for (const auto& ps : partners_) sys_.push_bm(id_, ps.id, current_bm());
+      next_bm_push_ = now + p.bm_exchange_period;
+    }
+    return;
+  }
+
+  if (now >= next_bm_push_) {
+    BufferMap base = current_bm();
+    for (const auto& ps : partners_) {
+      BufferMap bm = base;
+      for (int j = 0; j < p.substream_count; ++j) {
+        bm.set_subscribed(j, parents_[static_cast<std::size_t>(j)] == ps.id);
+      }
+      sys_.push_bm(id_, ps.id, bm);
+    }
+    next_bm_push_ = now + p.bm_exchange_period;
+  }
+
+  if (now >= next_gossip_) {
+    do_gossip();
+    next_gossip_ = now + p.gossip_period;
+  }
+
+  if (phase_ == PeerPhase::kJoining && !start_decided_ && first_bm_at_ &&
+      now >= *first_bm_at_ + sys_.config().join_aggregation_delay) {
+    decide_start_offset();
+  }
+  if (phase_ == PeerPhase::kBuffering) check_media_ready(now);
+  if (phase_ == PeerPhase::kPlaying) {
+    do_playout(now);
+    maybe_resync_forward(now);
+  }
+
+  if (now >= next_adaptation_) {
+    run_adaptation(now, /*cooldown_exempt=*/false);
+    next_adaptation_ = now + p.adaptation_check_period;
+  }
+
+  if (now >= next_refill_) {
+    // Baseline partner target; when the node is receiving insufficient
+    // rate (it lags what its partners advertise by more than T_p), it
+    // widens its partner set toward M — "the node has to drop some
+    // partners and re-establish partnership with other peers" (§III-B).
+    auto target = static_cast<std::size_t>(p.initial_partner_target);
+    bool lagging = false;
+    if (start_decided_) {
+      SeqNum own_max = -1;
+      for (int j = 0; j < p.substream_count; ++j) {
+        own_max = std::max(own_max, sync_.head(j));
+      }
+      SeqNum partner_max = -1;
+      for (const auto& ps : partners_) {
+        if (ps.bm_time >= 0.0) {
+          partner_max = std::max(partner_max, ps.bm.max_latest());
+        }
+      }
+      lagging = partner_max - own_max >= static_cast<SeqNum>(p.tp_blocks());
+      // The broadcast clock (block timestamps) also exposes staleness a
+      // collectively-stale partner set cannot: explore when the freshest
+      // sub-stream is far behind the live edge.
+      const SeqNum live_edge = sys_.source_head(0, now);
+      lagging = lagging ||
+                live_edge - own_max >= static_cast<SeqNum>(
+                    p.stale_threshold_seconds * p.substream_block_rate());
+      if (lagging) {
+        target = std::min<std::size_t>(
+            static_cast<std::size_t>(sys_.max_partners_of(*this)),
+            partner_count() + 2);
+      }
+    }
+    bool starving = false;
+    for (net::NodeId parent : parents_) {
+      if (start_decided_ && parent == net::kInvalidNode) starving = true;
+    }
+    const std::size_t have = partner_count() + pending_attempts_;
+    if (have < target) {
+      bool any_candidate = false;
+      for (const auto& e : mcache_.entries()) {
+        if (e.reachable && e.id != id_ && find_partner(e.id) == nullptr) {
+          any_candidate = true;
+          break;
+        }
+      }
+      if (any_candidate) {
+        try_establish_partnerships(target - have);
+      } else {
+        sys_.request_bootstrap_list(id_);
+      }
+      if (lagging) {
+        // A stale clique's gossip only circulates stale peers; the
+        // boot-strap node samples the whole system and breaks the client
+        // out of it.
+        sys_.request_bootstrap_list(id_);
+      }
+    } else if ((starving || lagging) && partners_full()) {
+      // Unsatisfied with a full partner list: rotate the weakest
+      // non-parent partner out to make room for fresh candidates.
+      drop_worst_partner();
+    }
+    next_refill_ = now + p.partner_refill_period;
+  }
+
+  if (now >= next_report_) {
+    send_status_reports(now);
+    next_report_ = now + p.status_report_period;
+  }
+}
+
+void Peer::do_gossip() {
+  if (partners_.empty()) return;
+  const auto pick = sys_.rng().below(partners_.size());
+  const net::NodeId target = partners_[pick].id;
+  auto entries = mcache_.sample(3, sys_.rng(), [target](net::NodeId cand) {
+    return cand == target;
+  });
+  entries.push_back(McacheEntry{id_, joined_at_, sys_.now(),
+                                net::accepts_inbound(spec_.type)});
+  sys_.send_gossip(id_, target, std::move(entries));
+}
+
+void Peer::check_media_ready(double now) {
+  const Params& p = sys_.params();
+  const auto need = static_cast<GlobalSeq>(p.media_ready_blocks());
+  if (sync_.combined() >= play_start_seq_ + need - 1) {
+    phase_ = PeerPhase::kPlaying;
+    play_start_time_ = now;
+    logging::ActivityReport r;
+    r.header = {spec_.user_id, session_id_, now};
+    r.activity = logging::Activity::kMediaPlayerReady;
+    sys_.report(logging::Report(r));
+    sys_.notify(id_, SessionEvent::kMediaReady);
+  }
+}
+
+SeqNum Peer::deadline_floor(SubstreamId j) const noexcept {
+  if (phase_ != PeerPhase::kPlaying) return -1;
+  // Blocks whose deadline has been *counted* are dead.  Stay one round of
+  // sub-streams behind the counted playhead so a block is never skipped
+  // before its deadline was charged.
+  const int k = sys_.params().substream_count;
+  const GlobalSeq safe = last_deadline_counted_ - k;
+  if (safe < j) return -1;
+  return (safe - j) / k;
+}
+
+void Peer::handle_window_gap(SubstreamId j, SeqNum window_start) {
+  const SeqNum from = sync_.head(j) + 1;
+  const SeqNum to = window_start - 1;
+  if (from > to) return;
+  ++stats_.window_skips;
+  sync_.start_at(j, window_start);
+
+  const Params& p = sys_.params();
+  const auto resync_blocks = static_cast<SeqNum>(
+      p.resync_skip_seconds * p.substream_block_rate());
+  if (phase_ == PeerPhase::kPlaying && to - from + 1 >= resync_blocks) {
+    // Deep skip: re-anchor the playout timeline at the new position (a
+    // live client that fell too far behind re-enters near the edge; the
+    // abandoned stretch is never charged to the continuity index, exactly
+    // the paper's §V-D reporting blindness for re-entering users).
+    ++stats_.resyncs;
+    play_start_seq_ = sync_.combined() + 1;
+    play_start_time_ = sys_.now();
+    last_deadline_counted_ = play_start_seq_ - 1;
+    stalled_on_ = -1;
+    skips_.clear();
+    return;
+  }
+  skips_.push_back(SkipRange{j, from, to});
+}
+
+void Peer::do_playout(double now) {
+  const Params& p = sys_.params();
+  const double spb = 1.0 / p.block_rate;  // seconds of video per block
+
+  // Advance the playhead block by block.  When the next block is missing
+  // at its deadline the player stalls: later deadlines shift by the stall
+  // duration (play_start_time_ moves forward).  After stall_skip_after of
+  // freezing, the block is skipped and charged as missed.
+  for (;;) {
+    const GlobalSeq g = last_deadline_counted_ + 1;
+    const double deadline =
+        play_start_time_ +
+        static_cast<double>(g - play_start_seq_ + 1) * spb;
+    if (deadline > now) break;
+
+    const SubstreamId i = substream_of(g, p.substream_count);
+    const SeqNum need = substream_seq_of(g, p.substream_count);
+    bool present = sync_.head(i) >= need;
+    if (present) {
+      for (const auto& skip : skips_) {
+        if (skip.substream == i && need >= skip.from && need <= skip.to) {
+          present = false;
+          break;
+        }
+      }
+    }
+
+    if (present) {
+      if (stalled_on_ == g) {
+        // The block arrived during the freeze.  Resume only after
+        // rebuffering: enough contiguous video beyond the stalled block,
+        // or the skip timeout expiring (whichever comes first), so the
+        // player does not micro-stall on every delivery batch.
+        const auto rebuffer_blocks = static_cast<GlobalSeq>(
+            p.stall_rebuffer_seconds * p.block_rate);
+        const bool rebuffered = sync_.combined() >= g + rebuffer_blocks;
+        const double stalled_for = now - deadline;
+        if (!rebuffered && stalled_for < p.stall_skip_after) break;
+        play_start_time_ += stalled_for;
+        stats_.stall_seconds += stalled_for;
+        stalled_on_ = -1;
+      }
+      ++stats_.blocks_due;
+      ++interval_due_;
+      ++stats_.blocks_on_time;
+      ++interval_on_time_;
+      last_deadline_counted_ = g;
+      continue;
+    }
+
+    const double overdue = now - deadline;
+    if (overdue < p.stall_skip_after) {
+      // Keep the player frozen, waiting for block g.
+      if (stalled_on_ != g) {
+        stalled_on_ = g;
+        ++stats_.stalls;
+      }
+      break;
+    }
+    // Gave up on block g: skip it, shift later deadlines by the stall.
+    play_start_time_ += p.stall_skip_after;
+    stats_.stall_seconds += p.stall_skip_after;
+    stalled_on_ = -1;
+    ++stats_.blocks_due;
+    ++interval_due_;
+    last_deadline_counted_ = g;
+  }
+
+  // Prune skip ranges entirely behind the playhead.
+  if (!skips_.empty() && last_deadline_counted_ >= 0) {
+    const SeqNum oldest_need =
+        substream_seq_of(last_deadline_counted_, p.substream_count);
+    std::erase_if(skips_, [oldest_need](const SkipRange& s) {
+      return s.to < oldest_need - 1;
+    });
+  }
+}
+
+void Peer::send_status_reports(double now) {
+  const logging::ReportHeader header{spec_.user_id, session_id_, now};
+
+  logging::QosReport qos;
+  qos.header = header;
+  qos.blocks_due = interval_due_;
+  qos.blocks_on_time = interval_on_time_;
+  sys_.report(logging::Report(qos));
+  interval_due_ = 0;
+  interval_on_time_ = 0;
+
+  logging::TrafficReport traffic;
+  traffic.header = header;
+  traffic.bytes_down = interval_bytes_down_;
+  traffic.bytes_up = interval_bytes_up_;
+  sys_.report(logging::Report(traffic));
+  interval_bytes_down_ = 0;
+  interval_bytes_up_ = 0;
+
+  logging::PartnerReport partner;
+  partner.header = header;
+  partner.partner_count = static_cast<std::uint32_t>(partner_count());
+  partner.changes = std::move(interval_changes_);
+  sys_.report(logging::Report(partner));
+  interval_changes_.clear();
+}
+
+void Peer::maybe_resync_forward(double now) {
+  const Params& p = sys_.params();
+  if (now - last_resync_ < p.resync_cooldown_seconds) return;
+  const GlobalSeq live =
+      global_of(0, sys_.source_head(0, now), p.substream_count);
+  const double lag_seconds =
+      static_cast<double>(live - last_deadline_counted_) / p.block_rate;
+  if (lag_seconds <= p.max_playback_lag_seconds) return;
+
+  // Re-anchor at the freshest partner, T_p behind its latest block — the
+  // same rule as the initial join (§IV-A).
+  SeqNum m = -1;
+  for (const auto& ps : partners_) {
+    if (ps.bm_time >= 0.0) m = std::max(m, ps.bm.max_latest());
+  }
+  const SeqNum s0 = m - static_cast<SeqNum>(p.tp_blocks());
+  // Only jump if it actually moves us forward meaningfully.
+  const GlobalSeq target = global_of(0, s0, p.substream_count);
+  if (target <= last_deadline_counted_ + static_cast<GlobalSeq>(p.block_rate)) {
+    return;  // nothing fresher in reach; keep exploring partners
+  }
+  last_resync_ = now;
+  ++stats_.resyncs;
+  for (int j = 0; j < p.substream_count; ++j) {
+    sync_.start_at(j, s0);
+  }
+  sync_.set_combined_floor(target - 1);
+  play_start_seq_ = target;
+  play_start_time_ = now;
+  last_deadline_counted_ = target - 1;
+  stalled_on_ = -1;
+  skips_.clear();
+  // Subscriptions continue from the new positions; parents whose buffers
+  // no longer cover them will window-clamp forward naturally.
+}
+
+void Peer::server_feed(double now) {
+  const double feed_time = now - sys_.config().server_lag;
+  if (feed_time <= 0.0) return;
+  for (int j = 0; j < sys_.params().substream_count; ++j) {
+    const SeqNum target = sys_.source_head(j, feed_time);
+    if (target > sync_.head(j)) sync_.start_at(j, target + 1);
+  }
+}
+
+void Peer::set_left() {
+  for (int j = 0; j < sys_.params().substream_count; ++j) {
+    end_subscription(j);
+  }
+  phase_ = PeerPhase::kLeft;
+  partners_.clear();
+  out_links_.clear();
+  std::fill(parents_.begin(), parents_.end(), net::kInvalidNode);
+  skips_.clear();
+}
+
+}  // namespace coolstream::core

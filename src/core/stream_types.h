@@ -1,0 +1,63 @@
+// Sequence-number arithmetic for sub-streams and the interleaved global
+// playback order (§III-C).
+//
+// Global block g (g = 0,1,2,...) belongs to sub-stream g mod K and carries
+// sub-stream sequence number g / K.  Conversely sub-stream i's block n is
+// global block n*K + i.  The "combination process" of the synchronization
+// buffer (Fig. 2b) produces the longest prefix of the global order present
+// in the per-sub-stream buffers.
+#pragma once
+
+#include <cstdint>
+
+namespace coolstream::core {
+
+/// Sub-stream index in [0, K).
+using SubstreamId = int;
+
+/// Per-sub-stream block sequence number.  -1 means "nothing received yet".
+using SeqNum = std::int64_t;
+
+/// Position in the interleaved global playback order.
+using GlobalSeq = std::int64_t;
+
+/// Sub-stream that carries global block `g` in a K-sub-stream split.
+constexpr SubstreamId substream_of(GlobalSeq g, int k) noexcept {
+  return static_cast<SubstreamId>(g % k);
+}
+
+/// Sub-stream sequence number of global block `g`.
+constexpr SeqNum substream_seq_of(GlobalSeq g, int k) noexcept {
+  return g / k;
+}
+
+/// Global position of sub-stream `i`'s block `n`.
+constexpr GlobalSeq global_of(SubstreamId i, SeqNum n, int k) noexcept {
+  return n * k + i;
+}
+
+/// Given the latest *contiguous* sequence number per sub-stream
+/// (heads[i] = -1 if none), the last global block such that the whole
+/// global prefix [0, result] is available.  Returns -1 when even global
+/// block 0 is missing.  This is the Fig.-2b combination rule.
+///
+/// heads must point at k values.
+/// `from` is a lower-bound hint (a previously computed prefix); the scan
+/// resumes there, making repeated incremental calls O(new blocks) total.
+constexpr GlobalSeq combined_prefix(const SeqNum* heads, int k,
+                                    GlobalSeq from = -1) noexcept {
+  GlobalSeq best = from;
+  for (;;) {
+    const GlobalSeq g = best + 1;
+    const SubstreamId i = substream_of(g, k);
+    const SeqNum need = substream_seq_of(g, k);
+    if (heads[i] >= need) {
+      best = g;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace coolstream::core

@@ -1,0 +1,69 @@
+#include "core/sync_buffer.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace coolstream::core {
+
+SyncBuffer::SyncBuffer(int k)
+    : heads_(static_cast<std::size_t>(k), SeqNum{-1}),
+      ahead_(static_cast<std::size_t>(k)) {
+  assert(k >= 1);
+}
+
+bool SyncBuffer::insert(SubstreamId i, SeqNum seq) {
+  assert(i >= 0 && i < substream_count());
+  const auto idx = static_cast<std::size_t>(i);
+  SeqNum& head = heads_[idx];
+  if (seq <= head) return false;  // old or duplicate
+  auto& ahead = ahead_[idx];
+  if (seq == head + 1) {
+    ++head;
+    // Absorb any queued successors.
+    auto it = ahead.begin();
+    while (it != ahead.end() && *it == head + 1) {
+      ++head;
+      it = ahead.erase(it);
+    }
+  } else {
+    if (!ahead.insert(seq).second) return false;  // duplicate ahead block
+  }
+  ++received_;
+  recompute_combined();
+  return true;
+}
+
+SeqNum SyncBuffer::head(SubstreamId i) const {
+  assert(i >= 0 && i < substream_count());
+  return heads_[static_cast<std::size_t>(i)];
+}
+
+void SyncBuffer::start_at(SubstreamId i, SeqNum seq) {
+  assert(i >= 0 && i < substream_count());
+  const auto idx = static_cast<std::size_t>(i);
+  heads_[idx] = std::max(heads_[idx], seq - 1);
+  // Drop queued blocks now below the head.
+  auto& ahead = ahead_[idx];
+  ahead.erase(ahead.begin(), ahead.lower_bound(heads_[idx] + 1));
+}
+
+void SyncBuffer::set_combined_floor(GlobalSeq g) noexcept {
+  if (g > combined_) combined_ = g;
+  recompute_combined();
+}
+
+std::size_t SyncBuffer::pending(SubstreamId i) const {
+  assert(i >= 0 && i < substream_count());
+  return ahead_[static_cast<std::size_t>(i)].size();
+}
+
+SeqNum SyncBuffer::spread() const noexcept {
+  const auto [lo, hi] = std::minmax_element(heads_.begin(), heads_.end());
+  return *hi - *lo;
+}
+
+void SyncBuffer::recompute_combined() noexcept {
+  combined_ = combined_prefix(heads_.data(), substream_count(), combined_);
+}
+
+}  // namespace coolstream::core

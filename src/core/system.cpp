@@ -1,0 +1,398 @@
+#include "core/system.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "net/bandwidth.h"
+
+namespace coolstream::core {
+namespace {
+
+/// Pseudo node id used for latency draws on the client <-> boot-strap path.
+constexpr net::NodeId kBootstrapNodeId = net::kInvalidNode - 1;
+
+/// Per-connection credit cap (whole blocks) for the fluid data plane.
+constexpr double kMaxFlowCredit = 4.0;
+
+}  // namespace
+
+System::System(sim::Simulation& simulation, Params params,
+               SystemConfig config, logging::LogServer* log_server)
+    : sim_(simulation),
+      params_(params),
+      config_(config),
+      log_(log_server),
+      latency_model_(simulation.rng().next_u64(), config.latency),
+      transport_(simulation, latency_model_) {
+  params_.validate();
+}
+
+System::~System() { tick_handle_.cancel(); }
+
+void System::start() {
+  assert(!started_);
+  started_ = true;
+  for (int s = 0; s < config_.server_count; ++s) {
+    PeerSpec spec;
+    spec.user_id = 0;  // servers are infrastructure, not users
+    spec.kind = PeerKind::kServer;
+    spec.type = net::ConnectionType::kDirect;
+    spec.address = net::random_public_address(sim_.rng());
+    spec.upload_capacity_bps = config_.server_capacity_bps;
+    const net::NodeId id = static_cast<net::NodeId>(peers_.size());
+    peers_.push_back(
+        std::make_unique<Peer>(*this, id, spec, next_session_id_++, now()));
+    live_.push_back(id);
+    bootstrap_.add(id, now());
+    peers_.back()->start_join();
+  }
+  tick_handle_ = sim_.every(params_.flow_tick, params_.flow_tick,
+                            [this] { tick(); });
+}
+
+net::NodeId System::join(const PeerSpec& spec) {
+  assert(started_ && "call start() before join()");
+  assert(spec.kind == PeerKind::kViewer);
+  PeerSpec s = spec;
+  if (s.user_id == 0) s.user_id = next_user_auto_++;
+  const net::NodeId id = static_cast<net::NodeId>(peers_.size());
+  peers_.push_back(
+      std::make_unique<Peer>(*this, id, s, next_session_id_++, now()));
+  live_.push_back(id);
+  bootstrap_.add(id, now());
+  ++live_viewers_;
+  viewers_over_time_.add(now(), +1);
+  ++stats_.joins;
+  peers_.back()->start_join();
+  notify(id, SessionEvent::kJoined);
+  return id;
+}
+
+void System::leave(net::NodeId id, bool graceful) {
+  Peer* p = peer(id);
+  if (p == nullptr || !p->alive()) return;
+  assert(p->kind() == PeerKind::kViewer && "servers never leave");
+
+  if (graceful) {
+    logging::ActivityReport r;
+    r.header = {p->spec().user_id, p->session_id(), now()};
+    r.activity = logging::Activity::kLeave;
+    r.had_incoming = p->had_incoming();
+    r.had_outgoing = p->had_outgoing();
+    report(logging::Report(r));
+  }
+
+  // Notify partners (graceful FIN or TCP reset; either way partnerships
+  // break promptly).  Children of this node are among its partners, so the
+  // notification also triggers their parent reselection.
+  std::vector<net::NodeId> partner_ids;
+  partner_ids.reserve(p->partner_count());
+  for (const auto& ps : p->partners()) partner_ids.push_back(ps.id);
+  p->set_left();
+  for (net::NodeId q : partner_ids) {
+    if (Peer* qp = peer(q); qp != nullptr && qp->alive()) {
+      qp->on_partner_left(id);
+    }
+  }
+
+  bootstrap_.remove(id);
+  auto it = std::find(live_.begin(), live_.end(), id);
+  assert(it != live_.end());
+  *it = live_.back();
+  live_.pop_back();
+  --live_viewers_;
+  viewers_over_time_.add(now(), -1);
+  ++stats_.leaves;
+  notify(id, SessionEvent::kLeft);
+}
+
+bool System::is_live(net::NodeId id) const noexcept {
+  const Peer* p = peer(id);
+  return p != nullptr && p->alive();
+}
+
+Peer* System::peer(net::NodeId id) noexcept {
+  return id < peers_.size() ? peers_[id].get() : nullptr;
+}
+
+const Peer* System::peer(net::NodeId id) const noexcept {
+  return id < peers_.size() ? peers_[id].get() : nullptr;
+}
+
+int System::max_partners_of(const Peer& p) const noexcept {
+  if (p.kind() == PeerKind::kServer) return config_.server_max_partners;
+  // A viewer's partner budget scales with its uplink: beyond its own
+  // source partnerships it only accepts what its capacity can plausibly
+  // feed (each extra partner subscribes ~1.5 sub-streams on average).
+  // This is the admission-control role the paper assigns to M — "the
+  // parent will continue accepting new children as long as its total
+  // number of partners is less than the upper bound M" — with M set the
+  // only way a deployment can set it: per the peer's capacity.
+  const double substream_units =
+      p.spec().upload_capacity_bps / params_.substream_rate_bps();
+  const int budget = params_.initial_partner_target +
+                     static_cast<int>(std::ceil(substream_units / 1.5));
+  return std::clamp(budget, params_.initial_partner_target + 1,
+                    params_.max_partners);
+}
+
+bool System::is_reachable(net::NodeId id) const noexcept {
+  const Peer* p = peer(id);
+  return p != nullptr && net::accepts_inbound(p->spec().type);
+}
+
+SeqNum System::source_head(SubstreamId j, double t) const noexcept {
+  // Global blocks [0, G) have been produced by time t; sub-stream j holds
+  // those g with g mod K == j.
+  const auto produced = static_cast<GlobalSeq>(
+      std::floor(t * params_.block_rate));
+  if (produced <= j) return -1;
+  return (produced - 1 - j) / params_.substream_count;
+}
+
+// --------------------------------------------------------------------------
+// Protocol plumbing
+// --------------------------------------------------------------------------
+
+void System::request_bootstrap_list(net::NodeId requester) {
+  // Round trip to the boot-strap node; the list is sampled when the
+  // response is generated (server-side state at that instant).
+  const double rtt =
+      latency_model_.delay(requester, kBootstrapNodeId) * 2.0;
+  transport_.send(requester, kBootstrapNodeId, net::MessageKind::kGossip,
+                  [this, requester, rtt] {
+                    (void)rtt;
+                    Peer* p = peer(requester);
+                    if (p == nullptr || !p->alive()) return;
+                    const auto ids = bootstrap_.random_list(
+                        static_cast<std::size_t>(params_.bootstrap_list_size),
+                        requester, sim_.rng());
+                    std::vector<McacheEntry> entries;
+                    entries.reserve(ids.size());
+                    for (net::NodeId id : ids) {
+                      entries.push_back(McacheEntry{
+                          id, bootstrap_.joined_at(id), now(),
+                          is_reachable(id)});
+                    }
+                    p->on_bootstrap_list(entries);
+                  });
+}
+
+void System::attempt_partnership(net::NodeId from, net::NodeId to) {
+  transport_.send(from, to, net::MessageKind::kPartnership, [this, from, to] {
+    Peer* callee = peer(to);
+    Peer* caller = peer(from);
+    const bool accept =
+        callee != nullptr && callee->alive() && caller != nullptr &&
+        caller->alive() && net::accepts_inbound(callee->spec().type) &&
+        !callee->partners_full() && callee->find_partner(from) == nullptr;
+    if (accept) {
+      ++stats_.partnership_accepts;
+      callee->on_partnership_established(from, /*incoming=*/true);
+      transport_.send(to, from, net::MessageKind::kPartnership,
+                      [this, from, to] {
+                        Peer* c = peer(from);
+                        if (c == nullptr || !c->alive()) return;
+                        c->on_partnership_established(to, /*incoming=*/false);
+                      });
+    } else {
+      ++stats_.partnership_rejects;
+      transport_.send(to, from, net::MessageKind::kPartnership,
+                      [this, from, to] {
+                        Peer* c = peer(from);
+                        if (c == nullptr || !c->alive()) return;
+                        c->on_partnership_rejected(to);
+                      });
+    }
+  });
+}
+
+void System::push_bm(net::NodeId from, net::NodeId to, const BufferMap& bm) {
+  // Periodic BM exchange is modelled with zero latency (the exchange
+  // period, 1 s, dominates the tens-of-ms delivery delay); messages are
+  // still counted for control-overhead reporting.
+  transport_.count_only(net::MessageKind::kBufferMap);
+  Peer* dest = peer(to);
+  if (dest == nullptr || !dest->alive()) {
+    if (Peer* src = peer(from); src != nullptr && src->alive()) {
+      src->on_partner_left(to);  // lazily clean up half-open partnerships
+    }
+    return;
+  }
+  dest->on_bm_received(from, bm);
+}
+
+void System::subscribe(net::NodeId child, net::NodeId parent, SubstreamId j) {
+  ++stats_.subscriptions;
+  transport_.count_only(net::MessageKind::kSubscribe);
+  if (Peer* p = peer(parent); p != nullptr && p->alive()) {
+    p->on_subscribe(child, j);
+  }
+}
+
+void System::unsubscribe(net::NodeId child, net::NodeId parent,
+                         SubstreamId j) {
+  transport_.count_only(net::MessageKind::kSubscribe);
+  if (Peer* p = peer(parent); p != nullptr && p->alive()) {
+    p->on_unsubscribe(child, j);
+  }
+}
+
+void System::send_gossip(net::NodeId from, net::NodeId to,
+                         std::vector<McacheEntry> entries) {
+  transport_.send(from, to, net::MessageKind::kGossip,
+                  [this, to, entries = std::move(entries)] {
+                    if (Peer* p = peer(to); p != nullptr && p->alive()) {
+                      p->on_gossip(entries);
+                    }
+                  });
+}
+
+void System::break_partnership(net::NodeId a, net::NodeId b) {
+  transport_.count_only(net::MessageKind::kPartnership);
+  if (Peer* pa = peer(a); pa != nullptr && pa->alive()) pa->on_partner_left(b);
+  if (Peer* pb = peer(b); pb != nullptr && pb->alive()) pb->on_partner_left(a);
+}
+
+void System::report(const logging::Report& r) {
+  transport_.count_only(net::MessageKind::kReport);
+  if (log_ != nullptr) log_->submit(r);
+}
+
+void System::notify(net::NodeId id, SessionEvent event) {
+  if (observer) observer(id, event);
+}
+
+// --------------------------------------------------------------------------
+// Data plane
+// --------------------------------------------------------------------------
+
+void System::tick() {
+  flow_transfer(params_.flow_tick);
+  // Protocol timers run after data movement so BMs reflect this tick's
+  // arrivals.  Iterate a stable copy: on_tick can trigger leaves of *other*
+  // nodes only indirectly (it never calls System::leave), but partner lists
+  // mutate freely.
+  const double t = now();
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    Peer* p = peer(live_[i]);
+    if (p != nullptr && p->alive()) p->on_tick(t);
+  }
+}
+
+void System::flow_transfer(double dt) {
+  const double sub_rate = params_.substream_block_rate();
+  const double catchup_cap = params_.max_catchup_factor * sub_rate;
+  const auto block_bytes =
+      static_cast<std::uint64_t>(params_.block_size_bits() / 8.0);
+
+  for (net::NodeId id : live_) {
+    Peer* parent = peer(id);
+    if (parent == nullptr || !parent->alive()) continue;
+    auto& links = parent->out_links();
+    if (links.empty()) continue;
+
+    // Demands per outgoing sub-stream connection (blocks/s).
+    demand_scratch_.assign(links.size(), 0.0);
+    bool any_stale = false;
+    for (std::size_t k = 0; k < links.size(); ++k) {
+      const OutLink& l = links[k];
+      Peer* child = peer(l.child);
+      if (child == nullptr || !child->alive() ||
+          child->parent_of(l.substream) != id) {
+        any_stale = true;
+        continue;  // demand stays 0; link compacted below
+      }
+      const SeqNum backlog =
+          parent->head(l.substream) - child->head(l.substream);
+      if (backlog <= 0) {
+        demand_scratch_[k] = sub_rate;
+      } else {
+        demand_scratch_[k] =
+            std::min(static_cast<double>(backlog) / dt + sub_rate,
+                     catchup_cap);
+      }
+    }
+
+    const auto rates =
+        config_.allocation == AllocationPolicy::kMaxMinFair
+            ? net::max_min_fair(parent->upload_blocks_per_sec(),
+                                demand_scratch_)
+            : net::equal_share(parent->upload_blocks_per_sec(),
+                               demand_scratch_);
+
+    for (std::size_t k = 0; k < links.size(); ++k) {
+      if (rates[k] <= 0.0) continue;
+      const OutLink& l = links[k];
+      Peer* child = peer(l.child);
+      if (child == nullptr || !child->alive()) continue;
+      double& credit = child->credit(l.substream);
+      credit = std::min(credit + rates[k] * dt, kMaxFlowCredit);
+
+      const SeqNum parent_head = parent->head(l.substream);
+      // Blocks already past the child's playback deadline are not "in
+      // need" (§IV-B) and are never pushed; jump the child forward.
+      const SeqNum dead = child->deadline_floor(l.substream);
+      if (child->head(l.substream) < dead) {
+        child->count_deadline_skip();
+        child->sync().start_at(l.substream, dead + 1);
+      }
+      while (credit >= 1.0 && child->head(l.substream) < parent_head) {
+        SeqNum next = child->head(l.substream) + 1;
+        const SeqNum oldest = parent->cache().oldest(parent_head);
+        if (next < oldest) {
+          // The child fell behind the parent's cache window: the missing
+          // range is gone (pushed out by playout) and must be skipped.
+          child->handle_window_gap(l.substream, oldest);
+          next = child->head(l.substream) + 1;
+          if (next > parent_head) break;
+        }
+        child->sync().insert(l.substream, next);
+        credit -= 1.0;
+        ++stats_.blocks_transferred;
+        parent->add_bytes_up(block_bytes);
+        child->add_bytes_down(block_bytes);
+      }
+    }
+
+    if (any_stale) {
+      std::erase_if(links, [this, id](const OutLink& l) {
+        const Peer* child = peer(l.child);
+        return child == nullptr || !child->alive() ||
+               child->parent_of(l.substream) != id;
+      });
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Snapshot
+// --------------------------------------------------------------------------
+
+net::TopologySnapshot System::snapshot() const {
+  net::TopologySnapshot snap;
+  snap.time = sim_.now();
+  snap.nodes.reserve(live_.size());
+  for (net::NodeId id : live_) {
+    const Peer* p = peer(id);
+    if (p == nullptr || !p->alive()) continue;
+    net::SnapshotNode node;
+    node.id = id;
+    node.type = p->spec().type;
+    node.is_server = p->kind() == PeerKind::kServer;
+    node.upload_capacity_bps = p->spec().upload_capacity_bps;
+    node.parents.reserve(
+        static_cast<std::size_t>(params_.substream_count));
+    for (int j = 0; j < params_.substream_count; ++j) {
+      node.parents.push_back(p->parent_of(j));
+    }
+    node.partners.reserve(p->partner_count());
+    for (const auto& ps : p->partners()) node.partners.push_back(ps.id);
+    snap.nodes.push_back(std::move(node));
+  }
+  snap.compute_depths();
+  return snap;
+}
+
+}  // namespace coolstream::core

@@ -1,0 +1,184 @@
+// The System: glue between the simulator, the network substrate, the
+// protocol peers, the data-plane fluid model, and the measurement pipeline.
+//
+// One System instance is one broadcast channel: it owns the dedicated
+// servers, the boot-strap node, every peer that ever joined, and the global
+// tick that drives block transfer and protocol timers.  Workload drivers
+// call join()/leave(); everything else is protocol behaviour.
+//
+// Data plane.  Block transfer uses a discrete-time fluid model (period
+// Params::flow_tick): each parent divides its upload capacity max-min
+// fairly across its outgoing sub-stream connections; a connection's demand
+// is the sub-stream rate R/K while the child is caught up and rises toward
+// Params::max_catchup_factor * R/K during catch-up.  Credits accumulate per
+// connection and materialize as whole blocks pushed in order — so Eq. (3)
+// (catch-up), Eq. (4) (abandon) and Eq. (5) (competition rate) hold at the
+// transport layer by construction, and the protocol reacts exactly as
+// §IV-B describes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/bootstrap.h"
+#include "core/mcache.h"
+#include "core/params.h"
+#include "core/peer.h"
+#include "logging/log_server.h"
+#include "net/latency.h"
+#include "net/topology.h"
+#include "net/transport.h"
+#include "sim/simulation.h"
+#include "sim/time_series.h"
+
+namespace coolstream::core {
+
+/// Uplink sharing policy of the data plane (ablation: §V-E's "system
+/// capacity" factor depends on how well uplinks are used).
+enum class AllocationPolicy : unsigned char {
+  kMaxMinFair = 0,  ///< progressive filling; surplus is redistributed
+  kEqualShare = 1,  ///< naive per-connection split; surplus can be wasted
+};
+
+/// Deployment-level configuration (everything that is not a Table-I
+/// protocol parameter).
+struct SystemConfig {
+  int server_count = 24;                 ///< dedicated servers (§V-A)
+  double server_capacity_bps = 100e6;    ///< 100 Mbps each (§V-A)
+  int server_max_partners = 50;          ///< servers accept more partners
+  double server_lag = 0.2;               ///< encoder -> server delay, s
+  McachePolicy mcache_policy = McachePolicy::kRandomReplace;
+  AllocationPolicy allocation = AllocationPolicy::kMaxMinFair;
+  net::LatencyParams latency;            ///< control-plane delays
+  /// How long a joining node aggregates partner BMs before choosing its
+  /// initial sequence offset (§IV-A).
+  double join_aggregation_delay = 1.0;
+  /// Viewers' download capacity is modelled as unconstrained (uplink is
+  /// the era's bottleneck) unless this is set to a positive bps value.
+  double download_capacity_bps = 0.0;
+};
+
+/// Session milestones surfaced to workload drivers.
+enum class SessionEvent : unsigned char {
+  kJoined = 0,
+  kStartSubscription = 1,
+  kMediaReady = 2,
+  kLeft = 3,
+};
+
+/// Aggregate counters for benches.
+struct SystemStats {
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t partnership_accepts = 0;
+  std::uint64_t partnership_rejects = 0;
+  std::uint64_t subscriptions = 0;
+  std::uint64_t blocks_transferred = 0;
+};
+
+/// One broadcast channel.
+class System {
+ public:
+  System(sim::Simulation& simulation, Params params, SystemConfig config,
+         logging::LogServer* log_server);
+  ~System();
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /// Creates the dedicated servers and starts the global tick.  Call once
+  /// before the first join.
+  void start();
+
+  /// Adds a viewer; the peer immediately begins the §IV-A join process.
+  /// Returns its node id.
+  net::NodeId join(const PeerSpec& spec);
+
+  /// Removes a node.  `graceful` leaves emit a leave activity report and
+  /// notify partners; crashes notify partners (TCP reset) but report
+  /// nothing — their sessions stay open in the log, as in the real trace.
+  void leave(net::NodeId id, bool graceful = true);
+
+  bool is_live(net::NodeId id) const noexcept;
+  Peer* peer(net::NodeId id) noexcept;
+  const Peer* peer(net::NodeId id) const noexcept;
+  /// Live viewers right now (excludes servers).
+  std::size_t live_viewer_count() const noexcept { return live_viewers_; }
+
+  /// Full overlay snapshot for Fig.-4-style structural analysis.
+  net::TopologySnapshot snapshot() const;
+
+  // --- accessors -----------------------------------------------------------
+  sim::Simulation& simulation() noexcept { return sim_; }
+  const Params& params() const noexcept { return params_; }
+  const SystemConfig& config() const noexcept { return config_; }
+  BootstrapServer& bootstrap() noexcept { return bootstrap_; }
+  net::Transport& transport() noexcept { return transport_; }
+  logging::LogServer* log_server() noexcept { return log_; }
+  const SystemStats& stats() const noexcept { return stats_; }
+  const sim::StepCounter& concurrent_viewers() const noexcept {
+    return viewers_over_time_;
+  }
+
+  /// Observer for session milestones (set by workload drivers).
+  std::function<void(net::NodeId, SessionEvent)> observer;
+
+  // --- services used by Peer (protocol plumbing) ---------------------------
+  double now() const noexcept { return sim_.now(); }
+  sim::Rng& rng() noexcept { return sim_.rng(); }
+  /// Sends the boot-strap list request/response round trip.
+  void request_bootstrap_list(net::NodeId requester);
+  /// Initiates a partnership attempt (latency-delayed; §III-B).
+  void attempt_partnership(net::NodeId from, net::NodeId to);
+  /// Pushes `bm` (built by `from`) into `to`'s view of `from` (periodic BM
+  /// exchange; modelled with zero latency, counted for overhead).
+  void push_bm(net::NodeId from, net::NodeId to, const BufferMap& bm);
+  /// Sub-stream subscription management (child -> parent).
+  void subscribe(net::NodeId child, net::NodeId parent, SubstreamId j);
+  void unsubscribe(net::NodeId child, net::NodeId parent, SubstreamId j);
+  /// Gossip push of membership entries.
+  void send_gossip(net::NodeId from, net::NodeId to,
+                   std::vector<McacheEntry> entries);
+  /// Drops the partnership between two nodes (both sides notified).
+  void break_partnership(net::NodeId a, net::NodeId b);
+  /// Files a report with the log server (no-op when none attached).
+  void report(const logging::Report& r);
+  /// Session milestones, called by Peer.
+  void notify(net::NodeId id, SessionEvent event);
+  /// Max partner count for a node (M for viewers, server override).
+  int max_partners_of(const Peer& p) const noexcept;
+  /// Whether `id` accepts inbound connections — what a peer infers from
+  /// the advertised address class (public / UPnP-mapped vs plain NAT).
+  bool is_reachable(net::NodeId id) const noexcept;
+  /// Encoder position: contiguous head of sub-stream `j` at time `t`
+  /// (servers lag this by config().server_lag).
+  SeqNum source_head(SubstreamId j, double t) const noexcept;
+
+ private:
+  void tick();
+  void flow_transfer(double dt);
+
+  sim::Simulation& sim_;
+  Params params_;
+  SystemConfig config_;
+  logging::LogServer* log_;
+  net::LatencyModel latency_model_;
+  net::Transport transport_;
+  BootstrapServer bootstrap_;
+  std::vector<std::unique_ptr<Peer>> peers_;
+  std::vector<net::NodeId> live_;  ///< ids of live nodes, join order
+  std::size_t live_viewers_ = 0;
+  std::uint64_t next_session_id_ = 1;
+  std::uint64_t next_user_auto_ = 1'000'000'000ULL;
+  sim::StepCounter viewers_over_time_;
+  SystemStats stats_;
+  sim::EventHandle tick_handle_;
+  bool started_ = false;
+
+  // scratch buffers reused by flow_transfer to avoid per-tick allocation
+  std::vector<double> demand_scratch_;
+};
+
+}  // namespace coolstream::core

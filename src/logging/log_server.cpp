@@ -1,0 +1,47 @@
+#include "logging/log_server.h"
+
+#include <fstream>
+
+namespace coolstream::logging {
+
+void LogServer::submit(const Report& report) {
+  lines_.push_back(serialize(report));
+}
+
+void LogServer::submit_raw(std::string line) {
+  lines_.push_back(std::move(line));
+}
+
+std::vector<Report> LogServer::parse_all(std::size_t* malformed) const {
+  std::vector<Report> reports;
+  reports.reserve(lines_.size());
+  std::size_t bad = 0;
+  for (const auto& line : lines_) {
+    if (auto report = parse_report(line)) {
+      reports.push_back(std::move(*report));
+    } else {
+      ++bad;
+    }
+  }
+  if (malformed != nullptr) *malformed = bad;
+  return reports;
+}
+
+bool LogServer::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (const auto& line : lines_) out << line << '\n';
+  return static_cast<bool>(out);
+}
+
+bool LogServer::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines_.push_back(line);
+  }
+  return true;
+}
+
+}  // namespace coolstream::logging

@@ -1,0 +1,51 @@
+// The log server.
+//
+// "We placed a dedicated log server in the system.  Each user reports its
+// activities to the log server including events and internal status
+// periodically. ... The log server stores the reports received from peers
+// into a log file." (§V-A)
+//
+// The server stores raw log strings, exactly as received; everything
+// downstream (session reconstruction, figures) works from the parsed log,
+// never from simulator ground truth.  Logs can be saved to / loaded from
+// disk so examples can replay a previously recorded broadcast.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logging/reports.h"
+
+namespace coolstream::logging {
+
+/// Collects log strings from clients.
+class LogServer {
+ public:
+  /// Serializes and stores a typed report.
+  void submit(const Report& report);
+
+  /// Stores a raw log line (used when replaying a file).
+  void submit_raw(std::string line);
+
+  /// All stored log lines in arrival order.
+  const std::vector<std::string>& lines() const noexcept { return lines_; }
+
+  std::size_t size() const noexcept { return lines_.size(); }
+  bool empty() const noexcept { return lines_.empty(); }
+
+  /// Parses every stored line.  Malformed lines are skipped and counted in
+  /// `malformed` (if non-null).
+  std::vector<Report> parse_all(std::size_t* malformed = nullptr) const;
+
+  /// Writes one log line per row to `path`.  Returns false on I/O error.
+  bool save(const std::string& path) const;
+
+  /// Appends the lines of the file at `path`.  Returns false on I/O error.
+  bool load(const std::string& path);
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+}  // namespace coolstream::logging

@@ -1,0 +1,102 @@
+#include "logging/log_string.h"
+
+#include <cctype>
+
+namespace coolstream::logging {
+namespace {
+
+bool is_unreserved(char c) noexcept {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+         (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '~' ||
+         c == '-';
+}
+
+int hex_value(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+constexpr char kHexDigits[] = "0123456789ABCDEF";
+
+}  // namespace
+
+std::string url_encode(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (is_unreserved(c)) {
+      out.push_back(c);
+    } else {
+      const auto byte = static_cast<unsigned char>(c);
+      out.push_back('%');
+      out.push_back(kHexDigits[byte >> 4]);
+      out.push_back(kHexDigits[byte & 0xf]);
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> url_decode(std::string_view encoded) {
+  std::string out;
+  out.reserve(encoded.size());
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    const char c = encoded[i];
+    if (c == '%') {
+      if (i + 2 >= encoded.size()) return std::nullopt;
+      const int hi = hex_value(encoded[i + 1]);
+      const int lo = hex_value(encoded[i + 2]);
+      if (hi < 0 || lo < 0) return std::nullopt;
+      out.push_back(static_cast<char>((hi << 4) | lo));
+      i += 2;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string encode_fields(const FieldList& fields) {
+  std::string out;
+  bool first = true;
+  for (const auto& [name, value] : fields) {
+    if (!first) out.push_back('&');
+    first = false;
+    out += url_encode(name);
+    out.push_back('=');
+    out += url_encode(value);
+  }
+  return out;
+}
+
+std::optional<FieldList> decode_fields(std::string_view line) {
+  FieldList fields;
+  if (line.empty()) return fields;
+  std::size_t pos = 0;
+  while (pos <= line.size()) {
+    const std::size_t amp = line.find('&', pos);
+    const std::string_view pair = line.substr(
+        pos, amp == std::string_view::npos ? std::string_view::npos
+                                           : amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    auto name = url_decode(pair.substr(0, eq));
+    auto value = url_decode(pair.substr(eq + 1));
+    if (!name || !value) return std::nullopt;
+    fields.emplace_back(std::move(*name), std::move(*value));
+    if (amp == std::string_view::npos) break;
+    pos = amp + 1;
+  }
+  return fields;
+}
+
+std::optional<std::string_view> find_field(const FieldList& fields,
+                                           std::string_view name) {
+  for (const auto& [n, v] : fields) {
+    if (n == name) return std::string_view(v);
+  }
+  return std::nullopt;
+}
+
+}  // namespace coolstream::logging

@@ -1,0 +1,41 @@
+// Log-string encoding.
+//
+// The paper's clients report to the log server over HTTP: "Each log entry
+// ... is a normal HTTP request URL string ... The information from a peer is
+// compacted into several parameter parts of the URL string", formed as
+// "name=value" pairs separated by '&' (§V-A).  This module implements that
+// wire format: percent-encoding of reserved characters, ordered field lists,
+// and strict decoding with error reporting.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace coolstream::logging {
+
+/// Ordered list of name=value fields.  Order is preserved because the log
+/// format (like a URL query string) is order-sensitive for readability and
+/// for byte-identical round trips.
+using FieldList = std::vector<std::pair<std::string, std::string>>;
+
+/// Percent-encodes characters outside [A-Za-z0-9._~-] (RFC 3986 unreserved).
+std::string url_encode(std::string_view raw);
+
+/// Decodes percent-escapes.  Returns nullopt on malformed escapes.
+std::optional<std::string> url_decode(std::string_view encoded);
+
+/// Serializes fields as "a=1&b=2" with both names and values encoded.
+std::string encode_fields(const FieldList& fields);
+
+/// Parses "a=1&b=2" back into fields.  Returns nullopt on malformed input
+/// (missing '=', bad escape).  Empty input yields an empty list.
+std::optional<FieldList> decode_fields(std::string_view line);
+
+/// First value for `name` in `fields`, if present.
+std::optional<std::string_view> find_field(const FieldList& fields,
+                                           std::string_view name);
+
+}  // namespace coolstream::logging

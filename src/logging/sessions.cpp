@@ -1,0 +1,168 @@
+#include "logging/sessions.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "net/address.h"
+
+namespace coolstream::logging {
+
+bool SessionRecord::is_normal() const noexcept {
+  if (!join_time || !start_subscription_time_abs || !media_ready_time_abs ||
+      !leave_time) {
+    return false;
+  }
+  return *join_time <= *start_subscription_time_abs &&
+         *start_subscription_time_abs <= *media_ready_time_abs &&
+         *media_ready_time_abs <= *leave_time;
+}
+
+std::optional<double> SessionRecord::duration() const noexcept {
+  if (!join_time || !leave_time) return std::nullopt;
+  return *leave_time - *join_time;
+}
+
+std::optional<double> SessionRecord::start_subscription_delay()
+    const noexcept {
+  if (!join_time || !start_subscription_time_abs) return std::nullopt;
+  return *start_subscription_time_abs - *join_time;
+}
+
+std::optional<double> SessionRecord::media_ready_delay() const noexcept {
+  if (!join_time || !media_ready_time_abs) return std::nullopt;
+  return *media_ready_time_abs - *join_time;
+}
+
+std::optional<double> SessionRecord::buffering_delay() const noexcept {
+  if (!start_subscription_time_abs || !media_ready_time_abs) {
+    return std::nullopt;
+  }
+  return *media_ready_time_abs - *start_subscription_time_abs;
+}
+
+std::optional<double> SessionRecord::continuity() const noexcept {
+  std::uint64_t due = 0;
+  std::uint64_t on_time = 0;
+  for (const auto& q : qos) {
+    due += q.blocks_due;
+    on_time += q.blocks_on_time;
+  }
+  if (due == 0) return std::nullopt;
+  return static_cast<double>(on_time) / static_cast<double>(due);
+}
+
+net::ConnectionType SessionRecord::observed_type() const noexcept {
+  return net::classify_observed(private_address, had_incoming, had_outgoing);
+}
+
+SessionLog reconstruct_sessions(std::span<const Report> reports) {
+  SessionLog out;
+  std::unordered_map<std::uint64_t, std::size_t> by_session;
+
+  auto record_for = [&](const ReportHeader& header) -> SessionRecord& {
+    auto [it, inserted] =
+        by_session.try_emplace(header.session_id, out.sessions.size());
+    if (inserted) {
+      out.sessions.emplace_back();
+      out.sessions.back().user_id = header.user_id;
+      out.sessions.back().session_id = header.session_id;
+    }
+    return out.sessions[it->second];
+  };
+
+  for (const auto& report : reports) {
+    std::visit(
+        [&](const auto& r) {
+          using T = std::decay_t<decltype(r)>;
+          SessionRecord& s = record_for(r.header);
+          if constexpr (std::is_same_v<T, ActivityReport>) {
+            switch (r.activity) {
+              case Activity::kJoin:
+                s.join_time = r.header.time;
+                s.address = r.address;
+                if (net::Ipv4Address addr;
+                    net::Ipv4Address::parse(r.address, addr)) {
+                  s.private_address = addr.is_private();
+                }
+                break;
+              case Activity::kStartSubscription:
+                s.start_subscription_time_abs = r.header.time;
+                break;
+              case Activity::kMediaPlayerReady:
+                s.media_ready_time_abs = r.header.time;
+                break;
+              case Activity::kLeave:
+                s.leave_time = r.header.time;
+                s.had_incoming = r.had_incoming;
+                s.had_outgoing = r.had_outgoing;
+                break;
+            }
+          } else if constexpr (std::is_same_v<T, QosReport>) {
+            s.qos.push_back(SessionRecord::QosSample{
+                r.header.time, r.blocks_due, r.blocks_on_time});
+          } else if constexpr (std::is_same_v<T, TrafficReport>) {
+            s.bytes_down += r.bytes_down;
+            s.bytes_up += r.bytes_up;
+          } else if constexpr (std::is_same_v<T, PartnerReport>) {
+            s.partner_changes +=
+                static_cast<std::uint32_t>(r.changes.size());
+            // Partnership directions also feed the §V-B classification:
+            // without this, sessions still open at collection time (no
+            // leave report yet) would all look like outgoing-only peers.
+            for (const auto& c : r.changes) {
+              if (!c.added) continue;
+              if (c.incoming) {
+                s.had_incoming = true;
+              } else {
+                s.had_outgoing = true;
+              }
+            }
+          }
+        },
+        report);
+  }
+
+  // Order sessions by join time (sessions without a join sort last by
+  // session id for determinism).
+  std::sort(out.sessions.begin(), out.sessions.end(),
+            [](const SessionRecord& a, const SessionRecord& b) {
+              const double ta =
+                  a.join_time.value_or(std::numeric_limits<double>::max());
+              const double tb =
+                  b.join_time.value_or(std::numeric_limits<double>::max());
+              if (ta != tb) return ta < tb;
+              return a.session_id < b.session_id;
+            });
+
+  // Group by user.
+  std::unordered_map<std::uint64_t, std::size_t> by_user;
+  for (std::size_t i = 0; i < out.sessions.size(); ++i) {
+    const auto& s = out.sessions[i];
+    auto [it, inserted] = by_user.try_emplace(s.user_id, out.users.size());
+    if (inserted) {
+      out.users.emplace_back();
+      out.users.back().user_id = s.user_id;
+    }
+    out.users[it->second].session_indices.push_back(i);
+  }
+  std::sort(out.users.begin(), out.users.end(),
+            [](const UserRecord& a, const UserRecord& b) {
+              return a.user_id < b.user_id;
+            });
+
+  for (auto& user : out.users) {
+    std::uint32_t failures = 0;
+    for (std::size_t idx : user.session_indices) {
+      if (out.sessions[idx].media_ready_time_abs) {
+        user.ever_succeeded = true;
+        break;
+      }
+      ++failures;
+    }
+    user.retries_before_success = failures;
+  }
+  return out;
+}
+
+}  // namespace coolstream::logging

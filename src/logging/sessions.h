@@ -1,0 +1,92 @@
+// Session reconstruction from parsed logs (§V-C of the paper).
+//
+// "The session captures a user activity when a user joins the system until
+// it leaves the system. ... For a normal session, the sequences of reported
+// events include: (1) join event, (2) start subscription event, (3) media
+// player ready event, and (4) leave event."
+//
+// This module groups reports by session id, derives the paper's session
+// metrics (session duration, start-subscription time, media-player-ready
+// time) and the per-user retry counts behind Fig. 10b.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "logging/reports.h"
+#include "net/connectivity.h"
+
+namespace coolstream::logging {
+
+/// Everything the log knows about one session.
+struct SessionRecord {
+  std::uint64_t user_id = 0;
+  std::uint64_t session_id = 0;
+
+  std::optional<double> join_time;
+  std::optional<double> start_subscription_time_abs;
+  std::optional<double> media_ready_time_abs;
+  std::optional<double> leave_time;
+
+  std::string address;         ///< reported on join
+  bool private_address = false;
+  bool had_incoming = false;   ///< from the leave report
+  bool had_outgoing = false;
+
+  /// QoS samples: (report time, blocks due, blocks on time).
+  struct QosSample {
+    double time = 0.0;
+    std::uint64_t blocks_due = 0;
+    std::uint64_t blocks_on_time = 0;
+  };
+  std::vector<QosSample> qos;
+
+  std::uint64_t bytes_down = 0;  ///< summed over traffic reports
+  std::uint64_t bytes_up = 0;
+  std::uint32_t partner_changes = 0;
+
+  /// All four events present in causal order.
+  bool is_normal() const noexcept;
+
+  /// join -> leave, if both present.
+  std::optional<double> duration() const noexcept;
+  /// join -> start subscription, if both present.
+  std::optional<double> start_subscription_delay() const noexcept;
+  /// join -> media player ready, if both present.
+  std::optional<double> media_ready_delay() const noexcept;
+  /// start subscription -> media player ready (buffer fill time).
+  std::optional<double> buffering_delay() const noexcept;
+
+  /// Continuity index aggregated over all QoS samples of the session;
+  /// nullopt when the session produced no QoS report.
+  std::optional<double> continuity() const noexcept;
+
+  /// Observed connection type per the paper's classification.  Uses the
+  /// join address and the leave report's partner-direction flags.
+  net::ConnectionType observed_type() const noexcept;
+};
+
+/// All sessions of one user, in join order.
+struct UserRecord {
+  std::uint64_t user_id = 0;
+  std::vector<std::size_t> session_indices;  ///< into the session vector
+
+  /// Number of abortive attempts before the first session that reached
+  /// media-player-ready; equals total sessions when none succeeded.
+  std::uint32_t retries_before_success = 0;
+  bool ever_succeeded = false;
+};
+
+/// Result of reconstructing a log.
+struct SessionLog {
+  std::vector<SessionRecord> sessions;  ///< ordered by join time
+  std::vector<UserRecord> users;        ///< ordered by user id
+};
+
+/// Groups reports into sessions and users.  Reports with session ids that
+/// never reported a join still produce (partial) records.
+SessionLog reconstruct_sessions(std::span<const Report> reports);
+
+}  // namespace coolstream::logging

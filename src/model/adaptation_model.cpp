@@ -1,0 +1,63 @@
+#include "model/adaptation_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace coolstream::model {
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+double catch_up_time(double deficit_blocks, double upload_rate,
+                     const StreamRates& rates) noexcept {
+  assert(deficit_blocks >= 0.0);
+  const double margin = upload_rate - rates.substream_rate();
+  if (margin <= 0.0) return kInf;
+  return deficit_blocks / margin;
+}
+
+double abandon_time(double slack_blocks, double download_rate,
+                    const StreamRates& rates) noexcept {
+  assert(slack_blocks >= 0.0);
+  const double shortfall = rates.substream_rate() - download_rate;
+  if (shortfall <= 0.0) return kInf;
+  return slack_blocks / shortfall;
+}
+
+double competition_rate(int parent_degree,
+                        const StreamRates& rates) noexcept {
+  assert(parent_degree >= 1);
+  return static_cast<double>(parent_degree) /
+         static_cast<double>(parent_degree + 1) * rates.substream_rate();
+}
+
+double lose_time(int parent_degree, double ts_blocks, double t_delta_blocks,
+                 const StreamRates& rates) noexcept {
+  assert(ts_blocks >= t_delta_blocks);
+  // (T_s - t_delta) = R/K * t - D/(D+1) * R/K * t  =>
+  // t = (D+1)(T_s - t_delta) / (R/K).
+  return static_cast<double>(parent_degree + 1) *
+         (ts_blocks - t_delta_blocks) / rates.substream_rate();
+}
+
+double lose_slack_threshold(int parent_degree, double ts_blocks,
+                            double ta_seconds,
+                            const StreamRates& rates) noexcept {
+  return ts_blocks - ta_seconds * rates.substream_rate() /
+                         static_cast<double>(parent_degree + 1);
+}
+
+double lose_probability_uniform_slack(int parent_degree, double ts_blocks,
+                                      double ta_seconds,
+                                      const StreamRates& rates) noexcept {
+  assert(ts_blocks > 0.0);
+  const double threshold =
+      lose_slack_threshold(parent_degree, ts_blocks, ta_seconds, rates);
+  // P(t_delta >= threshold) with initial lag t_delta ~ U[0, T_s].
+  if (threshold <= 0.0) return 1.0;
+  if (threshold >= ts_blocks) return 0.0;
+  return 1.0 - threshold / ts_blocks;
+}
+
+}  // namespace coolstream::model

@@ -1,0 +1,65 @@
+// Closed-form system-dynamics model of §IV-C.
+//
+// The paper derives, for a parent p pushing one sub-stream to a child q:
+//   Eq. (3)  catch-up time   t_up  = l / (r_up - R/K),   r_up  > R/K
+//   Eq. (4)  abandon time    t_down= l / (R/K - r_down), r_down< R/K
+//   Eq. (5)  post-subscription rate r_down = D_p/(D_p+1) * R/K
+//   Eq. (6)  P(child loses the competition within the cool-down T_a)
+//            = P( t_delta >= T_s - T_a * (R/K) / (D_p + 1) )
+// where l is the initial block deficit, D_p the parent's sub-stream degree
+// and t_delta the child's initial lag (sequence-number deviation) in blocks.
+//
+// Rates here are expressed in blocks/second and thresholds in blocks, so
+// the formulas can be compared 1:1 against the simulator's fluid data
+// plane (bench_model_validation does exactly that).
+#pragma once
+
+namespace coolstream::model {
+
+/// Inputs shared by the §IV-C formulas.
+struct StreamRates {
+  double stream_block_rate = 8.0;  ///< R in blocks/s (global)
+  int substream_count = 4;         ///< K
+
+  /// R/K in blocks/s: the rate one sub-stream must sustain.
+  double substream_rate() const noexcept {
+    return stream_block_rate / substream_count;
+  }
+};
+
+/// Eq. (3): time for a child `l` blocks behind to catch up when receiving
+/// at `upload_rate` blocks/s (> R/K).  Returns +inf when the rate cannot
+/// support catch-up.
+double catch_up_time(double deficit_blocks, double upload_rate,
+                     const StreamRates& rates) noexcept;
+
+/// Eq. (4): time until a child with `slack_blocks` of remaining slack (T_s minus current lag) falls
+/// T_s behind, when receiving at `download_rate` blocks/s (< R/K).
+/// `slack_blocks` is l in the paper.  Returns +inf when the rate keeps up.
+double abandon_time(double slack_blocks, double download_rate,
+                    const StreamRates& rates) noexcept;
+
+/// Eq. (5): per-connection rate after a (D_p+1)-th child subscribes to a
+/// parent whose capacity exactly covered D_p sub-streams.
+double competition_rate(int parent_degree, const StreamRates& rates) noexcept;
+
+/// t_lose of §IV-C: time for a child whose sub-stream already lags by `t_delta_blocks`
+/// to violate Inequality (1) (threshold `ts_blocks`) under Eq.-(5)
+/// competition at a parent of degree D_p.
+double lose_time(int parent_degree, double ts_blocks, double t_delta_blocks,
+                 const StreamRates& rates) noexcept;
+
+/// Eq. (6) under the natural assumption that the initial lag t_delta is
+/// uniform on [0, T_s]: probability that the child loses the competition
+/// within the cool-down period T_a.
+double lose_probability_uniform_slack(int parent_degree, double ts_blocks,
+                                      double ta_seconds,
+                                      const StreamRates& rates) noexcept;
+
+/// The lag threshold inside Eq. (6): T_s - T_a * (R/K) / (D_p + 1), in
+/// blocks.  A child lagging at least this much loses within the cool-down.
+double lose_slack_threshold(int parent_degree, double ts_blocks,
+                            double ta_seconds,
+                            const StreamRates& rates) noexcept;
+
+}  // namespace coolstream::model

@@ -1,0 +1,57 @@
+#include "model/capacity_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace coolstream::model {
+
+double total_supply_bps(const CapacityInputs& in) noexcept {
+  const double n = static_cast<double>(in.peers);
+  const double mean_upload =
+      in.capable_fraction * in.capable_upload_bps +
+      (1.0 - in.capable_fraction) * in.weak_upload_bps;
+  return in.server_capacity_bps + n * mean_upload;
+}
+
+double resource_index(const CapacityInputs& in) noexcept {
+  assert(in.stream_rate_bps > 0.0);
+  if (in.peers == 0) return std::numeric_limits<double>::infinity();
+  return total_supply_bps(in) /
+         (static_cast<double>(in.peers) * in.stream_rate_bps);
+}
+
+double continuity_upper_bound(const CapacityInputs& in) noexcept {
+  return std::min(1.0, resource_index(in));
+}
+
+std::size_t max_supported_peers(const CapacityInputs& in) noexcept {
+  const double mean_upload =
+      in.capable_fraction * in.capable_upload_bps +
+      (1.0 - in.capable_fraction) * in.weak_upload_bps;
+  if (mean_upload >= in.stream_rate_bps) {
+    // Every new peer brings at least what it consumes: self-scaling.
+    return std::numeric_limits<std::size_t>::max();
+  }
+  // N * R <= S + N * u  =>  N <= S / (R - u).
+  const double n = in.server_capacity_bps /
+                   (in.stream_rate_bps - mean_upload);
+  return static_cast<std::size_t>(std::max(0.0, n));
+}
+
+double critical_capable_fraction(const CapacityInputs& in) noexcept {
+  // rho(c) = (S + N*(c*u_c + (1-c)*u_w)) / (N*R) = 1
+  //   =>  c* = (R - u_w - S/N) / (u_c - u_w).
+  if (in.peers == 0) return 0.0;
+  const double n = static_cast<double>(in.peers);
+  const double numerator =
+      in.stream_rate_bps - in.weak_upload_bps - in.server_capacity_bps / n;
+  const double denominator = in.capable_upload_bps - in.weak_upload_bps;
+  if (denominator <= 0.0) return numerator <= 0.0 ? 0.0 : -1.0;
+  const double c = numerator / denominator;
+  if (c <= 0.0) return 0.0;   // weak peers alone suffice
+  if (c > 1.0) return -1.0;   // infeasible even all-capable
+  return c;
+}
+
+}  // namespace coolstream::model

@@ -1,0 +1,58 @@
+// System-capacity model (§V-E).
+//
+// The paper argues scalability is governed by three factors — system
+// capacity, latency and overlay stability — and cites the stochastic
+// fluid theory of Kumar, Liu & Ross [23]: there is a critical value of
+// the ratio between high-upload peers and the rest below which universal
+// streaming becomes impossible.
+//
+// This module implements the deterministic fluid core of that argument.
+// With N peers of mean upload u, a server pool of capacity S, and stream
+// rate R, the maximum rate the swarm can deliver to everyone is
+//
+//     r_max = min( R_source,  (S + sum_i u_i) / N )
+//
+// (the classic uplink-sharing bound; the source term R_source = R here
+// since the origin always has the stream).  The *resource index* is
+// rho = (S + sum u_i) / (N * R): rho >= 1 is necessary for full-rate
+// delivery, and the achievable continuity under rho < 1 is bounded by
+// rho.  For a two-class population (capable fraction c with upload u_c,
+// weak with u_w) the critical capable fraction solves rho(c*) = 1.
+#pragma once
+
+#include <cstddef>
+
+namespace coolstream::model {
+
+/// Two-class population + server pool.
+struct CapacityInputs {
+  std::size_t peers = 0;          ///< N
+  double capable_fraction = 0.3;  ///< c
+  double capable_upload_bps = 3.0e6;
+  double weak_upload_bps = 0.4e6;
+  double server_capacity_bps = 0.0;  ///< S (total)
+  double stream_rate_bps = 768e3;    ///< R
+};
+
+/// Total upload supply S + sum u_i in bps.
+double total_supply_bps(const CapacityInputs& in) noexcept;
+
+/// Resource index rho = supply / (N * R).  rho >= 1 <=> full-rate
+/// streaming is feasible in the fluid limit.
+double resource_index(const CapacityInputs& in) noexcept;
+
+/// Fluid bound on the best achievable average continuity: min(1, rho).
+double continuity_upper_bound(const CapacityInputs& in) noexcept;
+
+/// Maximum sustainable full-rate population at the given mix:
+/// N_max with rho(N_max) = 1.  Grows linearly in server capacity and is
+/// unbounded when the mean peer upload already exceeds R (the self-
+/// scaling regime); returns SIZE_MAX then.
+std::size_t max_supported_peers(const CapacityInputs& in) noexcept;
+
+/// Critical capable fraction c* with rho(c*) = 1 for fixed N.  Returns
+/// < 0 when even an all-capable population cannot sustain the rate, and
+/// 0 when even an all-weak population can.
+double critical_capable_fraction(const CapacityInputs& in) noexcept;
+
+}  // namespace coolstream::model

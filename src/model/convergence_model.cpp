@@ -1,0 +1,93 @@
+#include "model/convergence_model.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace coolstream::model {
+
+double equilibrium_capable_fraction(const ConvergenceParams& p) noexcept {
+  const double gain = p.reselect_rate * p.capable_landing_prob;
+  const double denom = gain + p.capable_churn_rate;
+  return denom <= 0.0 ? 0.0 : gain / denom;
+}
+
+double convergence_time_constant(const ConvergenceParams& p) noexcept {
+  const double denom =
+      p.reselect_rate * p.capable_landing_prob + p.capable_churn_rate;
+  return denom <= 0.0 ? std::numeric_limits<double>::infinity() : 1.0 / denom;
+}
+
+double capable_fraction_at(const ConvergenceParams& p, double x0,
+                           double t) noexcept {
+  assert(t >= 0.0);
+  const double x_inf = equilibrium_capable_fraction(p);
+  const double rate =
+      p.reselect_rate * p.capable_landing_prob + p.capable_churn_rate;
+  return x_inf + (x0 - x_inf) * std::exp(-rate * t);
+}
+
+std::vector<std::pair<double, double>> trajectory(const ConvergenceParams& p,
+                                                  double x0, double t_end,
+                                                  double dt) {
+  assert(dt > 0.0 && t_end >= 0.0);
+  std::vector<std::pair<double, double>> out;
+  for (double t = 0.0; t <= t_end + dt * 0.5; t += dt) {
+    out.emplace_back(t, capable_fraction_at(p, x0, t));
+  }
+  return out;
+}
+
+ConvergenceParams fit_trajectory(
+    const std::vector<std::pair<double, double>>& measured, double x0) {
+  ConvergenceParams best;
+  best.capable_landing_prob = 1.0;
+  best.reselect_rate = 0.0;
+  best.capable_churn_rate = 0.0;
+  if (measured.size() < 2) return best;
+
+  auto sse = [&](double gain, double mu) {
+    ConvergenceParams p;
+    p.reselect_rate = gain;
+    p.capable_landing_prob = 1.0;
+    p.capable_churn_rate = mu;
+    double err = 0.0;
+    for (const auto& [t, x] : measured) {
+      const double d = capable_fraction_at(p, x0, t) - x;
+      err += d * d;
+    }
+    return err;
+  };
+
+  // Coarse-to-fine grid search over (gain, mu) in 1/s.
+  double lo_g = 1e-5, hi_g = 1.0, lo_m = 1e-6, hi_m = 0.1;
+  double best_g = lo_g, best_m = lo_m;
+  double best_err = std::numeric_limits<double>::infinity();
+  for (int round = 0; round < 4; ++round) {
+    constexpr int kSteps = 24;
+    for (int i = 0; i <= kSteps; ++i) {
+      const double g =
+          lo_g * std::pow(hi_g / lo_g, static_cast<double>(i) / kSteps);
+      for (int j = 0; j <= kSteps; ++j) {
+        const double m =
+            lo_m * std::pow(hi_m / lo_m, static_cast<double>(j) / kSteps);
+        const double err = sse(g, m);
+        if (err < best_err) {
+          best_err = err;
+          best_g = g;
+          best_m = m;
+        }
+      }
+    }
+    // Zoom in around the best point.
+    lo_g = best_g / 3.0;
+    hi_g = best_g * 3.0;
+    lo_m = best_m / 3.0;
+    hi_m = best_m * 3.0;
+  }
+  best.reselect_rate = best_g;
+  best.capable_churn_rate = best_m;
+  return best;
+}
+
+}  // namespace coolstream::model

@@ -1,0 +1,66 @@
+// Topology-convergence model (§I contribution 2, §V-B "Overlay Structure").
+//
+// The paper argues that random partner selection makes the overlay
+// converge: a peer parked under a weak (NAT/firewall) parent keeps losing
+// competitions and re-selecting, and each re-selection lands on a capable
+// (direct/UPnP/server) parent with some probability, so "if the system
+// runs long enough, most of peers will likely become children of
+// direct-connect/UPnP peers".
+//
+// We formalize this as a two-state continuous-time model per (peer,
+// sub-stream): state W (weak parent) flips to C (capable parent) at rate
+// sigma * q — sigma being the re-selection rate of weak-parented peers
+// (driven by Eq. (6) competition losses and the cool-down T_a) and q the
+// probability a re-selection lands on a capable parent — while state C
+// decays back to W at rate mu (capable-parent churn).  The capable
+// fraction follows
+//     dx/dt = (1 - x) * sigma * q - x * mu
+// with solution x(t) = x_inf + (x0 - x_inf) * exp(-(sigma q + mu) t),
+// x_inf = sigma q / (sigma q + mu): exponential convergence regardless of
+// the starting topology.  bench_convergence fits the simulator's measured
+// capable-parent fraction against this trajectory.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace coolstream::model {
+
+/// Parameters of the two-state convergence model.
+struct ConvergenceParams {
+  /// Re-selection rate of a weak-parented (peer, sub-stream) in 1/s.
+  /// Bounded above by 1/T_a (the cool-down); scaled by the Eq.-(6) loss
+  /// probability.
+  double reselect_rate = 0.1;
+  /// Probability one re-selection lands on a capable parent; roughly the
+  /// capable share of open partner slots.
+  double capable_landing_prob = 0.5;
+  /// Churn rate of capable parents (their departures knock children back
+  /// into state W), in 1/s.
+  double capable_churn_rate = 0.001;
+};
+
+/// Equilibrium capable-parent fraction x_inf.
+double equilibrium_capable_fraction(const ConvergenceParams& p) noexcept;
+
+/// Time constant tau = 1 / (sigma q + mu): the overlay converges to within
+/// 1/e of equilibrium in tau seconds.
+double convergence_time_constant(const ConvergenceParams& p) noexcept;
+
+/// Capable-parent fraction at time t starting from x0.
+double capable_fraction_at(const ConvergenceParams& p, double x0,
+                           double t) noexcept;
+
+/// Samples the trajectory on a fixed grid (for bench output / fitting).
+std::vector<std::pair<double, double>> trajectory(
+    const ConvergenceParams& p, double x0, double t_end, double dt);
+
+/// Least-squares fit of (sigma*q) and mu from a measured trajectory,
+/// holding the model form fixed.  Returns the fitted params (reselect_rate
+/// is reported with capable_landing_prob = 1, i.e. the product sigma*q is
+/// stored in reselect_rate).  Uses a coarse-to-fine grid search — robust
+/// and dependency-free.  Empty or constant input returns zero rates.
+ConvergenceParams fit_trajectory(
+    const std::vector<std::pair<double, double>>& measured, double x0);
+
+}  // namespace coolstream::model

@@ -1,0 +1,54 @@
+#include "net/address.h"
+
+#include <cstdio>
+
+#include "sim/rng.h"
+
+namespace coolstream::net {
+
+bool Ipv4Address::parse(const std::string& text, Ipv4Address& out) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char trailing = 0;
+  const int matched =
+      std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &trailing);
+  if (matched != 4 || a > 255 || b > 255 || c > 255 || d > 255) return false;
+  out = from_octets(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                    static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+  return true;
+}
+
+bool Ipv4Address::is_private() const noexcept {
+  const std::uint32_t v = bits_;
+  if ((v >> 24) == 10) return true;                       // 10.0.0.0/8
+  if ((v >> 20) == ((172u << 4) | 1u)) return true;       // 172.16.0.0/12
+  if ((v >> 16) == ((192u << 8) | 168u)) return true;     // 192.168.0.0/16
+  if ((v >> 24) == 127) return true;                      // loopback
+  return false;
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (bits_ >> 24) & 0xffu,
+                (bits_ >> 16) & 0xffu, (bits_ >> 8) & 0xffu, bits_ & 0xffu);
+  return buf;
+}
+
+Ipv4Address random_private_address(sim::Rng& rng) {
+  // 10.x.y.z with x,y,z random.
+  return Ipv4Address((10u << 24) |
+                     static_cast<std::uint32_t>(rng.below(1u << 24)));
+}
+
+Ipv4Address random_public_address(sim::Rng& rng) {
+  for (;;) {
+    // First octet in [1, 223] excluding 10 and 127; re-draw anything that
+    // still lands in a private range.
+    const auto first = static_cast<std::uint32_t>(rng.uniform_int(1, 223));
+    if (first == 10 || first == 127) continue;
+    const Ipv4Address addr(
+        (first << 24) | static_cast<std::uint32_t>(rng.below(1u << 24)));
+    if (!addr.is_private()) return addr;
+  }
+}
+
+}  // namespace coolstream::net

@@ -1,0 +1,59 @@
+// IPv4-style addressing with RFC 1918 private-range semantics.
+//
+// The paper classifies users into private/public by IP address as the first
+// step of its connection-type inference (§V-B).  We reproduce the same
+// address plane: peers behind NAT get RFC 1918 addresses, everyone else gets
+// public addresses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace coolstream::sim {
+class Rng;
+}
+
+namespace coolstream::net {
+
+/// An IPv4 address stored in host byte order.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t bits) : bits_(bits) {}
+
+  /// Builds an address from dotted-quad octets.
+  static constexpr Ipv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                           std::uint8_t c, std::uint8_t d) {
+    return Ipv4Address((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  /// Parses "a.b.c.d".  Returns false on malformed input.
+  static bool parse(const std::string& text, Ipv4Address& out);
+
+  std::uint32_t bits() const noexcept { return bits_; }
+
+  /// True for RFC 1918 ranges (10/8, 172.16/12, 192.168/16) and loopback.
+  bool is_private() const noexcept;
+
+  /// Dotted-quad representation.
+  std::string to_string() const;
+
+  friend bool operator==(Ipv4Address a, Ipv4Address b) noexcept {
+    return a.bits_ == b.bits_;
+  }
+  friend auto operator<=>(Ipv4Address a, Ipv4Address b) noexcept {
+    return a.bits_ <=> b.bits_;
+  }
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// Draws a uniformly random RFC 1918 address (10/8 range).
+Ipv4Address random_private_address(sim::Rng& rng);
+
+/// Draws a random public address (avoids private/reserved ranges).
+Ipv4Address random_public_address(sim::Rng& rng);
+
+}  // namespace coolstream::net

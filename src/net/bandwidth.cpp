@@ -1,0 +1,69 @@
+#include "net/bandwidth.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace coolstream::net {
+
+std::vector<double> max_min_fair(double capacity,
+                                 std::span<const double> demands) {
+  assert(capacity >= 0.0);
+  const std::size_t n = demands.size();
+  std::vector<double> rates(n, 0.0);
+  if (n == 0) return rates;
+
+  // Progressive filling: repeatedly grant unsatisfied connections an equal
+  // share of the remaining capacity, capping at their demand.
+  std::vector<std::size_t> active;
+  active.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    assert(demands[i] >= 0.0);
+    if (demands[i] > 0.0) active.push_back(i);
+  }
+  double remaining = capacity;
+  while (!active.empty() && remaining > 0.0) {
+    const double share = remaining / static_cast<double>(active.size());
+    bool any_capped = false;
+    std::vector<std::size_t> still_active;
+    still_active.reserve(active.size());
+    for (std::size_t i : active) {
+      const double want = demands[i] - rates[i];
+      if (want <= share) {
+        rates[i] = demands[i];
+        remaining -= want;
+        any_capped = true;
+      } else {
+        still_active.push_back(i);
+      }
+    }
+    if (!any_capped) {
+      // Nobody saturated: split the remainder equally and finish.
+      for (std::size_t i : still_active) rates[i] += share;
+      remaining = 0.0;
+      break;
+    }
+    active = std::move(still_active);
+  }
+  return rates;
+}
+
+std::vector<double> equal_share(double capacity,
+                                std::span<const double> demands) {
+  assert(capacity >= 0.0);
+  const std::size_t n = demands.size();
+  std::vector<double> rates(n, 0.0);
+  std::size_t positive = 0;
+  for (double d : demands) {
+    assert(d >= 0.0);
+    if (d > 0.0) ++positive;
+  }
+  if (positive == 0) return rates;
+  const double share = capacity / static_cast<double>(positive);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (demands[i] > 0.0) rates[i] = std::min(demands[i], share);
+  }
+  return rates;
+}
+
+}  // namespace coolstream::net

@@ -1,0 +1,35 @@
+// Upload bandwidth allocation.
+//
+// Coolstreaming parents "always accept requests and simply push out all
+// blocks of a sub-stream in need" (§IV-B): there is no admission control on
+// upload capacity, so an overloaded parent's connections share its uplink.
+// We model the uplink as the bottleneck (standard for residential access
+// links of the era) and split capacity max-min fairly across active
+// sub-stream connections: each connection demands at most the sub-stream
+// rate R/K while the child is caught up, and more (catch-up) when behind.
+//
+// With equal demands this degenerates to the paper's Eq. (5):
+// r = D/(D+1) * R/K after a (D+1)-th child subscribes to a parent whose
+// capacity was exactly D * R/K.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace coolstream::net {
+
+/// Max-min fair allocation of `capacity` across positive `demands`.
+/// Returns one rate per demand; rates sum to min(capacity, sum(demands)).
+/// Zero-demand entries receive zero.  All inputs must be non-negative.
+std::vector<double> max_min_fair(double capacity,
+                                 std::span<const double> demands);
+
+/// Equal-share allocation with per-connection caps: every connection gets
+/// capacity/n, except connections whose demand is lower keep only their
+/// demand, with the surplus left unused.  This models a simple TCP-like
+/// split without the iterative redistribution of max-min fairness; the
+/// difference between the two policies is an ablation bench.
+std::vector<double> equal_share(double capacity,
+                                std::span<const double> demands);
+
+}  // namespace coolstream::net

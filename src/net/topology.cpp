@@ -1,0 +1,52 @@
+#include "net/topology.h"
+
+#include <deque>
+#include <unordered_map>
+
+namespace coolstream::net {
+
+void TopologySnapshot::compute_depths() {
+  // Map node id -> index.
+  std::unordered_map<NodeId, std::size_t> index;
+  index.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) index[nodes[i].id] = i;
+
+  // children[i] = indices of nodes that have node i as a parent.
+  std::vector<std::vector<std::size_t>> children(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    nodes[i].depth = -1;
+    for (NodeId p : nodes[i].parents) {
+      if (p == kInvalidNode) continue;
+      auto it = index.find(p);
+      if (it != index.end()) children[it->second].push_back(i);
+    }
+  }
+
+  std::deque<std::size_t> frontier;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].is_server) {
+      nodes[i].depth = 0;
+      frontier.push_back(i);
+    }
+  }
+  while (!frontier.empty()) {
+    const std::size_t i = frontier.front();
+    frontier.pop_front();
+    for (std::size_t c : children[i]) {
+      if (nodes[c].depth == -1) {
+        nodes[c].depth = nodes[i].depth + 1;
+        frontier.push_back(c);
+      }
+    }
+  }
+}
+
+std::size_t TopologySnapshot::peer_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& node : nodes) {
+    if (!node.is_server) ++n;
+  }
+  return n;
+}
+
+}  // namespace coolstream::net

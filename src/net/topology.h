@@ -1,0 +1,46 @@
+// Overlay topology snapshots.
+//
+// The System layer can export, at any simulated instant, the full overlay
+// state: every live node with its connection type, its partnership edges
+// and its parent for each sub-stream.  Analysis code (analysis/overlay.h)
+// computes the paper's Fig.-4 structural properties from these snapshots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/connectivity.h"
+#include "net/types.h"
+
+namespace coolstream::net {
+
+/// One live node in a snapshot.
+struct SnapshotNode {
+  NodeId id = kInvalidNode;
+  ConnectionType type = ConnectionType::kDirect;
+  bool is_server = false;  ///< source or dedicated server
+  double upload_capacity_bps = 0.0;
+  /// Parent serving each sub-stream (kInvalidNode when unsubscribed).
+  std::vector<NodeId> parents;
+  /// Current partners (node ids, deduplicated, unordered).
+  std::vector<NodeId> partners;
+  /// Depth of this node measured in parent hops from the source over the
+  /// union of sub-stream parent links; -1 if unreachable.
+  int depth = -1;
+};
+
+/// A consistent snapshot of the overlay at one instant.
+struct TopologySnapshot {
+  double time = 0.0;
+  std::vector<SnapshotNode> nodes;
+
+  /// Recomputes every node's `depth` by BFS from servers/source over
+  /// parent->child edges (a child is adjacent to each of its sub-stream
+  /// parents).  Call after filling `nodes`.
+  void compute_depths();
+
+  /// Number of live peer (non-server) nodes.
+  std::size_t peer_count() const noexcept;
+};
+
+}  // namespace coolstream::net

@@ -1,0 +1,33 @@
+#include "net/transport.h"
+
+#include <numeric>
+
+namespace coolstream::net {
+
+std::string_view to_string(MessageKind kind) noexcept {
+  switch (kind) {
+    case MessageKind::kGossip:
+      return "gossip";
+    case MessageKind::kBufferMap:
+      return "buffermap";
+    case MessageKind::kSubscribe:
+      return "subscribe";
+    case MessageKind::kPartnership:
+      return "partnership";
+    case MessageKind::kReport:
+      return "report";
+  }
+  return "unknown";
+}
+
+void Transport::send(NodeId from, NodeId to, MessageKind kind,
+                     std::function<void()> deliver) {
+  ++counts_[static_cast<std::size_t>(kind)];
+  sim_.after(latency_.delay(from, to), std::move(deliver));
+}
+
+std::uint64_t Transport::total_sent() const noexcept {
+  return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+}
+
+}  // namespace coolstream::net

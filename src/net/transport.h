@@ -1,0 +1,74 @@
+// Control-plane message transport.
+//
+// Delivers callbacks between nodes after the pairwise latency.  Control
+// messages (gossip, buffer maps, subscribe/unsubscribe) are small; we model
+// their propagation delay but not their bandwidth, which is standard for
+// overlay simulations — the data plane (sub-stream blocks) is where
+// bandwidth is modelled (see core::FlowModel).
+//
+// The transport also keeps per-category message counters so benches can
+// report control overhead.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "net/latency.h"
+#include "net/types.h"
+#include "sim/simulation.h"
+
+namespace coolstream::net {
+
+/// Categories of control messages, for overhead accounting.
+enum class MessageKind : unsigned char {
+  kGossip = 0,        ///< membership gossip
+  kBufferMap = 1,     ///< periodic BM exchange
+  kSubscribe = 2,     ///< sub-stream subscription / unsubscription
+  kPartnership = 3,   ///< partnership establishment / teardown
+  kReport = 4,        ///< log reports to the log server
+};
+
+inline constexpr int kMessageKindCount = 5;
+
+/// Name for a message kind ("gossip", "buffermap", ...).
+std::string_view to_string(MessageKind kind) noexcept;
+
+/// Latency-delayed delivery of callbacks between nodes.
+class Transport {
+ public:
+  Transport(sim::Simulation& simulation, const LatencyModel& latency)
+      : sim_(simulation), latency_(latency) {}
+
+  /// Delivers `deliver` at the destination after the one-way delay from
+  /// `from` to `to`.  The callback must internally route to the right
+  /// recipient object; the transport does not keep a node registry (the
+  /// System layer does).
+  void send(NodeId from, NodeId to, MessageKind kind,
+            std::function<void()> deliver);
+
+  /// Accounts for a message whose delivery is modelled synchronously by
+  /// the caller (e.g. the periodic buffer-map exchange).
+  void count_only(MessageKind kind) noexcept {
+    ++counts_[static_cast<std::size_t>(kind)];
+  }
+
+  /// Messages sent so far, by kind.
+  std::uint64_t sent(MessageKind kind) const noexcept {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
+
+  /// Total messages sent.
+  std::uint64_t total_sent() const noexcept;
+
+  sim::Simulation& simulation() noexcept { return sim_; }
+  const LatencyModel& latency() const noexcept { return latency_; }
+
+ private:
+  sim::Simulation& sim_;
+  const LatencyModel& latency_;
+  std::array<std::uint64_t, kMessageKindCount> counts_{};
+};
+
+}  // namespace coolstream::net

@@ -1,0 +1,17 @@
+// Fundamental identifier types shared across the network substrate and the
+// protocol layers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace coolstream::net {
+
+/// Dense node identifier.  Node 0 is by convention the source; dedicated
+/// servers follow, then peers in join order.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+}  // namespace coolstream::net

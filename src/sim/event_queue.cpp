@@ -1,0 +1,43 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace coolstream::sim {
+
+EventHandle EventQueue::schedule(Time at, EventFn fn) {
+  auto alive = std::make_shared<bool>(true);
+  heap_.push_back(Entry{at, next_seq_++, std::move(fn), alive});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return EventHandle(std::move(alive));
+}
+
+void EventQueue::skim() {
+  while (!heap_.empty() && !*heap_.front().alive) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+bool EventQueue::empty() {
+  skim();
+  return heap_.empty();
+}
+
+Time EventQueue::next_time() {
+  skim();
+  assert(!heap_.empty());
+  return heap_.front().time;
+}
+
+std::pair<Time, EventFn> EventQueue::pop() {
+  skim();
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  *e.alive = false;  // fired events report !pending()
+  return {e.time, std::move(e.fn)};
+}
+
+}  // namespace coolstream::sim

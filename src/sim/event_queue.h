@@ -1,0 +1,88 @@
+// Priority queue of timestamped events for the discrete-event engine.
+//
+// Events are callbacks ordered by (time, insertion sequence).  The secondary
+// ordering makes execution order fully deterministic even when many events
+// share a timestamp, which matters for reproducible simulations.
+// Events can be cancelled in O(1) through an EventHandle; cancelled entries
+// are dropped lazily when they reach the top of the heap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace coolstream::sim {
+
+/// Simulation time in seconds.
+using Time = double;
+
+/// Callback invoked when an event fires.
+using EventFn = std::function<void()>;
+
+/// Cancellation token for a scheduled event.  Copyable; all copies refer to
+/// the same underlying event.  A default-constructed handle is inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet.  Idempotent.
+  void cancel() noexcept {
+    if (alive_) *alive_ = false;
+  }
+
+  /// True if the event is still pending (scheduled, not cancelled, not yet
+  /// fired).  False for default-constructed handles.
+  bool pending() const noexcept { return alive_ && *alive_; }
+
+ private:
+  friend class EventQueue;
+  friend class Simulation;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+/// Min-heap of events keyed by (time, sequence number).
+class EventQueue {
+ public:
+  /// Schedules `fn` to fire at absolute time `at`.  Returns a handle that
+  /// can cancel the event.
+  EventHandle schedule(Time at, EventFn fn);
+
+  /// True when no live events remain.  May compact cancelled events.
+  bool empty();
+
+  /// Timestamp of the earliest live event.  Requires !empty().
+  Time next_time();
+
+  /// Removes and returns the earliest live event.  Requires !empty().
+  /// The returned pair is (time, callback).
+  std::pair<Time, EventFn> pop();
+
+  /// Number of entries currently in the heap, including not-yet-compacted
+  /// cancelled events.  Intended for tests and instrumentation.
+  std::size_t raw_size() const noexcept { return heap_.size(); }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    EventFn fn;
+    std::shared_ptr<bool> alive;
+  };
+
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops cancelled entries off the top of the heap.
+  void skim();
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace coolstream::sim

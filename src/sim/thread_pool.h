@@ -1,0 +1,59 @@
+// Minimal work-stealing-free thread pool for parameter sweeps.
+//
+// Benches sweep seeds / system sizes / join rates; each sweep point is an
+// independent simulation with its own forked RNG stream, so results are
+// identical whether the sweep runs serially or in parallel.  The pool is the
+// only place in the library that creates threads; simulations themselves are
+// single-threaded and share nothing.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace coolstream::sim {
+
+/// Fixed-size thread pool executing void() jobs FIFO.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Joins all workers after draining the queue.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job.  Must not be called after wait() has returned and the
+  /// pool is being destroyed concurrently.
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished.
+  void wait();
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::queue<std::function<void()>> jobs_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `fn(i)` for every i in [0, n), distributing across `pool`.
+/// Blocks until all iterations complete.  `fn` must be safe to call
+/// concurrently for distinct i.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace coolstream::sim

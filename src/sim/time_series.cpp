@@ -1,0 +1,113 @@
+#include "sim/time_series.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace coolstream::sim {
+
+void TimeSeries::record(Time t, double value) {
+  assert(samples_.empty() || t >= samples_.back().time);
+  samples_.push_back(Sample{t, value});
+}
+
+std::optional<double> TimeSeries::value_at(Time t) const {
+  // Last sample with time <= t.
+  auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), t,
+      [](Time lhs, const Sample& s) { return lhs < s.time; });
+  if (it == samples_.begin()) return std::nullopt;
+  return std::prev(it)->value;
+}
+
+double TimeSeries::min_value() const {
+  assert(!samples_.empty());
+  return std::min_element(samples_.begin(), samples_.end(),
+                          [](const Sample& a, const Sample& b) {
+                            return a.value < b.value;
+                          })
+      ->value;
+}
+
+double TimeSeries::max_value() const {
+  assert(!samples_.empty());
+  return std::max_element(samples_.begin(), samples_.end(),
+                          [](const Sample& a, const Sample& b) {
+                            return a.value < b.value;
+                          })
+      ->value;
+}
+
+BucketSeries::BucketSeries(Time width, Time origin)
+    : width_(width), origin_(origin) {
+  assert(width > 0.0);
+}
+
+void BucketSeries::record(Time t, double value) {
+  std::size_t index = 0;
+  if (t > origin_) {
+    index = static_cast<std::size_t>((t - origin_) / width_);
+  }
+  while (buckets_.size() <= index) {
+    buckets_.push_back(
+        Bucket{origin_ + width_ * static_cast<Time>(buckets_.size()), 0, 0.0,
+               std::numeric_limits<double>::infinity(),
+               -std::numeric_limits<double>::infinity()});
+  }
+  Bucket& b = buckets_[index];
+  ++b.count;
+  b.sum += value;
+  b.min = std::min(b.min, value);
+  b.max = std::max(b.max, value);
+}
+
+void StepCounter::add(Time t, int delta) {
+  assert(steps_.empty() || t >= steps_.back().first);
+  value_ += delta;
+  steps_.emplace_back(t, value_);
+}
+
+std::vector<Sample> StepCounter::sample_grid(Time t0, Time t1, Time dt) const {
+  assert(dt > 0.0 && t1 >= t0);
+  std::vector<Sample> out;
+  std::size_t i = 0;
+  long long current = 0;
+  for (Time t = t0; t <= t1 + dt * 0.5; t += dt) {
+    while (i < steps_.size() && steps_[i].first <= t) {
+      current = steps_[i].second;
+      ++i;
+    }
+    out.push_back(Sample{t, static_cast<double>(current)});
+  }
+  return out;
+}
+
+double StepCounter::time_average(Time t0, Time t1) const {
+  assert(t1 > t0);
+  double integral = 0.0;
+  long long current = 0;
+  Time prev = t0;
+  for (const auto& [t, v] : steps_) {
+    if (t <= t0) {
+      current = v;
+      continue;
+    }
+    if (t >= t1) break;
+    integral += static_cast<double>(current) * (t - prev);
+    prev = t;
+    current = v;
+  }
+  integral += static_cast<double>(current) * (t1 - prev);
+  return integral / (t1 - t0);
+}
+
+long long StepCounter::peak(Time t1) const {
+  long long best = 0;
+  for (const auto& [t, v] : steps_) {
+    if (t > t1) break;
+    best = std::max(best, v);
+  }
+  return best;
+}
+
+}  // namespace coolstream::sim

@@ -1,0 +1,109 @@
+// Time-series recording utilities used by the measurement pipeline.
+//
+// TimeSeries stores (time, value) samples; BucketSeries aggregates samples
+// into fixed-width time buckets (mean/min/max/count), which is how the
+// paper's figures (users-vs-time, continuity-vs-time) are produced.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"  // for Time
+
+namespace coolstream::sim {
+
+/// A single (time, value) observation.
+struct Sample {
+  Time time = 0.0;
+  double value = 0.0;
+};
+
+/// Append-only series of timestamped samples.
+class TimeSeries {
+ public:
+  /// Records one observation.  Times should be non-decreasing (asserted in
+  /// debug builds); the figure pipelines rely on temporal order.
+  void record(Time t, double value);
+
+  const std::vector<Sample>& samples() const noexcept { return samples_; }
+  bool empty() const noexcept { return samples_.empty(); }
+  std::size_t size() const noexcept { return samples_.size(); }
+
+  /// Value of the last sample at or before `t`, if any.
+  std::optional<double> value_at(Time t) const;
+
+  /// Minimum / maximum recorded values.  Require !empty().
+  double min_value() const;
+  double max_value() const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/// One aggregated bucket of a BucketSeries.
+struct Bucket {
+  Time start = 0.0;              ///< inclusive bucket start time
+  std::size_t count = 0;         ///< samples that fell in the bucket
+  double sum = 0.0;              ///< sum of sample values
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  double mean() const noexcept { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+/// Aggregates samples into fixed-width time buckets starting at `origin`.
+class BucketSeries {
+ public:
+  /// `width` is the bucket width in seconds (must be > 0).
+  explicit BucketSeries(Time width, Time origin = 0.0);
+
+  /// Adds an observation.  Samples before `origin` are clamped into the
+  /// first bucket.
+  void record(Time t, double value);
+
+  /// All buckets from origin to the latest sample.  Buckets that received
+  /// no samples are present with count == 0.
+  const std::vector<Bucket>& buckets() const noexcept { return buckets_; }
+
+  Time width() const noexcept { return width_; }
+  Time origin() const noexcept { return origin_; }
+
+ private:
+  Time width_;
+  Time origin_;
+  std::vector<Bucket> buckets_;
+};
+
+/// Tracks a piecewise-constant counter (e.g. "number of concurrent users")
+/// and can integrate it or sample it onto a fixed grid for plotting.
+class StepCounter {
+ public:
+  /// Applies a delta (+1 join, -1 leave) at time `t` (non-decreasing).
+  void add(Time t, int delta);
+
+  /// Current counter value.
+  long long value() const noexcept { return value_; }
+
+  /// The full step function as (time, value-after-step) samples.
+  const std::vector<std::pair<Time, long long>>& steps() const noexcept {
+    return steps_;
+  }
+
+  /// Samples the step function every `dt` seconds over [t0, t1].
+  std::vector<Sample> sample_grid(Time t0, Time t1, Time dt) const;
+
+  /// Time-average of the counter over [t0, t1].
+  double time_average(Time t0, Time t1) const;
+
+  /// Maximum value attained at or before `t1`.
+  long long peak(Time t1 = std::numeric_limits<Time>::infinity()) const;
+
+ private:
+  long long value_ = 0;
+  std::vector<std::pair<Time, long long>> steps_;
+};
+
+}  // namespace coolstream::sim

@@ -1,0 +1,87 @@
+#include "workload/arrivals.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace coolstream::workload {
+
+RateProfile::RateProfile(std::vector<std::pair<double, double>> points)
+    : points_(std::move(points)) {
+  assert(!points_.empty());
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    assert(points_[i].first > points_[i - 1].first);
+  }
+  for (const auto& [t, r] : points_) {
+    assert(r >= 0.0);
+    max_rate_ = std::max(max_rate_, r);
+  }
+}
+
+double RateProfile::rate(double t) const noexcept {
+  if (t <= points_.front().first) return points_.front().second;
+  if (t >= points_.back().first) return points_.back().second;
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](double lhs, const auto& pt) { return lhs < pt.first; });
+  const auto& [t1, r1] = *it;
+  const auto& [t0, r0] = *std::prev(it);
+  const double w = (t - t0) / (t1 - t0);
+  return r0 + w * (r1 - r0);
+}
+
+RateProfile RateProfile::weekday(double peak_per_sec) {
+  constexpr double h = 3600.0;
+  // Shape follows Fig. 5a: overnight trough, daytime plateau, evening ramp
+  // from 18:00, peak 20:30-22:00, program-end collapse, late-night decay.
+  const double p = peak_per_sec;
+  return RateProfile({
+      {0.0 * h, 0.10 * p},
+      {3.0 * h, 0.04 * p},
+      {7.0 * h, 0.08 * p},
+      {9.0 * h, 0.18 * p},
+      {12.0 * h, 0.22 * p},
+      {17.0 * h, 0.25 * p},
+      {18.0 * h, 0.45 * p},
+      {19.5 * h, 0.85 * p},
+      {20.5 * h, 1.00 * p},
+      {22.0 * h, 0.80 * p},
+      {22.3 * h, 0.25 * p},
+      {24.0 * h, 0.10 * p},
+  });
+}
+
+RateProfile RateProfile::constant(double per_sec) {
+  return RateProfile({{0.0, per_sec}, {1.0, per_sec}});
+}
+
+ArrivalProcess::ArrivalProcess(RateProfile profile,
+                               std::vector<FlashCrowd> crowds)
+    : profile_(std::move(profile)), crowds_(std::move(crowds)) {
+  max_rate_ = profile_.max_rate();
+  for (const auto& c : crowds_) max_rate_ += c.amplitude;
+}
+
+double ArrivalProcess::rate(double t) const noexcept {
+  double r = profile_.rate(t);
+  for (const auto& c : crowds_) {
+    const double z = (t - c.center) / c.width;
+    r += c.amplitude * std::exp(-0.5 * z * z);
+  }
+  return r;
+}
+
+double ArrivalProcess::next_arrival(double after, double horizon,
+                                    sim::Rng& rng) const {
+  assert(max_rate_ > 0.0);
+  double t = after;
+  // Lewis-Shedler thinning against the constant majorant max_rate_.
+  while (t <= horizon) {
+    t += rng.exponential(1.0 / max_rate_);
+    if (t > horizon) break;
+    if (rng.uniform() * max_rate_ < rate(t)) return t;
+  }
+  return horizon + 1.0;
+}
+
+}  // namespace coolstream::workload

@@ -1,0 +1,67 @@
+// Arrival processes: diurnal non-homogeneous Poisson with optional flash
+// crowds.
+//
+// Fig. 5 of the paper shows the number of concurrent users over a weekday:
+// a low daytime plateau, a steep ramp after 18:00, a peak around
+// 20:30-22:00 (~40,000 users at the scale of the original broadcast), and
+// a sharp drop when programs end around 22:00.  We reproduce the shape
+// with a piecewise-linear rate profile over the day plus Gaussian flash
+// crowd bursts at program start times; arrivals are sampled by thinning.
+#pragma once
+
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace coolstream::workload {
+
+/// Piecewise-linear intensity function lambda(t) (arrivals per second).
+class RateProfile {
+ public:
+  /// Control points (time, rate); times strictly increasing.  The rate is
+  /// linearly interpolated between points and clamped at the ends.
+  explicit RateProfile(std::vector<std::pair<double, double>> points);
+
+  double rate(double t) const noexcept;
+  double max_rate() const noexcept { return max_rate_; }
+
+  /// The paper's weekday shape, scaled so the evening peak arrival rate is
+  /// `peak_per_sec`.  Hours are seconds since 00:00.
+  static RateProfile weekday(double peak_per_sec);
+
+  /// Constant rate.
+  static RateProfile constant(double per_sec);
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+  double max_rate_ = 0.0;
+};
+
+/// A burst of arrivals concentrated around a program start ("flash
+/// crowd", §V-E): adds amplitude * exp(-((t-center)/width)^2 / 2) to the
+/// base rate.
+struct FlashCrowd {
+  double center = 0.0;     ///< seconds
+  double width = 120.0;    ///< Gaussian sigma, seconds
+  double amplitude = 0.0;  ///< extra arrivals per second at the center
+};
+
+/// Non-homogeneous Poisson arrival generator (Lewis-Shedler thinning).
+class ArrivalProcess {
+ public:
+  ArrivalProcess(RateProfile profile, std::vector<FlashCrowd> crowds = {});
+
+  /// Total intensity at time t.
+  double rate(double t) const noexcept;
+
+  /// First arrival strictly after `after`, or a value > `horizon` when no
+  /// arrival occurs before the horizon.
+  double next_arrival(double after, double horizon, sim::Rng& rng) const;
+
+ private:
+  RateProfile profile_;
+  std::vector<FlashCrowd> crowds_;
+  double max_rate_;
+};
+
+}  // namespace coolstream::workload

@@ -1,0 +1,182 @@
+#include "workload/scenario.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace coolstream::workload {
+namespace {
+
+/// Mean session duration implied by a SessionModel, with the program-end
+/// tail approximated by `tail_duration`.  Used by presets to size arrival
+/// rates via Little's law (N = lambda * E[D]).
+double mean_duration(const SessionModel& m, double tail_duration) {
+  const double body =
+      std::exp(m.duration_mu + 0.5 * m.duration_sigma * m.duration_sigma);
+  return (1.0 - m.long_tail_prob) * body + m.long_tail_prob * tail_duration;
+}
+
+}  // namespace
+
+Scenario Scenario::steady(std::size_t target_users, double duration_s) {
+  Scenario s;
+  s.end_time = duration_s;
+  // Fast-mixing lognormal sessions (median 5 min, mean ~10 min) so the
+  // population reaches its Little's-law target well inside typical
+  // horizons.  No stay-to-program-end tail: steady scenarios have no
+  // program end, so an infinite tail would accumulate viewers without
+  // bound; evening() keeps the heavier real-broadcast durations.
+  s.sessions.long_tail_prob = 0.0;
+  s.sessions.duration_mu = std::log(300.0);
+  s.sessions.duration_sigma = 1.2;
+  const double mean = mean_duration(s.sessions, 0.0);
+  const double lambda = static_cast<double>(target_users) / mean;
+  s.arrivals = RateProfile::constant(lambda);
+  return s;
+}
+
+Scenario Scenario::evening(std::size_t peak_users, double hours) {
+  assert(hours >= 2.0 && "evening preset needs at least 2 simulated hours");
+  Scenario s;
+  constexpr double h = 3600.0;
+  s.end_time = hours * h;
+  s.program_end = (hours - 0.75) * h;  // programs end 45 min before horizon
+  const double tail = s.program_end * 0.5;  // long-tail watch ~half evening
+  const double mean = mean_duration(s.sessions, tail);
+  // Ramp shaped like Fig. 5b, compressed into `hours`.
+  const double peak_rate = static_cast<double>(peak_users) / mean;
+  s.arrivals = RateProfile({
+      {0.00 * hours * h, 0.30 * peak_rate},
+      {0.25 * hours * h, 0.60 * peak_rate},
+      {0.50 * hours * h, 1.00 * peak_rate},
+      {0.70 * hours * h, 0.90 * peak_rate},
+      {(hours - 0.75) * h, 0.70 * peak_rate},
+      {(hours - 0.70) * h, 0.15 * peak_rate},
+      {hours * h, 0.05 * peak_rate},
+  });
+  return s;
+}
+
+Scenario Scenario::flash_crowd(std::size_t base_users,
+                               std::size_t crowd_extra, double crowd_time,
+                               double duration_s) {
+  Scenario s = steady(base_users, duration_s);
+  // The crowd joins within ~3 sigma of the center; amplitude such that the
+  // integral of the Gaussian equals crowd_extra arrivals.
+  FlashCrowd c;
+  c.center = crowd_time;
+  c.width = 60.0;
+  c.amplitude =
+      static_cast<double>(crowd_extra) / (c.width * std::sqrt(2.0 * 3.14159265358979));
+  s.crowds.push_back(c);
+  return s;
+}
+
+ScenarioRunner::ScenarioRunner(sim::Simulation& simulation, Scenario scenario,
+                               logging::LogServer* log)
+    : sim_(simulation),
+      scenario_(std::move(scenario)),
+      arrivals_(scenario_.arrivals, scenario_.crowds),
+      system_(simulation, scenario_.params, scenario_.system, log) {
+  system_.observer = [this](net::NodeId node, core::SessionEvent event) {
+    on_event(node, event);
+  };
+}
+
+void ScenarioRunner::run_until(double until) {
+  if (!started_) {
+    started_ = true;
+    system_.start();
+    schedule_next_arrival();
+  }
+  sim_.run_until(std::min(until, scenario_.end_time));
+}
+
+void ScenarioRunner::run() { run_until(scenario_.end_time); }
+
+void ScenarioRunner::schedule_next_arrival() {
+  const double t =
+      arrivals_.next_arrival(sim_.now(), scenario_.end_time, sim_.rng());
+  if (t > scenario_.end_time) return;
+  sim_.at(t, [this] {
+    const std::uint64_t user = next_user_++;
+    const core::PeerSpec spec = scenario_.users.make_spec(user, sim_.rng());
+    start_session(spec, scenario_.sessions.max_retries);
+    schedule_next_arrival();
+  });
+}
+
+void ScenarioRunner::start_session(const core::PeerSpec& spec,
+                                   int retries_left) {
+  const net::NodeId node = system_.join(spec);
+  SessionCtl ctl;
+  ctl.user_id = spec.user_id;
+  ctl.spec = spec;
+  ctl.retries_left = retries_left;
+  const double patience = scenario_.sessions.draw_patience(sim_.rng());
+  ctl.patience =
+      sim_.after(patience, [this, node] { on_patience_expired(node); });
+  active_.emplace(node, std::move(ctl));
+}
+
+void ScenarioRunner::on_event(net::NodeId node, core::SessionEvent event) {
+  auto it = active_.find(node);
+  if (it == active_.end()) return;
+  switch (event) {
+    case core::SessionEvent::kMediaReady:
+      on_ready(node, it->second);
+      break;
+    case core::SessionEvent::kLeft:
+      it->second.patience.cancel();
+      active_.erase(it);
+      break;
+    case core::SessionEvent::kJoined:
+    case core::SessionEvent::kStartSubscription:
+      break;
+  }
+}
+
+void ScenarioRunner::on_ready(net::NodeId node, SessionCtl& ctl) {
+  ctl.patience.cancel();
+  const SessionModel& m = scenario_.sessions;
+  double leave_at = sim_.now() + m.draw_duration(sim_.rng());
+  if (std::isfinite(scenario_.program_end)) {
+    const double end_spread = std::abs(
+        sim_.rng().normal(0.0, scenario_.program_end_jitter));
+    leave_at = std::min(leave_at, scenario_.program_end + end_spread);
+  }
+  if (!std::isfinite(leave_at)) {
+    // Infinite intended duration and no program end: stays for the whole
+    // scenario; no departure scheduled.
+    return;
+  }
+  const bool crash = sim_.rng().chance(m.crash_fraction);
+  sim_.at(std::max(leave_at, sim_.now()), [this, node, crash] {
+    system_.leave(node, /*graceful=*/!crash);
+  });
+}
+
+void ScenarioRunner::on_patience_expired(net::NodeId node) {
+  auto it = active_.find(node);
+  if (it == active_.end()) return;
+  const core::Peer* p = system_.peer(node);
+  if (p == nullptr || !p->alive()) return;
+  if (p->phase() == core::PeerPhase::kPlaying) return;  // made it after all
+
+  // The user gives up on this attempt (a sub-minute session in Fig. 10a)…
+  const core::PeerSpec spec = it->second.spec;
+  const int retries_left = it->second.retries_left;
+  system_.leave(node, /*graceful=*/true);  // closing the player reports leave
+
+  // …and maybe retries (Fig. 10b).
+  const SessionModel& m = scenario_.sessions;
+  if (retries_left > 0 && sim_.rng().chance(m.retry_prob)) {
+    const double delay = m.draw_retry_delay(sim_.rng());
+    sim_.after(delay, [this, spec, retries_left] {
+      if (sim_.now() < scenario_.end_time) {
+        start_session(spec, retries_left - 1);
+      }
+    });
+  }
+}
+
+}  // namespace coolstream::workload

@@ -1,0 +1,98 @@
+// Scenario runner: drives one simulated broadcast end to end.
+//
+// A Scenario bundles the protocol parameters, the deployment config, the
+// user population, the arrival process and the session behaviour; the
+// ScenarioRunner schedules arrivals, manages patience/retry/departure per
+// user, and leaves a complete log in the LogServer — the input to every
+// figure pipeline.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+
+#include "core/system.h"
+#include "logging/log_server.h"
+#include "sim/simulation.h"
+#include "workload/arrivals.h"
+#include "workload/session_model.h"
+#include "workload/user_types.h"
+
+namespace coolstream::workload {
+
+/// Full description of one simulated broadcast.
+struct Scenario {
+  core::Params params;
+  core::SystemConfig system;
+  UserTypeModel users = UserTypeModel::coolstreaming_2006();
+  SessionModel sessions;
+
+  RateProfile arrivals = RateProfile::constant(1.0);
+  std::vector<FlashCrowd> crowds;
+
+  double end_time = 3600.0;  ///< simulation horizon (seconds)
+  /// When finite: long-tail viewers depart around this instant (program
+  /// end; the 22:00 cliff in Fig. 5b).
+  double program_end = std::numeric_limits<double>::infinity();
+  double program_end_jitter = 90.0;  ///< stddev of the departure spread
+
+  // ---- presets -----------------------------------------------------------
+  /// A steady-state broadcast: constant arrivals tuned so the expected
+  /// concurrent population is ~`target_users` (Little's law against the
+  /// mean session duration).  Good for QoS and topology experiments.
+  static Scenario steady(std::size_t target_users, double duration_s);
+
+  /// An evening broadcast: ramp + peak + program end, compressed into
+  /// `hours` (>= 2) of simulated time, peaking around `peak_users`
+  /// concurrent viewers.  This is the workload behind Figs. 6, 8 and 10.
+  static Scenario evening(std::size_t peak_users, double hours = 4.0);
+
+  /// Steady background plus one large flash crowd at `crowd_time`.
+  static Scenario flash_crowd(std::size_t base_users,
+                              std::size_t crowd_extra, double crowd_time,
+                              double duration_s);
+};
+
+/// Executes a Scenario against a fresh System.
+class ScenarioRunner {
+ public:
+  ScenarioRunner(sim::Simulation& simulation, Scenario scenario,
+                 logging::LogServer* log);
+
+  /// Runs the whole scenario (until Scenario::end_time).
+  void run();
+
+  /// Runs until `until` (callable repeatedly; useful for snapshotting the
+  /// overlay mid-broadcast).
+  void run_until(double until);
+
+  core::System& system() noexcept { return system_; }
+  const Scenario& scenario() const noexcept { return scenario_; }
+
+  /// Distinct users that arrived so far.
+  std::uint64_t users_created() const noexcept { return next_user_ - 1; }
+
+ private:
+  struct SessionCtl {
+    std::uint64_t user_id = 0;
+    core::PeerSpec spec;
+    int retries_left = 0;
+    sim::EventHandle patience;
+  };
+
+  void schedule_next_arrival();
+  void start_session(const core::PeerSpec& spec, int retries_left);
+  void on_event(net::NodeId node, core::SessionEvent event);
+  void on_ready(net::NodeId node, SessionCtl& ctl);
+  void on_patience_expired(net::NodeId node);
+
+  sim::Simulation& sim_;
+  Scenario scenario_;
+  ArrivalProcess arrivals_;
+  core::System system_;
+  std::unordered_map<net::NodeId, SessionCtl> active_;
+  std::uint64_t next_user_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace coolstream::workload

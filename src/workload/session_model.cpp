@@ -1,0 +1,24 @@
+#include "workload/session_model.h"
+
+#include <limits>
+
+namespace coolstream::workload {
+
+double SessionModel::draw_duration(sim::Rng& rng) const {
+  if (rng.chance(long_tail_prob)) {
+    // Stays to the end of the program; the scenario truncates at program
+    // end, so return effectively-infinite.
+    return std::numeric_limits<double>::infinity();
+  }
+  return rng.lognormal(duration_mu, duration_sigma);
+}
+
+double SessionModel::draw_patience(sim::Rng& rng) const {
+  return patience_min + rng.exponential(patience_mean);
+}
+
+double SessionModel::draw_retry_delay(sim::Rng& rng) const {
+  return retry_delay_min + rng.exponential(retry_delay_mean);
+}
+
+}  // namespace coolstream::workload

@@ -1,0 +1,49 @@
+// User session behaviour: how long people watch, how patient they are with
+// startup, and how they retry failed joins.
+//
+// Fig. 10a shows a heavy-tailed session-duration distribution with a
+// significant mass of sub-minute sessions; §V-E attributes the short
+// sessions to users "initiating joining multiple times before successfully
+// obtaining the video program".  We model each *user* as: join; if the
+// media player is not ready within a patience budget, leave and (with some
+// probability, up to a retry cap) rejoin after a short pause — the source
+// of Fig. 10b's retry counts.  Once playing, the user watches for a
+// heavy-tailed intended duration, truncated by the program end, at which
+// point viewers depart in bulk (the 22:00 cliff of Fig. 5b).
+#pragma once
+
+#include "sim/rng.h"
+
+namespace coolstream::workload {
+
+/// Session behaviour knobs.
+struct SessionModel {
+  // Viewing duration: lognormal body with a Pareto tail (channel surfers
+  // vs stay-to-the-end viewers).
+  double duration_mu = 6.9;      ///< lognormal mu: e^6.9 ~ 1000 s median
+  double duration_sigma = 1.3;
+  double long_tail_prob = 0.25;  ///< watch "until program end" fraction
+
+  // Startup patience: how long a user waits for media-player-ready.
+  double patience_min = 20.0;   ///< nobody gives up before this
+  double patience_mean = 45.0;  ///< mean of the exponential part
+
+  // Retry behaviour after an abortive join.
+  double retry_prob = 0.85;   ///< chance of trying again at all
+  int max_retries = 4;
+  double retry_delay_min = 2.0;
+  double retry_delay_mean = 10.0;
+
+  /// Fraction of departures that are crashes / abrupt disconnects: no
+  /// leave report reaches the log server (their sessions never close).
+  double crash_fraction = 0.08;
+
+  /// Draws an intended viewing duration in seconds.
+  double draw_duration(sim::Rng& rng) const;
+  /// Draws a startup patience budget in seconds.
+  double draw_patience(sim::Rng& rng) const;
+  /// Draws the pause before a retry.
+  double draw_retry_delay(sim::Rng& rng) const;
+};
+
+}  // namespace coolstream::workload

@@ -1,0 +1,75 @@
+#include "analysis/lorenz.h"
+
+#include <gtest/gtest.h>
+
+namespace coolstream::analysis {
+namespace {
+
+TEST(GiniTest, PerfectlyEqualIsZero) {
+  const std::vector<double> v = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_NEAR(gini(v), 0.0, 1e-12);
+}
+
+TEST(GiniTest, MaximallyUnequal) {
+  // One person owns everything among n: G = (n-1)/n.
+  const std::vector<double> v = {0.0, 0.0, 0.0, 100.0};
+  EXPECT_NEAR(gini(v), 0.75, 1e-12);
+}
+
+TEST(GiniTest, KnownSmallExample) {
+  // {1, 3}: G = 2*(1*1 + 2*3)/(2*4) - 3/2 = 14/8 - 1.5 = 0.25.
+  const std::vector<double> v = {1.0, 3.0};
+  EXPECT_NEAR(gini(v), 0.25, 1e-12);
+}
+
+TEST(GiniTest, EmptyAndZeroTotals) {
+  EXPECT_DOUBLE_EQ(gini({}), 0.0);
+  const std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(gini(zeros), 0.0);
+}
+
+TEST(LorenzTest, EndpointsAndMonotonicity) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 10.0};
+  const auto curve = lorenz_curve(v, 11);
+  ASSERT_EQ(curve.size(), 11u);
+  EXPECT_DOUBLE_EQ(curve.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().first, 1.0);
+  EXPECT_NEAR(curve.back().second, 1.0, 1e-12);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    ASSERT_GE(curve[i].second, curve[i - 1].second);
+    // Lorenz curve lies below the diagonal.
+    ASSERT_LE(curve[i].second, curve[i].first + 1e-12);
+  }
+}
+
+TEST(TopShareTest, PaperHeadlineShape) {
+  // A population where 30% of peers hold ~83% of the total: the Fig.-3b
+  // situation.  10 peers: three contribute 25 each, seven contribute 2.2.
+  std::vector<double> v(10, 2.2);
+  v[0] = v[1] = v[2] = 25.0;
+  const double share = top_share(v, 0.3);
+  EXPECT_GT(share, 0.80);
+  EXPECT_LT(share, 0.90);
+}
+
+TEST(TopShareTest, EdgeFractions) {
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(top_share(v, 0.0), 0.0);
+  EXPECT_NEAR(top_share(v, 1.0), 1.0, 1e-12);
+}
+
+TEST(PopulationForShareTest, Basics) {
+  // {10, 10, 10, 70}: top 25% of people cover 70%; 80% needs 2 of 4.
+  const std::vector<double> v = {10.0, 10.0, 10.0, 70.0};
+  EXPECT_NEAR(population_for_share(v, 0.7), 0.25, 1e-12);
+  EXPECT_NEAR(population_for_share(v, 0.8), 0.5, 1e-12);
+  EXPECT_NEAR(population_for_share(v, 1.0), 1.0, 1e-12);
+}
+
+TEST(PopulationForShareTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(population_for_share({}, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace coolstream::analysis

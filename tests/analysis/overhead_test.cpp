@@ -1,0 +1,51 @@
+#include "analysis/overhead.h"
+
+#include <gtest/gtest.h>
+
+#include "net/latency.h"
+#include "sim/simulation.h"
+
+namespace coolstream::analysis {
+namespace {
+
+TEST(OverheadTest, CountsAndBytes) {
+  sim::Simulation simulation(1);
+  net::LatencyModel latency(1);
+  net::Transport transport(simulation, latency);
+  transport.count_only(net::MessageKind::kBufferMap);
+  transport.count_only(net::MessageKind::kBufferMap);
+  transport.count_only(net::MessageKind::kGossip);
+
+  ControlMessageCosts costs;
+  costs.buffer_map = 100.0;
+  costs.gossip = 50.0;
+  const auto report = measure_overhead(transport, 9750.0, costs);
+  EXPECT_EQ(report.messages[static_cast<std::size_t>(
+                net::MessageKind::kBufferMap)],
+            2u);
+  EXPECT_DOUBLE_EQ(report.bytes[static_cast<std::size_t>(
+                       net::MessageKind::kBufferMap)],
+                   200.0);
+  EXPECT_DOUBLE_EQ(report.control_bytes_total, 250.0);
+  EXPECT_DOUBLE_EQ(report.data_bytes_total, 9750.0);
+  EXPECT_NEAR(report.overhead_ratio(), 0.025, 1e-12);
+}
+
+TEST(OverheadTest, EmptyTransport) {
+  sim::Simulation simulation(2);
+  net::LatencyModel latency(2);
+  net::Transport transport(simulation, latency);
+  const auto report = measure_overhead(transport, 0.0);
+  EXPECT_DOUBLE_EQ(report.control_bytes_total, 0.0);
+  EXPECT_DOUBLE_EQ(report.overhead_ratio(), 0.0);
+}
+
+TEST(OverheadTest, CostTableCoversAllKinds) {
+  ControlMessageCosts costs;
+  for (int k = 0; k < net::kMessageKindCount; ++k) {
+    EXPECT_GT(costs.cost_of(static_cast<net::MessageKind>(k)), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace coolstream::analysis

@@ -1,0 +1,92 @@
+#include "analysis/overlay.h"
+
+#include <gtest/gtest.h>
+
+namespace coolstream::analysis {
+namespace {
+
+net::SnapshotNode node(net::NodeId id, net::ConnectionType type,
+                       std::vector<net::NodeId> parents,
+                       std::vector<net::NodeId> partners = {},
+                       bool is_server = false) {
+  net::SnapshotNode n;
+  n.id = id;
+  n.type = type;
+  n.is_server = is_server;
+  n.parents = std::move(parents);
+  n.partners = std::move(partners);
+  return n;
+}
+
+net::TopologySnapshot sample_snapshot() {
+  using net::ConnectionType;
+  net::TopologySnapshot snap;
+  // 0: server.  1: direct viewer under server.  2: NAT under direct (x2).
+  // 3: NAT under NAT (a "random link") and under server.
+  snap.nodes.push_back(node(0, ConnectionType::kDirect, {}, {}, true));
+  snap.nodes.push_back(
+      node(1, ConnectionType::kDirect, {0, 0}, {0, 2, 3}));
+  snap.nodes.push_back(node(2, ConnectionType::kNat, {1, 1}, {1}));
+  snap.nodes.push_back(node(3, ConnectionType::kNat, {2, 0}, {1, 2}));
+  snap.compute_depths();
+  return snap;
+}
+
+TEST(OverlayTest, CountsAndShares) {
+  const auto m = measure_overlay(sample_snapshot());
+  EXPECT_EQ(m.viewers, 3u);
+  EXPECT_EQ(m.subscribed_edges, 6u);
+  // Parents: node1 -> server x2; node2 -> direct x2; node3 -> NAT, server.
+  EXPECT_NEAR(m.parent_share_server, 3.0 / 6.0, 1e-12);
+  EXPECT_NEAR(m.parent_share_capable, 2.0 / 6.0, 1e-12);
+  EXPECT_NEAR(m.parent_share_weak, 1.0 / 6.0, 1e-12);
+  // Viewer-viewer links: 3 (two into node1, one into node2); one of them
+  // is NAT->NAT.
+  EXPECT_NEAR(m.random_link_fraction, 1.0 / 3.0, 1e-12);
+}
+
+TEST(OverlayTest, StabilityAndStarvation) {
+  const auto m = measure_overlay(sample_snapshot());
+  // Node 1 (all server parents) and node 2 (all direct parents) are fully
+  // stable; node 3 has a NAT parent.
+  EXPECT_NEAR(m.fully_stable_parent_fraction, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.starving_fraction, 0.0);
+}
+
+TEST(OverlayTest, StarvingViewerDetected) {
+  using net::ConnectionType;
+  net::TopologySnapshot snap;
+  snap.nodes.push_back(node(0, ConnectionType::kDirect, {}, {}, true));
+  snap.nodes.push_back(
+      node(1, ConnectionType::kNat, {0, net::kInvalidNode}));
+  snap.compute_depths();
+  const auto m = measure_overlay(snap);
+  EXPECT_DOUBLE_EQ(m.starving_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(m.fully_stable_parent_fraction, 0.0);
+}
+
+TEST(OverlayTest, DepthStatistics) {
+  const auto m = measure_overlay(sample_snapshot());
+  // Depths: node1 = 1, node2 = 2, node3 = 1 (via server).
+  EXPECT_NEAR(m.mean_depth, (1.0 + 2.0 + 1.0) / 3.0, 1e-12);
+  EXPECT_EQ(m.max_depth, 2);
+  EXPECT_EQ(m.unreachable, 0u);
+  ASSERT_GE(m.depth_histogram.size(), 3u);
+  EXPECT_EQ(m.depth_histogram[1], 2u);
+  EXPECT_EQ(m.depth_histogram[2], 1u);
+}
+
+TEST(OverlayTest, MeanPartners) {
+  const auto m = measure_overlay(sample_snapshot());
+  EXPECT_NEAR(m.mean_partners, (3.0 + 1.0 + 2.0) / 3.0, 1e-12);
+}
+
+TEST(OverlayTest, EmptySnapshot) {
+  net::TopologySnapshot snap;
+  const auto m = measure_overlay(snap);
+  EXPECT_EQ(m.viewers, 0u);
+  EXPECT_DOUBLE_EQ(m.random_link_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace coolstream::analysis

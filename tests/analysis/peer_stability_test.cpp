@@ -1,0 +1,135 @@
+#include "analysis/peer_stability.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace coolstream::analysis {
+namespace {
+
+using logging::Activity;
+using logging::ActivityReport;
+using logging::PartnerReport;
+using logging::QosReport;
+using logging::Report;
+
+void add_measured_session(std::vector<Report>& reports, std::uint64_t user,
+                          std::uint64_t session, double join, double leave,
+                          std::uint64_t due, std::uint64_t on_time,
+                          std::uint32_t partner_changes,
+                          const std::string& ip = "10.0.0.1") {
+  ActivityReport j;
+  j.header = {user, session, join};
+  j.activity = Activity::kJoin;
+  j.address = ip;
+  reports.emplace_back(j);
+  QosReport q;
+  q.header = {user, session, join + 300.0};
+  q.blocks_due = due;
+  q.blocks_on_time = on_time;
+  reports.emplace_back(q);
+  PartnerReport p;
+  p.header = {user, session, join + 300.0};
+  p.partner_count = 4;
+  for (std::uint32_t i = 0; i < partner_changes; ++i) {
+    p.changes.push_back(logging::PartnerChange{i, i % 2 == 0, false});
+  }
+  reports.emplace_back(p);
+  ActivityReport l;
+  l.header = {user, session, leave};
+  l.activity = Activity::kLeave;
+  l.had_outgoing = true;
+  reports.emplace_back(l);
+}
+
+TEST(PeerStabilityTest, ExtractsCoordinates) {
+  std::vector<Report> reports;
+  // 600 s session, 6 partner changes -> 0.6/min; continuity 0.95.
+  add_measured_session(reports, 1, 10, 0.0, 600.0, 1000, 950, 6);
+  const auto log = logging::reconstruct_sessions(reports);
+  const auto sessions = session_stability(log);
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_NEAR(sessions[0].continuity, 0.95, 1e-12);
+  EXPECT_NEAR(sessions[0].partner_changes_per_min, 0.6, 1e-12);
+  EXPECT_NEAR(sessions[0].duration_s, 600.0, 1e-12);
+  EXPECT_EQ(sessions[0].observed_type, net::ConnectionType::kNat);
+}
+
+TEST(PeerStabilityTest, SkipsShortAndUnmeasuredSessions) {
+  std::vector<Report> reports;
+  add_measured_session(reports, 1, 10, 0.0, 30.0, 100, 100, 1);  // too short
+  ActivityReport j;  // no QoS at all
+  j.header = {2, 20, 0.0};
+  j.activity = Activity::kJoin;
+  reports.emplace_back(j);
+  const auto log = logging::reconstruct_sessions(reports);
+  EXPECT_TRUE(session_stability(log).empty());
+}
+
+TEST(PeerStabilityTest, OpenSessionUsesLastQosTime) {
+  std::vector<Report> reports;
+  ActivityReport j;
+  j.header = {3, 30, 100.0};
+  j.activity = Activity::kJoin;
+  reports.emplace_back(j);
+  QosReport q;
+  q.header = {3, 30, 700.0};  // 600 s after join, session never closed
+  q.blocks_due = 500;
+  q.blocks_on_time = 500;
+  reports.emplace_back(q);
+  const auto log = logging::reconstruct_sessions(reports);
+  const auto sessions = session_stability(log);
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_NEAR(sessions[0].duration_s, 600.0, 1e-12);
+}
+
+TEST(PeerStabilityTest, ReportAggregates) {
+  std::vector<Report> reports;
+  // Stable peer: perfect continuity, low churn.
+  add_measured_session(reports, 1, 10, 0.0, 600.0, 1000, 1000, 2);
+  // Unstable peer: low continuity, high churn.
+  add_measured_session(reports, 2, 20, 0.0, 600.0, 1000, 800, 40);
+  const auto log = logging::reconstruct_sessions(reports);
+  const auto report = peerwise_report(log);
+  EXPECT_NEAR(report.continuity.mean, 0.9, 1e-12);
+  EXPECT_LT(report.churn_quality_correlation, 0.0);  // churn hurts quality
+  EXPECT_NEAR(report.stable_fraction, 0.5, 1e-12);
+  EXPECT_EQ(report.sessions_by_type[static_cast<std::size_t>(
+                net::ConnectionType::kNat)],
+            2u);
+}
+
+TEST(PeerStabilityTest, EmptyLog) {
+  const auto report = peerwise_report(logging::SessionLog{});
+  EXPECT_EQ(report.continuity.count, 0u);
+  EXPECT_DOUBLE_EQ(report.stable_fraction, 0.0);
+}
+
+TEST(PearsonTest, PerfectCorrelation) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  std::vector<double> neg(y.rbegin(), y.rend());
+  EXPECT_NEAR(pearson(x, neg), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(pearson({}, {}), 0.0);
+  const std::vector<double> x = {1.0, 1.0, 1.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);  // constant sample
+}
+
+TEST(PearsonTest, UncorrelatedNearZero) {
+  sim::Rng rng(5);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 5000; ++i) {
+    x.push_back(rng.uniform());
+    y.push_back(rng.uniform());
+  }
+  EXPECT_NEAR(pearson(x, y), 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace coolstream::analysis

@@ -1,0 +1,171 @@
+#include "analysis/session_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/continuity.h"
+
+namespace coolstream::analysis {
+namespace {
+
+using logging::Activity;
+using logging::ActivityReport;
+using logging::QosReport;
+using logging::Report;
+using logging::TrafficReport;
+
+void add_session(std::vector<Report>& reports, std::uint64_t user,
+                 std::uint64_t session, double join, double ready_delay,
+                 double leave, const std::string& ip, bool had_incoming,
+                 std::uint64_t up_bytes = 0, std::uint64_t due = 0,
+                 std::uint64_t on_time = 0) {
+  ActivityReport j;
+  j.header = {user, session, join};
+  j.activity = Activity::kJoin;
+  j.address = ip;
+  reports.emplace_back(j);
+  if (ready_delay >= 0.0) {
+    ActivityReport ss;
+    ss.header = {user, session, join + ready_delay * 0.4};
+    ss.activity = Activity::kStartSubscription;
+    reports.emplace_back(ss);
+    ActivityReport rd;
+    rd.header = {user, session, join + ready_delay};
+    rd.activity = Activity::kMediaPlayerReady;
+    reports.emplace_back(rd);
+  }
+  if (up_bytes > 0 || due > 0) {
+    TrafficReport t;
+    t.header = {user, session, join + 300.0};
+    t.bytes_up = up_bytes;
+    t.bytes_down = up_bytes * 2;
+    reports.emplace_back(t);
+    QosReport q;
+    q.header = {user, session, join + 300.0};
+    q.blocks_due = due;
+    q.blocks_on_time = on_time;
+    reports.emplace_back(q);
+  }
+  if (leave >= 0.0) {
+    ActivityReport l;
+    l.header = {user, session, leave};
+    l.activity = Activity::kLeave;
+    l.had_incoming = had_incoming;
+    l.had_outgoing = true;
+    reports.emplace_back(l);
+  }
+}
+
+logging::SessionLog sample_log() {
+  std::vector<Report> reports;
+  // User 1: direct (public + incoming), big uploader, one long session.
+  add_session(reports, 1, 10, 0.0, 8.0, 2000.0, "8.8.8.8", true, 1'000'000,
+              4000, 3960);
+  // User 2: NAT (private, no incoming), small uploader.
+  add_session(reports, 2, 20, 60.0, 15.0, 900.0, "10.0.0.2", false, 50'000,
+              2000, 1990);
+  // User 3: firewall (public, no incoming), failed twice then succeeded.
+  add_session(reports, 3, 30, 100.0, -1.0, 130.0, "9.9.9.9", false);
+  add_session(reports, 3, 31, 140.0, -1.0, 170.0, "9.9.9.9", false);
+  add_session(reports, 3, 32, 180.0, 20.0, 1500.0, "9.9.9.9", false, 20'000,
+              1000, 980);
+  // User 4: UPnP (private + incoming), short session.
+  add_session(reports, 4, 40, 300.0, 12.0, 340.0, "192.168.1.4", true,
+              10'000);
+  return logging::reconstruct_sessions(reports);
+}
+
+TEST(SessionAnalysisTest, TypeDistribution) {
+  const auto log = sample_log();
+  const auto dist = observed_type_distribution(log);
+  EXPECT_EQ(dist.total, 4u);
+  EXPECT_DOUBLE_EQ(dist.share(net::ConnectionType::kDirect), 0.25);
+  EXPECT_DOUBLE_EQ(dist.share(net::ConnectionType::kNat), 0.25);
+  EXPECT_DOUBLE_EQ(dist.share(net::ConnectionType::kFirewall), 0.25);
+  EXPECT_DOUBLE_EQ(dist.share(net::ConnectionType::kUpnp), 0.25);
+}
+
+TEST(SessionAnalysisTest, UploadContributions) {
+  const auto log = sample_log();
+  const auto contrib = upload_contributions(log);
+  EXPECT_EQ(contrib.per_user_bytes.size(), 4u);
+  EXPECT_DOUBLE_EQ(contrib.total_bytes, 1'080'000.0);
+  EXPECT_NEAR(contrib.type_share(net::ConnectionType::kDirect),
+              1'000'000.0 / 1'080'000.0, 1e-12);
+  // Direct + UPnP dominate upload.
+  const double capable = contrib.type_share(net::ConnectionType::kDirect) +
+                         contrib.type_share(net::ConnectionType::kUpnp);
+  EXPECT_GT(capable, 0.9);
+}
+
+TEST(SessionAnalysisTest, StartupDelays) {
+  const auto log = sample_log();
+  const auto d = startup_delays(log);
+  EXPECT_EQ(d.media_ready.size(), 4u);       // 4 ready sessions
+  EXPECT_EQ(d.start_subscription.size(), 4u);
+  EXPECT_EQ(d.buffering.size(), 4u);
+  EXPECT_DOUBLE_EQ(d.media_ready.quantile(1.0), 20.0);
+  // Buffering = 60% of the ready delay in the generator above.
+  EXPECT_NEAR(d.buffering.quantile(1.0), 12.0, 1e-9);
+}
+
+TEST(SessionAnalysisTest, ReadyDelayByPeriod) {
+  const auto log = sample_log();
+  const std::vector<double> edges = {0.0, 150.0, 400.0};
+  const auto periods = ready_delay_by_period(log, edges);
+  ASSERT_EQ(periods.size(), 2u);
+  EXPECT_EQ(periods[0].size(), 2u);  // joins at 0 and 60
+  EXPECT_EQ(periods[1].size(), 2u);  // joins at 180 and 300
+}
+
+TEST(SessionAnalysisTest, SessionDurations) {
+  const auto log = sample_log();
+  const auto durations = session_durations(log);
+  EXPECT_EQ(durations.size(), 6u);  // all sessions have join+leave
+  EXPECT_NEAR(short_session_fraction(log, 60.0), 3.0 / 6.0, 1e-12);
+}
+
+TEST(SessionAnalysisTest, RetryDistribution) {
+  const auto log = sample_log();
+  const auto retries = retry_distribution(log);
+  EXPECT_EQ(retries.total_users, 4u);
+  EXPECT_EQ(retries.never_succeeded, 0u);
+  EXPECT_EQ(retries.users_by_retries[0], 3u);  // users 1, 2, 4
+  EXPECT_EQ(retries.users_by_retries[2], 1u);  // user 3 retried twice
+  EXPECT_DOUBLE_EQ(retries.fraction_with_retries(), 0.25);
+}
+
+TEST(SessionAnalysisTest, ContinuityAggregation) {
+  const auto log = sample_log();
+  const double avg = average_continuity(log);
+  EXPECT_NEAR(avg, (3960.0 + 1990.0 + 980.0) / (4000.0 + 2000.0 + 1000.0),
+              1e-12);
+  const auto by_type = average_continuity_by_type(log);
+  EXPECT_NEAR(by_type[static_cast<std::size_t>(net::ConnectionType::kDirect)],
+              0.99, 1e-12);
+  EXPECT_NEAR(by_type[static_cast<std::size_t>(net::ConnectionType::kNat)],
+              0.995, 1e-12);
+}
+
+TEST(SessionAnalysisTest, ContinuityBuckets) {
+  const auto log = sample_log();
+  const auto buckets = continuity_by_type_over_time(log, 200.0);
+  // QoS reports at t=300 (users 1, 2) and t=480 (user 3).
+  ASSERT_GE(buckets.size(), 3u);
+  EXPECT_GT(buckets[1].due[static_cast<std::size_t>(net::ConnectionType::kDirect)],
+            0u);
+  EXPECT_GT(buckets[2].due[static_cast<std::size_t>(net::ConnectionType::kFirewall)],
+            0u);
+  EXPECT_LE(buckets[1].overall(), 1.0);
+}
+
+TEST(SessionAnalysisTest, EmptyLog) {
+  logging::SessionLog log;
+  EXPECT_EQ(observed_type_distribution(log).total, 0u);
+  EXPECT_DOUBLE_EQ(average_continuity(log), 1.0);
+  EXPECT_TRUE(session_durations(log).empty());
+  EXPECT_EQ(retry_distribution(log).total_users, 0u);
+  EXPECT_DOUBLE_EQ(short_session_fraction(log), 0.0);
+}
+
+}  // namespace
+}  // namespace coolstream::analysis

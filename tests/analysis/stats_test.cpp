@@ -1,0 +1,111 @@
+#include "analysis/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace coolstream::analysis {
+namespace {
+
+TEST(SummaryTest, EmptyInput) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(SummaryTest, BasicStatistics) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+}
+
+TEST(SummaryTest, SingleValue) {
+  const std::vector<double> v = {7.0};
+  const auto s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+  EXPECT_DOUBLE_EQ(s.p99, 7.0);
+}
+
+TEST(EcdfTest, Empty) {
+  Ecdf e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_DOUBLE_EQ(e.at(5.0), 0.0);
+}
+
+TEST(EcdfTest, StepFunction) {
+  Ecdf e({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(e.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.at(99.0), 1.0);
+}
+
+TEST(EcdfTest, UnsortedInputIsSorted) {
+  Ecdf e({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(e.sorted()[0], 1.0);
+  EXPECT_DOUBLE_EQ(e.sorted()[2], 3.0);
+}
+
+TEST(EcdfTest, Quantiles) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  Ecdf e(std::move(v));
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.9), 90.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 100.0);
+}
+
+TEST(EcdfTest, CurveSpansRangeAndIsMonotone) {
+  Ecdf e({1.0, 5.0, 5.0, 9.0, 12.0});
+  const auto curve = e.curve(11);
+  ASSERT_EQ(curve.size(), 11u);
+  EXPECT_DOUBLE_EQ(curve.front().first, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().first, 12.0);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    ASSERT_GE(curve[i].second, curve[i - 1].second);
+  }
+}
+
+TEST(HistogramTest, BinsAndFractions) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);
+  h.add(1.5);
+  h.add(9.0);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_NEAR(h.fraction(0), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(HistogramTest, OutOfRangeClampedToEdges) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(HistogramTest, AddN) {
+  Histogram h(0.0, 1.0, 1);
+  h.add_n(0.5, 10);
+  EXPECT_EQ(h.total(), 10u);
+  EXPECT_EQ(h.count(0), 10u);
+}
+
+TEST(HistogramTest, EmptyFractionIsZero) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+}  // namespace
+}  // namespace coolstream::analysis

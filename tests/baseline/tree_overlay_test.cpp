@@ -1,0 +1,145 @@
+#include "baseline/tree_overlay.h"
+
+#include <gtest/gtest.h>
+
+namespace coolstream::baseline {
+namespace {
+
+TreeParams fast_params() {
+  TreeParams p;
+  p.root_capacity_bps = 10 * 768e3;  // root fathers 10 children
+  return p;
+}
+
+TEST(TreeOverlayTest, RootComesUp) {
+  sim::Simulation simulation(1);
+  TreeOverlay tree(simulation, fast_params());
+  tree.start();
+  EXPECT_EQ(tree.live_count(), 1u);
+  simulation.run_until(10.0);
+}
+
+TEST(TreeOverlayTest, JoinAttachesNearRoot) {
+  sim::Simulation simulation(2);
+  TreeOverlay tree(simulation, fast_params());
+  tree.start();
+  const auto a = tree.join(2 * 768e3, true);
+  simulation.run_until(5.0);
+  EXPECT_EQ(tree.depth(a), 1);
+  EXPECT_TRUE(tree.is_live(a));
+}
+
+TEST(TreeOverlayTest, DegreeConstraintForcesDeeperAttachment) {
+  sim::Simulation simulation(3);
+  TreeParams p = fast_params();
+  p.root_capacity_bps = 2 * 768e3;  // root fathers only 2
+  TreeOverlay tree(simulation, p);
+  tree.start();
+  std::vector<net::NodeId> ids;
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(tree.join(2 * 768e3, true));
+    simulation.run_until(simulation.now() + 3.0);
+  }
+  int max_depth = 0;
+  for (auto id : ids) max_depth = std::max(max_depth, tree.depth(id));
+  EXPECT_GE(max_depth, 2);
+}
+
+TEST(TreeOverlayTest, UnreachableNodesStayLeaves) {
+  sim::Simulation simulation(4);
+  TreeParams p = fast_params();
+  p.root_capacity_bps = 1 * 768e3 + 1;  // root fathers exactly 1
+  TreeOverlay tree(simulation, p);
+  tree.start();
+  const auto nat = tree.join(10e6, /*reachable=*/false);
+  simulation.run_until(3.0);
+  EXPECT_EQ(tree.depth(nat), 1);
+  // Big capacity but unreachable: cannot father the next join, which
+  // therefore stays detached (tree is full).
+  const auto second = tree.join(1e6, true);
+  simulation.run_until(30.0);
+  EXPECT_EQ(tree.depth(second), -1);
+}
+
+TEST(TreeOverlayTest, StableTreeDeliversEverything) {
+  sim::Simulation simulation(5);
+  TreeOverlay tree(simulation, fast_params());
+  tree.start();
+  std::vector<net::NodeId> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(tree.join(3 * 768e3, true));
+  simulation.run_until(300.0);
+  EXPECT_GT(tree.average_continuity(), 0.999);
+  EXPECT_DOUBLE_EQ(tree.attached_fraction(), 1.0);
+  for (auto id : ids) EXPECT_GT(tree.stats(id).blocks_due, 0u);
+}
+
+TEST(TreeOverlayTest, DepartureOrphansSubtree) {
+  sim::Simulation simulation(6);
+  TreeParams p = fast_params();
+  p.root_capacity_bps = 1 * 768e3 + 1;  // chain topology
+  p.repair_delay = 5.0;
+  TreeOverlay tree(simulation, p);
+  tree.start();
+  const auto a = tree.join(1 * 768e3 + 1, true);
+  simulation.run_until(3.0);
+  const auto b = tree.join(1 * 768e3 + 1, true);
+  simulation.run_until(6.0);
+  ASSERT_EQ(tree.depth(a), 1);
+  ASSERT_EQ(tree.depth(b), 2);
+
+  tree.leave(a);
+  EXPECT_FALSE(tree.is_live(a));
+  EXPECT_EQ(tree.depth(b), -1);  // orphaned
+  simulation.run_until(20.0);
+  EXPECT_EQ(tree.depth(b), 1);   // re-attached under the root
+  EXPECT_EQ(tree.stats(b).reattachments, 1u);
+}
+
+TEST(TreeOverlayTest, ChurnHurtsContinuity) {
+  auto run = [](double churn_interval) {
+    sim::Simulation simulation(7);
+    TreeParams p;
+    p.root_capacity_bps = 4 * 768e3;
+    p.repair_delay = 4.0;
+    TreeOverlay tree(simulation, p);
+    tree.start();
+    std::vector<net::NodeId> ids;
+    for (int i = 0; i < 24; ++i) ids.push_back(tree.join(2 * 768e3, true));
+    simulation.run_until(60.0);
+    // Periodically kill an interior node and replace it.
+    double t = 60.0;
+    std::size_t victim = 0;
+    while (t < 600.0) {
+      t = std::min(t + churn_interval, 600.0);
+      simulation.run_until(t);
+      if (t >= 600.0) break;
+      // Kill the oldest live non-root node (likely interior).
+      while (victim < ids.size() && !tree.is_live(ids[victim])) ++victim;
+      if (victim < ids.size()) {
+        tree.leave(ids[victim]);
+        ids.push_back(tree.join(2 * 768e3, true));
+        ++victim;
+      }
+    }
+    simulation.run_until(700.0);
+    return tree.average_continuity();
+  };
+  const double calm = run(1e9);   // no churn
+  const double churny = run(20.0);
+  EXPECT_GT(calm, churny);
+  EXPECT_GT(calm, 0.99);
+}
+
+TEST(TreeOverlayTest, LeaveIsIdempotent) {
+  sim::Simulation simulation(8);
+  TreeOverlay tree(simulation, fast_params());
+  tree.start();
+  const auto a = tree.join(1e6, true);
+  simulation.run_until(3.0);
+  tree.leave(a);
+  tree.leave(a);
+  EXPECT_EQ(tree.live_count(), 1u);
+}
+
+}  // namespace
+}  // namespace coolstream::baseline

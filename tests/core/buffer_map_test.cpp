@@ -1,0 +1,82 @@
+#include "core/buffer_map.h"
+
+#include <gtest/gtest.h>
+
+namespace coolstream::core {
+namespace {
+
+TEST(BufferMapTest, FreshMapIsEmpty) {
+  BufferMap bm(4);
+  EXPECT_EQ(bm.substream_count(), 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(bm.latest(i), -1);
+    EXPECT_FALSE(bm.subscribed(i));
+  }
+  EXPECT_EQ(bm.max_latest(), -1);
+  EXPECT_EQ(bm.spread(), 0);
+}
+
+TEST(BufferMapTest, SetAndGet) {
+  BufferMap bm(3);
+  bm.set_latest(0, 10);
+  bm.set_latest(1, 7);
+  bm.set_latest(2, 12);
+  bm.set_subscribed(1, true);
+  EXPECT_EQ(bm.latest(1), 7);
+  EXPECT_TRUE(bm.subscribed(1));
+  EXPECT_FALSE(bm.subscribed(0));
+  EXPECT_EQ(bm.max_latest(), 12);
+  EXPECT_EQ(bm.min_latest(), 7);
+  EXPECT_EQ(bm.spread(), 5);
+}
+
+TEST(BufferMapTest, TwoKTupleSemantics) {
+  // §III-C: first K components = latest sequence numbers; second K =
+  // subscriptions.  Verify both halves survive the wire format.
+  BufferMap bm(2);
+  bm.set_latest(0, 100);
+  bm.set_latest(1, 99);
+  bm.set_subscribed(0, true);
+  const auto decoded = BufferMap::decode(bm.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, bm);
+}
+
+TEST(BufferMapTest, EncodeFormat) {
+  BufferMap bm(3);
+  bm.set_latest(0, 5);
+  bm.set_latest(1, -1);
+  bm.set_latest(2, 42);
+  bm.set_subscribed(2, true);
+  EXPECT_EQ(bm.encode(), "5,-1,42|001");
+}
+
+TEST(BufferMapTest, DecodeRejectsMalformed) {
+  EXPECT_FALSE(BufferMap::decode("").has_value());
+  EXPECT_FALSE(BufferMap::decode("1,2,3").has_value());       // no bits
+  EXPECT_FALSE(BufferMap::decode("1,2|0").has_value());       // count mismatch
+  EXPECT_FALSE(BufferMap::decode("1,x|00").has_value());      // bad number
+  EXPECT_FALSE(BufferMap::decode("1,2|02").has_value());      // bad bit
+  EXPECT_FALSE(BufferMap::decode("|").has_value());           // empty halves
+}
+
+TEST(BufferMapTest, RoundTripSweep) {
+  for (int k = 1; k <= 8; ++k) {
+    BufferMap bm(k);
+    for (int i = 0; i < k; ++i) {
+      bm.set_latest(i, i * 1000 - 1);
+      bm.set_subscribed(i, i % 2 == 0);
+    }
+    const auto decoded = BufferMap::decode(bm.encode());
+    ASSERT_TRUE(decoded.has_value()) << "k=" << k;
+    EXPECT_EQ(*decoded, bm);
+  }
+}
+
+TEST(BufferMapTest, WireSizeIsEncodeLength) {
+  BufferMap bm(4);
+  EXPECT_EQ(bm.wire_size(), bm.encode().size());
+}
+
+}  // namespace
+}  // namespace coolstream::core

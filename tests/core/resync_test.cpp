@@ -1,0 +1,102 @@
+// Bounded playback latency and forward resync behaviour.
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "net/address.h"
+
+namespace coolstream::core {
+namespace {
+
+Params fast_params() {
+  Params p;
+  p.status_report_period = 30.0;
+  return p;
+}
+
+PeerSpec nat_viewer(std::uint64_t user, sim::Rng& rng) {
+  PeerSpec s;
+  s.user_id = user;
+  s.kind = PeerKind::kViewer;
+  s.type = net::ConnectionType::kNat;
+  s.address = net::random_private_address(rng);
+  s.upload_capacity_bps = 0.0;
+  return s;
+}
+
+double playback_lag_seconds(const System& sys, const Peer& p, double now) {
+  const auto live = global_of(
+      0, sys.source_head(0, now), sys.params().substream_count);
+  return static_cast<double>(live - p.playhead()) / sys.params().block_rate;
+}
+
+TEST(ResyncTest, PlaybackLagStaysBounded) {
+  // A server that can push only 90% of the stream rate: without the lag
+  // bound the viewer would drift behind without limit; with it, playback
+  // stays within max_playback_lag (+ a resync-cooldown's worth of slack).
+  sim::Simulation simulation(3);
+  SystemConfig cfg;
+  cfg.server_count = 1;
+  cfg.server_capacity_bps = 0.9 * 768e3;
+  cfg.server_max_partners = 4;
+  System sys(simulation, fast_params(), cfg, nullptr);
+  sys.start();
+  simulation.run_until(30.0);
+  const net::NodeId id = sys.join(nat_viewer(1, simulation.rng()));
+  simulation.run_until(1800.0);
+
+  const Peer* p = sys.peer(id);
+  ASSERT_EQ(p->phase(), PeerPhase::kPlaying);
+  EXPECT_GT(p->stats().resyncs, 0u);
+  const double lag = playback_lag_seconds(sys, *p, simulation.now());
+  const Params& params = sys.params();
+  EXPECT_LT(lag, params.max_playback_lag_seconds +
+                     0.2 * params.max_playback_lag_seconds +
+                     params.resync_cooldown_seconds);
+}
+
+TEST(ResyncTest, HealthyViewerNeverResyncs) {
+  sim::Simulation simulation(5);
+  SystemConfig cfg;
+  cfg.server_count = 1;
+  cfg.server_capacity_bps = 5 * 768e3;
+  cfg.server_max_partners = 4;
+  System sys(simulation, fast_params(), cfg, nullptr);
+  sys.start();
+  simulation.run_until(30.0);
+  const net::NodeId id = sys.join(nat_viewer(2, simulation.rng()));
+  simulation.run_until(900.0);
+  const Peer* p = sys.peer(id);
+  EXPECT_EQ(p->stats().resyncs, 0u);
+  // And its lag is small: roughly T_p plus the startup buffering.
+  const double lag = playback_lag_seconds(sys, *p, simulation.now());
+  EXPECT_LT(lag, 35.0);
+  EXPECT_GT(lag, 3.0);
+}
+
+TEST(ResyncTest, CapacityScaledPartnerBudget) {
+  sim::Simulation simulation(7);
+  System sys(simulation, fast_params(), SystemConfig{}, nullptr);
+  auto budget_for = [&](double upload_bps) {
+    PeerSpec spec;
+    spec.kind = PeerKind::kViewer;
+    spec.type = net::ConnectionType::kDirect;
+    spec.upload_capacity_bps = upload_bps;
+    Peer p(sys, 999, spec, 1, 0.0);
+    return sys.max_partners_of(p);
+  };
+  const Params& params = sys.params();
+  // Weak uplinks get the floor; strong uplinks hit the M ceiling.
+  EXPECT_EQ(budget_for(0.0), params.initial_partner_target + 1);
+  EXPECT_EQ(budget_for(100e3), params.initial_partner_target + 1);
+  EXPECT_EQ(budget_for(20e6), params.max_partners);
+  // Monotone in capacity.
+  int prev = 0;
+  for (double bps : {0.2e6, 0.5e6, 1e6, 2e6, 4e6, 8e6}) {
+    const int b = budget_for(bps);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+}  // namespace
+}  // namespace coolstream::core

@@ -1,0 +1,68 @@
+#include "core/stream_types.h"
+
+#include <gtest/gtest.h>
+
+namespace coolstream::core {
+namespace {
+
+TEST(StreamTypesTest, GlobalToSubstreamMapping) {
+  // K = 4: global 0,1,2,3 -> substreams 0..3 seq 0; global 4 -> (0, 1)...
+  EXPECT_EQ(substream_of(0, 4), 0);
+  EXPECT_EQ(substream_of(3, 4), 3);
+  EXPECT_EQ(substream_of(4, 4), 0);
+  EXPECT_EQ(substream_seq_of(0, 4), 0);
+  EXPECT_EQ(substream_seq_of(3, 4), 0);
+  EXPECT_EQ(substream_seq_of(4, 4), 1);
+  EXPECT_EQ(substream_seq_of(11, 4), 2);
+}
+
+TEST(StreamTypesTest, RoundTripMapping) {
+  for (int k = 1; k <= 6; ++k) {
+    for (GlobalSeq g = 0; g < 100; ++g) {
+      const SubstreamId i = substream_of(g, k);
+      const SeqNum n = substream_seq_of(g, k);
+      ASSERT_EQ(global_of(i, n, k), g) << "k=" << k << " g=" << g;
+    }
+  }
+}
+
+TEST(StreamTypesTest, CombinedPrefixAllEmpty) {
+  const SeqNum heads[4] = {-1, -1, -1, -1};
+  EXPECT_EQ(combined_prefix(heads, 4), -1);
+}
+
+TEST(StreamTypesTest, CombinedPrefixBalanced) {
+  // Every sub-stream has blocks 0..2: global prefix is 0..11 complete.
+  const SeqNum heads[4] = {2, 2, 2, 2};
+  EXPECT_EQ(combined_prefix(heads, 4), 11);
+}
+
+TEST(StreamTypesTest, CombinedPrefixFig2bExample) {
+  // Fig. 2b: the combination stops awaiting the block of the 4th
+  // sub-stream: with K=4, sub-streams 0..2 have sequence number 1 but
+  // sub-stream 3 only 0, the global prefix ends at global block 6
+  // (= sub-stream 2, seq 1); global 7 (sub-stream 3, seq 1) is missing.
+  const SeqNum heads[4] = {1, 1, 1, 0};
+  EXPECT_EQ(combined_prefix(heads, 4), 6);
+}
+
+TEST(StreamTypesTest, CombinedPrefixFirstStreamMissing) {
+  const SeqNum heads[4] = {-1, 5, 5, 5};
+  EXPECT_EQ(combined_prefix(heads, 4), -1);
+}
+
+TEST(StreamTypesTest, CombinedPrefixHintResumes) {
+  const SeqNum heads[2] = {10, 9};
+  const GlobalSeq full = combined_prefix(heads, 2);
+  EXPECT_EQ(full, 20);  // sub-stream 0 ahead by one: prefix ends on (0,10)
+  EXPECT_EQ(combined_prefix(heads, 2, 15), full);
+  EXPECT_EQ(combined_prefix(heads, 2, full), full);
+}
+
+TEST(StreamTypesTest, CombinedPrefixSingleSubstream) {
+  const SeqNum heads[1] = {7};
+  EXPECT_EQ(combined_prefix(heads, 1), 7);
+}
+
+}  // namespace
+}  // namespace coolstream::core

@@ -1,0 +1,165 @@
+// Whole-pipeline integration tests: Scenario -> System -> LogServer ->
+// session reconstruction -> figure pipelines, checking the paper's
+// qualitative claims hold on small broadcasts.
+#include <gtest/gtest.h>
+
+#include "analysis/continuity.h"
+#include "analysis/lorenz.h"
+#include "analysis/overlay.h"
+#include "analysis/session_analysis.h"
+#include "logging/log_server.h"
+#include "logging/sessions.h"
+#include "sim/simulation.h"
+#include "workload/scenario.h"
+
+namespace coolstream {
+namespace {
+
+struct RunResult {
+  logging::SessionLog sessions;
+  analysis::OverlayMetrics overlay;
+  std::uint64_t users = 0;
+  std::size_t live_at_end = 0;
+  std::size_t log_lines = 0;
+  std::size_t malformed = 0;
+};
+
+RunResult run_scenario(workload::Scenario scenario, std::uint64_t seed) {
+  sim::Simulation simulation(seed);
+  logging::LogServer log;
+  workload::ScenarioRunner runner(simulation, std::move(scenario), &log);
+  runner.run();
+  RunResult out;
+  out.users = runner.users_created();
+  out.live_at_end = runner.system().live_viewer_count();
+  out.log_lines = log.size();
+  const auto reports = log.parse_all(&out.malformed);
+  out.sessions = logging::reconstruct_sessions(reports);
+  out.overlay = analysis::measure_overlay(runner.system().snapshot());
+  return out;
+}
+
+workload::Scenario base_scenario() {
+  workload::Scenario s = workload::Scenario::steady(150, 1500.0);
+  s.system.server_count = 4;
+  return s;
+}
+
+TEST(EndToEndTest, LogIsWellFormed) {
+  const auto r = run_scenario(base_scenario(), 1);
+  EXPECT_GT(r.log_lines, 100u);
+  EXPECT_EQ(r.malformed, 0u);
+  EXPECT_GT(r.users, 30u);
+}
+
+TEST(EndToEndTest, MostSessionsSucceedAndAreOrdered) {
+  const auto r = run_scenario(base_scenario(), 2);
+  std::size_t ready = 0;
+  for (const auto& s : r.sessions.sessions) {
+    if (s.media_ready_time_abs) {
+      ++ready;
+      ASSERT_TRUE(s.join_time.has_value());
+      ASSERT_TRUE(s.start_subscription_time_abs.has_value());
+      ASSERT_LE(*s.join_time, *s.start_subscription_time_abs);
+      ASSERT_LE(*s.start_subscription_time_abs, *s.media_ready_time_abs);
+    }
+  }
+  EXPECT_GT(static_cast<double>(ready) /
+                static_cast<double>(r.sessions.sessions.size()),
+            0.7);
+}
+
+TEST(EndToEndTest, ContinuityIsHigh) {
+  // §V-D: "all type of users experience very high continuity index".
+  const auto r = run_scenario(base_scenario(), 3);
+  EXPECT_GT(analysis::average_continuity(r.sessions), 0.93);
+}
+
+TEST(EndToEndTest, StartupDelayInTensOfSeconds) {
+  // Fig. 6: users wait 10-20 s for the buffer after subscription; ready
+  // within a short period overall.
+  const auto r = run_scenario(base_scenario(), 4);
+  const auto d = analysis::startup_delays(r.sessions);
+  ASSERT_FALSE(d.media_ready.empty());
+  EXPECT_LT(d.media_ready.quantile(0.5), 30.0);
+  EXPECT_GT(d.buffering.quantile(0.5), 1.0);
+  EXPECT_LT(d.buffering.quantile(0.9), 60.0);
+}
+
+TEST(EndToEndTest, CapablePeersCarryTheUpload) {
+  // Fig. 3b: direct + UPnP dominate upload contribution.  Use a
+  // peer-driven deployment (few server slots relative to the population),
+  // as in the real 40 000-user broadcast where 24 servers could feed only
+  // a small fraction of viewers directly.
+  workload::Scenario s = base_scenario();
+  s.system.server_count = 2;
+  s.system.server_max_partners = 6;
+  const auto r = run_scenario(s, 5);
+  const auto contrib = analysis::upload_contributions(r.sessions);
+  const double capable =
+      contrib.type_share(net::ConnectionType::kDirect) +
+      contrib.type_share(net::ConnectionType::kUpnp);
+  EXPECT_GT(capable, 0.5);
+  // Concentration: the top 30% of users contribute the majority.
+  EXPECT_GT(analysis::top_share(contrib.per_user_bytes, 0.3), 0.6);
+}
+
+TEST(EndToEndTest, OverlayClogsUnderCapableParents) {
+  // Fig. 4: most sub-stream links terminate at servers or direct/UPnP
+  // parents; NAT-NAT "random links" are rare.
+  const auto r = run_scenario(base_scenario(), 6);
+  EXPECT_GT(r.overlay.parent_share_server + r.overlay.parent_share_capable,
+            0.8);
+  EXPECT_LT(r.overlay.random_link_fraction, 0.2);
+}
+
+TEST(EndToEndTest, ObservedTypesRoughlyMatchPopulation) {
+  // Fig. 3a through the *measurement* pipeline: shares come out near the
+  // ground-truth mixture (classification errors allowed).
+  const auto r = run_scenario(base_scenario(), 7);
+  const auto dist = analysis::observed_type_distribution(r.sessions);
+  ASSERT_GT(dist.total, 20u);
+  const double weak_share = dist.share(net::ConnectionType::kNat) +
+                            dist.share(net::ConnectionType::kFirewall);
+  EXPECT_GT(weak_share, 0.5);
+  EXPECT_LT(weak_share, 0.95);
+}
+
+TEST(EndToEndTest, DeterministicAcrossIdenticalRuns) {
+  const auto a = run_scenario(base_scenario(), 42);
+  const auto b = run_scenario(base_scenario(), 42);
+  EXPECT_EQ(a.log_lines, b.log_lines);
+  EXPECT_EQ(a.users, b.users);
+  EXPECT_EQ(a.live_at_end, b.live_at_end);
+  EXPECT_EQ(a.sessions.sessions.size(), b.sessions.sessions.size());
+}
+
+TEST(EndToEndTest, FlashCrowdLengthensReadyTimes) {
+  // Fig. 7's mechanism: media-ready times stretch when the join rate
+  // spikes.
+  workload::Scenario s =
+      workload::Scenario::flash_crowd(80, 250, 600.0, 1200.0);
+  s.system.server_count = 3;
+  const auto r = run_scenario(s, 8);
+  const std::vector<double> edges = {0.0, 500.0, 750.0, 1200.0};
+  const auto periods = analysis::ready_delay_by_period(r.sessions, edges);
+  ASSERT_EQ(periods.size(), 3u);
+  ASSERT_FALSE(periods[0].empty());
+  ASSERT_FALSE(periods[1].empty());
+  // Median ready time during the crowd >= calm period (weak form).
+  EXPECT_GE(periods[1].quantile(0.5) + 1.0, periods[0].quantile(0.5));
+}
+
+TEST(EndToEndTest, ShortSessionsExistUnderStress) {
+  // Fig. 10a: a mass of sub-minute sessions from abortive joins.
+  workload::Scenario s =
+      workload::Scenario::flash_crowd(60, 400, 400.0, 900.0);
+  s.system.server_count = 2;
+  s.sessions.patience_min = 8.0;
+  s.sessions.patience_mean = 10.0;
+  const auto r = run_scenario(s, 9);
+  EXPECT_GT(analysis::short_session_fraction(r.sessions, 60.0), 0.02);
+}
+
+}  // namespace
+}  // namespace coolstream

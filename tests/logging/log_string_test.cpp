@@ -1,0 +1,118 @@
+#include "logging/log_string.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace coolstream::logging {
+namespace {
+
+TEST(UrlEncodeTest, UnreservedPassThrough) {
+  EXPECT_EQ(url_encode("AZaz09._~-"), "AZaz09._~-");
+}
+
+TEST(UrlEncodeTest, ReservedAreEscaped) {
+  EXPECT_EQ(url_encode("a b"), "a%20b");
+  EXPECT_EQ(url_encode("a&b=c"), "a%26b%3Dc");
+  EXPECT_EQ(url_encode("100%"), "100%25");
+}
+
+TEST(UrlDecodeTest, DecodesEscapes) {
+  EXPECT_EQ(*url_decode("a%20b"), "a b");
+  EXPECT_EQ(*url_decode("a%26b%3Dc"), "a&b=c");
+  EXPECT_EQ(*url_decode("plain"), "plain");
+}
+
+TEST(UrlDecodeTest, RejectsMalformedEscapes) {
+  EXPECT_FALSE(url_decode("abc%").has_value());
+  EXPECT_FALSE(url_decode("abc%2").has_value());
+  EXPECT_FALSE(url_decode("abc%2G").has_value());
+  EXPECT_FALSE(url_decode("%zz").has_value());
+}
+
+TEST(UrlRoundTripTest, FuzzRoundTrip) {
+  sim::Rng rng(5);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string raw;
+    const auto len = rng.below(40);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      raw.push_back(static_cast<char>(rng.below(256)));
+    }
+    const auto decoded = url_decode(url_encode(raw));
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(*decoded, raw);
+  }
+}
+
+TEST(FieldsTest, EncodeOrderPreserved) {
+  FieldList fields = {{"b", "2"}, {"a", "1"}};
+  EXPECT_EQ(encode_fields(fields), "b=2&a=1");
+}
+
+TEST(FieldsTest, DecodeSimple) {
+  const auto fields = decode_fields("a=1&b=hello");
+  ASSERT_TRUE(fields.has_value());
+  ASSERT_EQ(fields->size(), 2u);
+  EXPECT_EQ((*fields)[0].first, "a");
+  EXPECT_EQ((*fields)[0].second, "1");
+  EXPECT_EQ((*fields)[1].first, "b");
+  EXPECT_EQ((*fields)[1].second, "hello");
+}
+
+TEST(FieldsTest, EmptyInputYieldsEmptyList) {
+  const auto fields = decode_fields("");
+  ASSERT_TRUE(fields.has_value());
+  EXPECT_TRUE(fields->empty());
+}
+
+TEST(FieldsTest, EmptyValueAllowed) {
+  const auto fields = decode_fields("a=");
+  ASSERT_TRUE(fields.has_value());
+  EXPECT_EQ((*fields)[0].second, "");
+}
+
+TEST(FieldsTest, MissingEqualsRejected) {
+  EXPECT_FALSE(decode_fields("a").has_value());
+  EXPECT_FALSE(decode_fields("a=1&b").has_value());
+}
+
+TEST(FieldsTest, ValuesWithSpecialsRoundTrip) {
+  FieldList fields = {{"msg", "x=1&y=2"}, {"name", "hello world"}};
+  const auto decoded = decode_fields(encode_fields(fields));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(*decoded, fields);
+}
+
+TEST(FieldsTest, FindField) {
+  FieldList fields = {{"a", "1"}, {"b", "2"}, {"a", "3"}};
+  EXPECT_EQ(*find_field(fields, "a"), "1");  // first wins
+  EXPECT_EQ(*find_field(fields, "b"), "2");
+  EXPECT_FALSE(find_field(fields, "c").has_value());
+}
+
+TEST(FieldsTest, FuzzRoundTrip) {
+  sim::Rng rng(6);
+  for (int trial = 0; trial < 200; ++trial) {
+    FieldList fields;
+    const auto n = 1 + rng.below(6);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::string name;
+      std::string value;
+      const auto name_len = 1 + rng.below(8);
+      for (std::uint64_t k = 0; k < name_len; ++k) {
+        name.push_back(static_cast<char>(rng.below(256)));
+      }
+      const auto value_len = rng.below(16);
+      for (std::uint64_t k = 0; k < value_len; ++k) {
+        value.push_back(static_cast<char>(rng.below(256)));
+      }
+      fields.emplace_back(std::move(name), std::move(value));
+    }
+    const auto decoded = decode_fields(encode_fields(fields));
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(*decoded, fields);
+  }
+}
+
+}  // namespace
+}  // namespace coolstream::logging

@@ -1,0 +1,104 @@
+#include "model/capacity_model.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace coolstream::model {
+namespace {
+
+CapacityInputs base() {
+  CapacityInputs in;
+  in.peers = 1000;
+  in.capable_fraction = 0.3;
+  in.capable_upload_bps = 3.0e6;
+  in.weak_upload_bps = 0.4e6;
+  in.server_capacity_bps = 0.0;
+  in.stream_rate_bps = 768e3;
+  return in;
+}
+
+TEST(CapacityModelTest, TotalSupply) {
+  auto in = base();
+  // mean upload = 0.3*3e6 + 0.7*0.4e6 = 1.18e6.
+  EXPECT_NEAR(total_supply_bps(in), 1000 * 1.18e6, 1.0);
+  in.server_capacity_bps = 100e6;
+  EXPECT_NEAR(total_supply_bps(in), 1000 * 1.18e6 + 100e6, 1.0);
+}
+
+TEST(CapacityModelTest, ResourceIndex) {
+  const auto in = base();
+  EXPECT_NEAR(resource_index(in), 1.18e6 / 768e3, 1e-9);
+}
+
+TEST(CapacityModelTest, ContinuityBound) {
+  auto in = base();
+  EXPECT_DOUBLE_EQ(continuity_upper_bound(in), 1.0);  // rho > 1
+  in.capable_fraction = 0.0;  // all weak: rho = 0.4/0.768 ~ 0.52
+  EXPECT_NEAR(continuity_upper_bound(in), 0.4e6 / 768e3, 1e-9);
+}
+
+TEST(CapacityModelTest, SelfScalingWhenMeanUploadExceedsRate) {
+  const auto in = base();  // mean 1.18 Mbps > 768 kbps
+  EXPECT_EQ(max_supported_peers(in),
+            std::numeric_limits<std::size_t>::max());
+}
+
+TEST(CapacityModelTest, ServerBoundPopulationWhenUnderProvisioned) {
+  auto in = base();
+  in.capable_fraction = 0.0;   // mean upload 0.4 Mbps < R
+  in.server_capacity_bps = 36.8e6;
+  // N_max = S / (R - u) = 36.8e6 / 368e3 = 100.
+  EXPECT_EQ(max_supported_peers(in), 100u);
+}
+
+TEST(CapacityModelTest, CriticalCapableFraction) {
+  auto in = base();
+  // c* = (R - u_w) / (u_c - u_w) = 368e3 / 2.6e6 ~ 0.1415 with no servers.
+  EXPECT_NEAR(critical_capable_fraction(in), 368e3 / 2.6e6, 1e-9);
+  // Servers lower the critical fraction.
+  in.server_capacity_bps = 100e6;
+  EXPECT_LT(critical_capable_fraction(in),
+            critical_capable_fraction(base()));
+}
+
+TEST(CapacityModelTest, CriticalFractionEdgeCases) {
+  auto in = base();
+  in.weak_upload_bps = 800e3;  // even weak peers exceed R
+  EXPECT_DOUBLE_EQ(critical_capable_fraction(in), 0.0);
+
+  auto hard = base();
+  hard.capable_upload_bps = 500e3;  // nobody reaches R, no servers
+  hard.weak_upload_bps = 100e3;
+  EXPECT_LT(critical_capable_fraction(hard), 0.0);
+}
+
+TEST(CapacityModelTest, CriticalFractionConsistentWithIndex) {
+  // At c = c*, rho must be exactly 1.
+  auto in = base();
+  in.server_capacity_bps = 20e6;
+  const double c = critical_capable_fraction(in);
+  ASSERT_GE(c, 0.0);
+  in.capable_fraction = c;
+  EXPECT_NEAR(resource_index(in), 1.0, 1e-9);
+}
+
+TEST(CapacityModelTest, PaperScaleSanity) {
+  // The 2006 broadcast: ~40k users, 24 x 100 Mbps servers, 768 kbps.
+  CapacityInputs in;
+  in.peers = 40'000;
+  in.capable_fraction = 0.3;
+  in.capable_upload_bps = 2.6e6;
+  in.weak_upload_bps = 0.38e6;
+  in.server_capacity_bps = 24 * 100e6;
+  in.stream_rate_bps = 768e3;
+  // Servers alone cover only ~8% of demand...
+  EXPECT_NEAR(in.server_capacity_bps /
+                  (static_cast<double>(in.peers) * in.stream_rate_bps),
+              0.078, 0.01);
+  // ...but the mix is self-scaling: rho > 1.
+  EXPECT_GT(resource_index(in), 1.0);
+}
+
+}  // namespace
+}  // namespace coolstream::model

@@ -1,0 +1,91 @@
+#include "model/convergence_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace coolstream::model {
+namespace {
+
+ConvergenceParams params(double gain, double mu) {
+  ConvergenceParams p;
+  p.reselect_rate = gain;
+  p.capable_landing_prob = 1.0;
+  p.capable_churn_rate = mu;
+  return p;
+}
+
+TEST(ConvergenceModelTest, EquilibriumFraction) {
+  EXPECT_NEAR(equilibrium_capable_fraction(params(0.09, 0.01)), 0.9, 1e-12);
+  EXPECT_NEAR(equilibrium_capable_fraction(params(0.01, 0.01)), 0.5, 1e-12);
+  // No churn: converges to 1.
+  EXPECT_DOUBLE_EQ(equilibrium_capable_fraction(params(0.1, 0.0)), 1.0);
+}
+
+TEST(ConvergenceModelTest, LandingProbScalesGain) {
+  ConvergenceParams p;
+  p.reselect_rate = 0.2;
+  p.capable_landing_prob = 0.5;
+  p.capable_churn_rate = 0.1;
+  EXPECT_NEAR(equilibrium_capable_fraction(p), 0.5, 1e-12);
+}
+
+TEST(ConvergenceModelTest, TimeConstant) {
+  EXPECT_NEAR(convergence_time_constant(params(0.09, 0.01)), 10.0, 1e-12);
+}
+
+TEST(ConvergenceModelTest, TrajectoryMonotoneFromBelow) {
+  const auto p = params(0.05, 0.005);
+  double prev = 0.0;
+  for (double t = 0.0; t <= 600.0; t += 10.0) {
+    const double x = capable_fraction_at(p, 0.0, t);
+    ASSERT_GE(x, prev - 1e-12);
+    ASSERT_LE(x, equilibrium_capable_fraction(p) + 1e-12);
+    prev = x;
+  }
+}
+
+TEST(ConvergenceModelTest, TrajectoryDecaysFromAbove) {
+  const auto p = params(0.01, 0.02);
+  const double x_inf = equilibrium_capable_fraction(p);
+  double prev = 1.0;
+  for (double t = 0.0; t <= 600.0; t += 10.0) {
+    const double x = capable_fraction_at(p, 1.0, t);
+    ASSERT_LE(x, prev + 1e-12);
+    ASSERT_GE(x, x_inf - 1e-12);
+    prev = x;
+  }
+}
+
+TEST(ConvergenceModelTest, TrajectoryStartsAtX0) {
+  const auto p = params(0.03, 0.01);
+  EXPECT_NEAR(capable_fraction_at(p, 0.37, 0.0), 0.37, 1e-12);
+}
+
+TEST(ConvergenceModelTest, TrajectoryGridMatchesClosedForm) {
+  const auto p = params(0.02, 0.004);
+  const auto grid = trajectory(p, 0.1, 100.0, 25.0);
+  ASSERT_EQ(grid.size(), 5u);
+  for (const auto& [t, x] : grid) {
+    EXPECT_NEAR(x, capable_fraction_at(p, 0.1, t), 1e-12);
+  }
+}
+
+TEST(ConvergenceModelTest, FitRecoversGeneratingParams) {
+  const auto truth = params(0.04, 0.002);
+  const auto measured = trajectory(truth, 0.0, 900.0, 15.0);
+  const auto fitted = fit_trajectory(measured, 0.0);
+  EXPECT_NEAR(fitted.reselect_rate, 0.04, 0.008);
+  EXPECT_NEAR(fitted.capable_churn_rate, 0.002, 0.0008);
+  // The fitted equilibrium matters most.
+  EXPECT_NEAR(equilibrium_capable_fraction(fitted),
+              equilibrium_capable_fraction(truth), 0.02);
+}
+
+TEST(ConvergenceModelTest, FitHandlesDegenerateInput) {
+  const auto fitted = fit_trajectory({}, 0.0);
+  EXPECT_DOUBLE_EQ(fitted.reselect_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace coolstream::model

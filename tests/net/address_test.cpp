@@ -1,0 +1,87 @@
+#include "net/address.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace coolstream::net {
+namespace {
+
+TEST(AddressTest, FromOctetsAndToString) {
+  const auto a = Ipv4Address::from_octets(192, 168, 1, 42);
+  EXPECT_EQ(a.to_string(), "192.168.1.42");
+}
+
+TEST(AddressTest, ParseRoundTrip) {
+  Ipv4Address a;
+  ASSERT_TRUE(Ipv4Address::parse("10.20.30.40", a));
+  EXPECT_EQ(a.to_string(), "10.20.30.40");
+}
+
+TEST(AddressTest, ParseRejectsMalformed) {
+  Ipv4Address a;
+  EXPECT_FALSE(Ipv4Address::parse("", a));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3", a));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5", a));
+  EXPECT_FALSE(Ipv4Address::parse("256.1.1.1", a));
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d", a));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4x", a));
+}
+
+TEST(AddressTest, PrivateRanges) {
+  EXPECT_TRUE(Ipv4Address::from_octets(10, 0, 0, 1).is_private());
+  EXPECT_TRUE(Ipv4Address::from_octets(10, 255, 255, 255).is_private());
+  EXPECT_TRUE(Ipv4Address::from_octets(172, 16, 0, 1).is_private());
+  EXPECT_TRUE(Ipv4Address::from_octets(172, 31, 255, 1).is_private());
+  EXPECT_TRUE(Ipv4Address::from_octets(192, 168, 0, 1).is_private());
+  EXPECT_TRUE(Ipv4Address::from_octets(127, 0, 0, 1).is_private());
+}
+
+TEST(AddressTest, PublicRanges) {
+  EXPECT_FALSE(Ipv4Address::from_octets(9, 255, 255, 255).is_private());
+  EXPECT_FALSE(Ipv4Address::from_octets(11, 0, 0, 0).is_private());
+  EXPECT_FALSE(Ipv4Address::from_octets(172, 15, 0, 1).is_private());
+  EXPECT_FALSE(Ipv4Address::from_octets(172, 32, 0, 1).is_private());
+  EXPECT_FALSE(Ipv4Address::from_octets(192, 167, 0, 1).is_private());
+  EXPECT_FALSE(Ipv4Address::from_octets(192, 169, 0, 1).is_private());
+  EXPECT_FALSE(Ipv4Address::from_octets(8, 8, 8, 8).is_private());
+}
+
+TEST(AddressTest, Ordering) {
+  const auto a = Ipv4Address::from_octets(1, 2, 3, 4);
+  const auto b = Ipv4Address::from_octets(1, 2, 3, 5);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, a);
+  EXPECT_NE(a, b);
+}
+
+TEST(AddressTest, RandomPrivateIsAlwaysPrivate) {
+  sim::Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(random_private_address(rng).is_private());
+  }
+}
+
+TEST(AddressTest, RandomPublicIsNeverPrivate) {
+  sim::Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = random_public_address(rng);
+    EXPECT_FALSE(a.is_private()) << a.to_string();
+    const auto first = a.bits() >> 24;
+    EXPECT_GE(first, 1u);
+    EXPECT_LE(first, 223u);  // no multicast/reserved
+  }
+}
+
+TEST(AddressTest, ParseToStringFuzzRoundTrip) {
+  sim::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const Ipv4Address a(static_cast<std::uint32_t>(rng.next_u64()));
+    Ipv4Address b;
+    ASSERT_TRUE(Ipv4Address::parse(a.to_string(), b));
+    EXPECT_EQ(a, b);
+  }
+}
+
+}  // namespace
+}  // namespace coolstream::net

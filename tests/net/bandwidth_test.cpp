@@ -1,0 +1,141 @@
+#include "net/bandwidth.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace coolstream::net {
+namespace {
+
+double total(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(MaxMinFairTest, EmptyDemands) {
+  EXPECT_TRUE(max_min_fair(10.0, {}).empty());
+}
+
+TEST(MaxMinFairTest, AmpleCapacityMeetsAllDemands) {
+  const std::vector<double> d = {1.0, 2.0, 3.0};
+  const auto r = max_min_fair(100.0, d);
+  for (std::size_t i = 0; i < d.size(); ++i) EXPECT_DOUBLE_EQ(r[i], d[i]);
+}
+
+TEST(MaxMinFairTest, EqualSplitWhenDemandsExceed) {
+  const std::vector<double> d = {10.0, 10.0, 10.0};
+  const auto r = max_min_fair(9.0, d);
+  for (double v : r) EXPECT_DOUBLE_EQ(v, 3.0);
+}
+
+TEST(MaxMinFairTest, SmallDemandSatisfiedSurplusRedistributed) {
+  // Classic max-min example: capacity 10, demands {2, 8, 8}.
+  // Round 1: share 3.33 -> first capped at 2; remaining 8 split -> 4 each.
+  const std::vector<double> d = {2.0, 8.0, 8.0};
+  const auto r = max_min_fair(10.0, d);
+  EXPECT_DOUBLE_EQ(r[0], 2.0);
+  EXPECT_DOUBLE_EQ(r[1], 4.0);
+  EXPECT_DOUBLE_EQ(r[2], 4.0);
+}
+
+TEST(MaxMinFairTest, ZeroDemandGetsZero) {
+  const std::vector<double> d = {0.0, 5.0};
+  const auto r = max_min_fair(3.0, d);
+  EXPECT_DOUBLE_EQ(r[0], 0.0);
+  EXPECT_DOUBLE_EQ(r[1], 3.0);
+}
+
+TEST(MaxMinFairTest, ZeroCapacity) {
+  const std::vector<double> d = {1.0, 2.0};
+  const auto r = max_min_fair(0.0, d);
+  EXPECT_DOUBLE_EQ(total(r), 0.0);
+}
+
+TEST(MaxMinFairTest, Eq5CompetitionRate) {
+  // Paper Eq. (5): a parent whose capacity exactly covers D connections at
+  // rate R/K accepts a (D+1)-th; every connection now gets D/(D+1) * R/K.
+  constexpr double kSubRate = 2.0;  // blocks/s
+  for (int d_p = 1; d_p <= 8; ++d_p) {
+    const double capacity = d_p * kSubRate;
+    std::vector<double> demands(static_cast<std::size_t>(d_p) + 1, kSubRate);
+    const auto r = max_min_fair(capacity, demands);
+    for (double v : r) {
+      EXPECT_NEAR(v, d_p / (d_p + 1.0) * kSubRate, 1e-12) << "D_p=" << d_p;
+    }
+  }
+}
+
+// Property sweep: conservation, demand caps, fairness.
+class MaxMinPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxMinPropertyTest, Invariants) {
+  sim::Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 12));
+    std::vector<double> demands(n);
+    for (auto& d : demands) {
+      d = rng.chance(0.2) ? 0.0 : rng.uniform(0.0, 10.0);
+    }
+    const double capacity = rng.uniform(0.0, 30.0);
+    const auto rates = max_min_fair(capacity, demands);
+    ASSERT_EQ(rates.size(), n);
+
+    double sum = 0.0;
+    double demand_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_GE(rates[i], -1e-12);
+      ASSERT_LE(rates[i], demands[i] + 1e-9);  // never exceed demand
+      sum += rates[i];
+      demand_sum += demands[i];
+    }
+    // Conservation: everything allocatable is allocated.
+    ASSERT_NEAR(sum, std::min(capacity, demand_sum), 1e-6);
+
+    // Fairness: an unsatisfied connection's rate must be >= any other
+    // connection's rate (no one gets more while someone starves).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rates[i] < demands[i] - 1e-9) {
+        for (std::size_t j = 0; j < n; ++j) {
+          ASSERT_LE(rates[j], rates[i] + 1e-6)
+              << "connection " << j << " got more than unsatisfied " << i;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxMinPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(EqualShareTest, CapsAtDemand) {
+  const std::vector<double> d = {1.0, 10.0};
+  const auto r = equal_share(10.0, d);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 5.0);  // surplus NOT redistributed
+}
+
+TEST(EqualShareTest, ZeroDemandExcludedFromSplit) {
+  const std::vector<double> d = {0.0, 10.0, 10.0};
+  const auto r = equal_share(8.0, d);
+  EXPECT_DOUBLE_EQ(r[0], 0.0);
+  EXPECT_DOUBLE_EQ(r[1], 4.0);
+  EXPECT_DOUBLE_EQ(r[2], 4.0);
+}
+
+TEST(EqualShareTest, NeverExceedsMaxMinTotal) {
+  sim::Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 8));
+    std::vector<double> demands(n);
+    for (auto& d : demands) d = rng.uniform(0.0, 5.0);
+    const double capacity = rng.uniform(0.0, 12.0);
+    const double eq = total(equal_share(capacity, demands));
+    const double mm = total(max_min_fair(capacity, demands));
+    ASSERT_LE(eq, mm + 1e-9);  // max-min wastes nothing; equal share may
+  }
+}
+
+}  // namespace
+}  // namespace coolstream::net

@@ -1,0 +1,100 @@
+#include "net/connectivity.h"
+
+#include <gtest/gtest.h>
+
+namespace coolstream::net {
+namespace {
+
+TEST(ConnectivityTest, ToStringRoundTrip) {
+  for (int i = 0; i < kConnectionTypeCount; ++i) {
+    const auto type = static_cast<ConnectionType>(i);
+    ConnectionType parsed;
+    ASSERT_TRUE(parse_connection_type(to_string(type), parsed));
+    EXPECT_EQ(parsed, type);
+  }
+}
+
+TEST(ConnectivityTest, ParseRejectsUnknown) {
+  ConnectionType out;
+  EXPECT_FALSE(parse_connection_type("", out));
+  EXPECT_FALSE(parse_connection_type("NAT", out));  // case-sensitive
+  EXPECT_FALSE(parse_connection_type("something", out));
+}
+
+TEST(ConnectivityTest, InboundReachability) {
+  EXPECT_TRUE(accepts_inbound(ConnectionType::kDirect));
+  EXPECT_TRUE(accepts_inbound(ConnectionType::kUpnp));
+  EXPECT_FALSE(accepts_inbound(ConnectionType::kNat));
+  EXPECT_FALSE(accepts_inbound(ConnectionType::kFirewall));
+}
+
+TEST(ConnectivityTest, AddressClass) {
+  EXPECT_FALSE(uses_private_address(ConnectionType::kDirect));
+  EXPECT_TRUE(uses_private_address(ConnectionType::kUpnp));
+  EXPECT_TRUE(uses_private_address(ConnectionType::kNat));
+  EXPECT_FALSE(uses_private_address(ConnectionType::kFirewall));
+}
+
+// can_connect: anyone can call a reachable callee; nobody can call
+// NAT/firewall (no hole punching in Coolstreaming).
+class CanConnectTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CanConnectTest, MatchesCalleeReachability) {
+  const auto caller = static_cast<ConnectionType>(std::get<0>(GetParam()));
+  const auto callee = static_cast<ConnectionType>(std::get<1>(GetParam()));
+  EXPECT_EQ(can_connect(caller, callee), accepts_inbound(callee));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, CanConnectTest,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Range(0, 4)));
+
+// The §V-B observed classification table:
+//   private + incoming -> UPnP        private + no incoming -> NAT
+//   public  + incoming -> direct      public  + no incoming -> firewall
+struct ClassifyCase {
+  bool private_addr;
+  bool had_in;
+  bool had_out;
+  ConnectionType expected;
+};
+
+class ClassifyTest : public ::testing::TestWithParam<ClassifyCase> {};
+
+TEST_P(ClassifyTest, MatchesPaperTable) {
+  const auto& c = GetParam();
+  EXPECT_EQ(classify_observed(c.private_addr, c.had_in, c.had_out),
+            c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, ClassifyTest,
+    ::testing::Values(
+        ClassifyCase{true, true, true, ConnectionType::kUpnp},
+        ClassifyCase{true, false, true, ConnectionType::kNat},
+        ClassifyCase{true, false, false, ConnectionType::kNat},
+        ClassifyCase{false, true, true, ConnectionType::kDirect},
+        ClassifyCase{false, false, true, ConnectionType::kFirewall},
+        ClassifyCase{false, false, false, ConnectionType::kFirewall}));
+
+TEST(ConnectivityTest, GroundTruthIsRecoverableWhenFullyObserved) {
+  // A peer whose true type is T, observed with complete information
+  // (reachable peers eventually receive an inbound partnership), classifies
+  // back to T.
+  EXPECT_EQ(classify_observed(uses_private_address(ConnectionType::kDirect),
+                              true, true),
+            ConnectionType::kDirect);
+  EXPECT_EQ(classify_observed(uses_private_address(ConnectionType::kUpnp),
+                              true, true),
+            ConnectionType::kUpnp);
+  EXPECT_EQ(classify_observed(uses_private_address(ConnectionType::kNat),
+                              false, true),
+            ConnectionType::kNat);
+  EXPECT_EQ(classify_observed(
+                uses_private_address(ConnectionType::kFirewall), false, true),
+            ConnectionType::kFirewall);
+}
+
+}  // namespace
+}  // namespace coolstream::net

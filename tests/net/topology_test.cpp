@@ -1,0 +1,80 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace coolstream::net {
+namespace {
+
+SnapshotNode make_node(NodeId id, std::vector<NodeId> parents,
+                       bool is_server = false) {
+  SnapshotNode n;
+  n.id = id;
+  n.is_server = is_server;
+  n.parents = std::move(parents);
+  return n;
+}
+
+TEST(TopologyTest, DepthsFromServer) {
+  TopologySnapshot snap;
+  snap.nodes.push_back(make_node(0, {}, /*is_server=*/true));
+  snap.nodes.push_back(make_node(1, {0, 0}));
+  snap.nodes.push_back(make_node(2, {1, 1}));
+  snap.nodes.push_back(make_node(3, {2, 1}));
+  snap.compute_depths();
+  EXPECT_EQ(snap.nodes[0].depth, 0);
+  EXPECT_EQ(snap.nodes[1].depth, 1);
+  EXPECT_EQ(snap.nodes[2].depth, 2);
+  EXPECT_EQ(snap.nodes[3].depth, 2);  // shortest path through node 1
+}
+
+TEST(TopologyTest, UnreachableNodesGetMinusOne) {
+  TopologySnapshot snap;
+  snap.nodes.push_back(make_node(0, {}, /*is_server=*/true));
+  snap.nodes.push_back(make_node(1, {kInvalidNode}));
+  snap.nodes.push_back(make_node(2, {1}));
+  snap.compute_depths();
+  EXPECT_EQ(snap.nodes[1].depth, -1);
+  EXPECT_EQ(snap.nodes[2].depth, -1);
+}
+
+TEST(TopologyTest, MultipleServers) {
+  TopologySnapshot snap;
+  snap.nodes.push_back(make_node(10, {}, /*is_server=*/true));
+  snap.nodes.push_back(make_node(20, {}, /*is_server=*/true));
+  snap.nodes.push_back(make_node(30, {20}));
+  snap.compute_depths();
+  EXPECT_EQ(snap.nodes[0].depth, 0);
+  EXPECT_EQ(snap.nodes[1].depth, 0);
+  EXPECT_EQ(snap.nodes[2].depth, 1);
+}
+
+TEST(TopologyTest, ParentOutsideSnapshotIgnored) {
+  TopologySnapshot snap;
+  snap.nodes.push_back(make_node(0, {}, /*is_server=*/true));
+  snap.nodes.push_back(make_node(1, {777}));  // departed parent
+  snap.compute_depths();
+  EXPECT_EQ(snap.nodes[1].depth, -1);
+}
+
+TEST(TopologyTest, PeerCountExcludesServers) {
+  TopologySnapshot snap;
+  snap.nodes.push_back(make_node(0, {}, /*is_server=*/true));
+  snap.nodes.push_back(make_node(1, {0}));
+  snap.nodes.push_back(make_node(2, {0}));
+  EXPECT_EQ(snap.peer_count(), 2u);
+}
+
+TEST(TopologyTest, CycleDoesNotHang) {
+  // Parent cycles can transiently exist in snapshots; BFS must terminate
+  // and leave the cycle unreachable.
+  TopologySnapshot snap;
+  snap.nodes.push_back(make_node(0, {}, /*is_server=*/true));
+  snap.nodes.push_back(make_node(1, {2}));
+  snap.nodes.push_back(make_node(2, {1}));
+  snap.compute_depths();
+  EXPECT_EQ(snap.nodes[1].depth, -1);
+  EXPECT_EQ(snap.nodes[2].depth, -1);
+}
+
+}  // namespace
+}  // namespace coolstream::net

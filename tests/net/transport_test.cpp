@@ -1,0 +1,53 @@
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+namespace coolstream::net {
+namespace {
+
+class TransportTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim_{1};
+  LatencyModel latency_{1};
+  Transport transport_{sim_, latency_};
+};
+
+TEST_F(TransportTest, DeliversAfterLatency) {
+  double delivered_at = -1.0;
+  transport_.send(1, 2, MessageKind::kGossip,
+                  [&] { delivered_at = sim_.now(); });
+  sim_.run();
+  EXPECT_DOUBLE_EQ(delivered_at, latency_.delay(1, 2));
+}
+
+TEST_F(TransportTest, CountsByKind) {
+  transport_.send(1, 2, MessageKind::kGossip, [] {});
+  transport_.send(1, 2, MessageKind::kGossip, [] {});
+  transport_.send(1, 3, MessageKind::kSubscribe, [] {});
+  transport_.count_only(MessageKind::kBufferMap);
+  EXPECT_EQ(transport_.sent(MessageKind::kGossip), 2u);
+  EXPECT_EQ(transport_.sent(MessageKind::kSubscribe), 1u);
+  EXPECT_EQ(transport_.sent(MessageKind::kBufferMap), 1u);
+  EXPECT_EQ(transport_.sent(MessageKind::kReport), 0u);
+  EXPECT_EQ(transport_.total_sent(), 4u);
+}
+
+TEST_F(TransportTest, MessageKindNames) {
+  EXPECT_EQ(to_string(MessageKind::kGossip), "gossip");
+  EXPECT_EQ(to_string(MessageKind::kBufferMap), "buffermap");
+  EXPECT_EQ(to_string(MessageKind::kSubscribe), "subscribe");
+  EXPECT_EQ(to_string(MessageKind::kPartnership), "partnership");
+  EXPECT_EQ(to_string(MessageKind::kReport), "report");
+}
+
+TEST_F(TransportTest, OrderPreservedForSamePair) {
+  // Same (from, to) pair -> same latency -> FIFO by the queue's tie-break.
+  std::vector<int> order;
+  transport_.send(4, 5, MessageKind::kGossip, [&] { order.push_back(1); });
+  transport_.send(4, 5, MessageKind::kGossip, [&] { order.push_back(2); });
+  sim_.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace coolstream::net

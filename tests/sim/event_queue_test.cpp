@@ -1,0 +1,116 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace coolstream::sim {
+namespace {
+
+TEST(EventQueueTest, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    auto [t, fn] = q.pop();
+    fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 50; ++i) ASSERT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.schedule(2.5, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.5);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventHandle h = q.schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelledEventSkippedAmongOthers) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  EventHandle h = q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(3.0, [&] { order.push_back(3); });
+  h.cancel();
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, CancelIsIdempotent) {
+  EventQueue q;
+  EventHandle h = q.schedule(1.0, [] {});
+  h.cancel();
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EventQueueTest, DefaultHandleInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash
+}
+
+TEST(EventQueueTest, FiredEventNoLongerPending) {
+  EventQueue q;
+  EventHandle h = q.schedule(1.0, [] {});
+  q.pop().second();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EventQueueTest, HandleCopiesShareState) {
+  EventQueue q;
+  EventHandle a = q.schedule(1.0, [] {});
+  EventHandle b = a;
+  b.cancel();
+  EXPECT_FALSE(a.pending());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, ManyEventsStressOrder) {
+  EventQueue q;
+  // Deterministic pseudo-random times.
+  std::uint64_t state = 99;
+  for (int i = 0; i < 5000; ++i) {
+    const double t = static_cast<double>(splitmix64_next(state) % 10000u);
+    q.schedule(t, [] {});
+  }
+  double prev = -1.0;
+  while (!q.empty()) {
+    auto [t, fn] = q.pop();
+    ASSERT_GE(t, prev);
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace coolstream::sim

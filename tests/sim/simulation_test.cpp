@@ -1,0 +1,123 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace coolstream::sim {
+namespace {
+
+TEST(SimulationTest, ClockStartsAtZero) {
+  Simulation s;
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+}
+
+TEST(SimulationTest, AfterAdvancesClockToEventTime) {
+  Simulation s;
+  double fired_at = -1.0;
+  s.after(2.5, [&] { fired_at = s.now(); });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 2.5);
+  EXPECT_DOUBLE_EQ(s.now(), 2.5);
+}
+
+TEST(SimulationTest, RunUntilStopsBeforeLaterEvents) {
+  Simulation s;
+  int fired = 0;
+  s.after(1.0, [&] { ++fired; });
+  s.after(5.0, [&] { ++fired; });
+  s.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);  // clock advanced to the horizon
+  s.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, RunUntilAdvancesClockWhenQueueEmpty) {
+  Simulation s;
+  s.run_until(7.0);
+  EXPECT_DOUBLE_EQ(s.now(), 7.0);
+}
+
+TEST(SimulationTest, NestedScheduling) {
+  Simulation s;
+  std::vector<double> times;
+  s.after(1.0, [&] {
+    times.push_back(s.now());
+    s.after(1.0, [&] { times.push_back(s.now()); });
+  });
+  s.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+}
+
+TEST(SimulationTest, EveryFiresPeriodically) {
+  Simulation s;
+  std::vector<double> times;
+  s.every(1.0, 2.0, [&] { times.push_back(s.now()); });
+  s.run_until(7.5);
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 3.0);
+  EXPECT_DOUBLE_EQ(times[2], 5.0);
+  EXPECT_DOUBLE_EQ(times[3], 7.0);
+}
+
+TEST(SimulationTest, EveryCancelStopsChain) {
+  Simulation s;
+  int count = 0;
+  EventHandle h = s.every(1.0, 1.0, [&] { ++count; });
+  s.run_until(3.5);
+  EXPECT_EQ(count, 3);
+  h.cancel();
+  s.run_until(10.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulationTest, EveryCancelFromInsideCallback) {
+  Simulation s;
+  int count = 0;
+  EventHandle h;
+  h = s.every(1.0, 1.0, [&] {
+    ++count;
+    if (count == 2) h.cancel();
+  });
+  s.run_until(10.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulationTest, StepExecutesOneEvent) {
+  Simulation s;
+  int fired = 0;
+  s.after(1.0, [&] { ++fired; });
+  s.after(2.0, [&] { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(SimulationTest, StepRespectsHorizon) {
+  Simulation s;
+  s.after(5.0, [] {});
+  EXPECT_FALSE(s.step(3.0));
+  EXPECT_TRUE(s.step(6.0));
+}
+
+TEST(SimulationTest, EventsExecutedCounter) {
+  Simulation s;
+  for (int i = 0; i < 10; ++i) s.after(i, [] {});
+  s.run();
+  EXPECT_EQ(s.events_executed(), 10u);
+}
+
+TEST(SimulationTest, RngIsSeeded) {
+  Simulation a(5);
+  Simulation b(5);
+  EXPECT_EQ(a.rng().next_u64(), b.rng().next_u64());
+}
+
+}  // namespace
+}  // namespace coolstream::sim

@@ -1,0 +1,72 @@
+#include "sim/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace coolstream::sim {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedJobs) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoJobsReturns) {
+  ThreadPool pool(1);
+  pool.wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait();
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ParallelForTest, CoversAllIndicesExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for(pool, hits.size(),
+               [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroIterations) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelForTest, ResultsMatchSerial) {
+  // Simulation sweeps must give identical results in parallel and serial.
+  ThreadPool pool(4);
+  std::vector<std::uint64_t> parallel_out(64);
+  parallel_for(pool, parallel_out.size(), [&](std::size_t i) {
+    std::uint64_t state = 1000 + i;
+    parallel_out[i] = splitmix64_next(state);
+  });
+  for (std::size_t i = 0; i < parallel_out.size(); ++i) {
+    std::uint64_t state = 1000 + i;
+    ASSERT_EQ(parallel_out[i], splitmix64_next(state));
+  }
+}
+
+}  // namespace
+}  // namespace coolstream::sim

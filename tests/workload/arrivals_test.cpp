@@ -1,0 +1,116 @@
+#include "workload/arrivals.h"
+
+#include <gtest/gtest.h>
+
+namespace coolstream::workload {
+namespace {
+
+TEST(RateProfileTest, InterpolatesLinearly) {
+  RateProfile p({{0.0, 0.0}, {10.0, 10.0}});
+  EXPECT_DOUBLE_EQ(p.rate(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.rate(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(p.rate(10.0), 10.0);
+}
+
+TEST(RateProfileTest, ClampsOutsideRange) {
+  RateProfile p({{10.0, 2.0}, {20.0, 4.0}});
+  EXPECT_DOUBLE_EQ(p.rate(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(p.rate(100.0), 4.0);
+}
+
+TEST(RateProfileTest, MaxRate) {
+  RateProfile p({{0.0, 1.0}, {5.0, 7.0}, {10.0, 3.0}});
+  EXPECT_DOUBLE_EQ(p.max_rate(), 7.0);
+}
+
+TEST(RateProfileTest, ConstantProfile) {
+  const auto p = RateProfile::constant(3.5);
+  EXPECT_DOUBLE_EQ(p.rate(0.0), 3.5);
+  EXPECT_DOUBLE_EQ(p.rate(12345.0), 3.5);
+}
+
+TEST(RateProfileTest, WeekdayShape) {
+  const auto p = RateProfile::weekday(10.0);
+  constexpr double h = 3600.0;
+  // Peak in the 20:30 window; trough overnight; collapse after 22:00.
+  EXPECT_NEAR(p.rate(20.5 * h), 10.0, 1e-9);
+  EXPECT_LT(p.rate(3.0 * h), 1.0);
+  EXPECT_GT(p.rate(20.5 * h), p.rate(12.0 * h));
+  EXPECT_GT(p.rate(22.0 * h), p.rate(23.0 * h));
+  EXPECT_DOUBLE_EQ(p.max_rate(), 10.0);
+}
+
+TEST(ArrivalProcessTest, ThinningMatchesConstantRate) {
+  ArrivalProcess proc(RateProfile::constant(2.0));
+  sim::Rng rng(1);
+  int count = 0;
+  double t = 0.0;
+  const double horizon = 5000.0;
+  while (true) {
+    t = proc.next_arrival(t, horizon, rng);
+    if (t > horizon) break;
+    ++count;
+  }
+  // Expect ~10000 arrivals (Poisson, sd = 100).
+  EXPECT_NEAR(count, 10000, 400);
+}
+
+TEST(ArrivalProcessTest, ArrivalsStrictlyIncrease) {
+  ArrivalProcess proc(RateProfile::constant(5.0));
+  sim::Rng rng(2);
+  double t = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double next = proc.next_arrival(t, 1e9, rng);
+    ASSERT_GT(next, t);
+    t = next;
+  }
+}
+
+TEST(ArrivalProcessTest, RespectsHorizon) {
+  ArrivalProcess proc(RateProfile::constant(0.001));
+  sim::Rng rng(3);
+  const double next = proc.next_arrival(0.0, 10.0, rng);
+  EXPECT_GT(next, 10.0);  // almost surely no arrival in 10 s at 0.001/s
+}
+
+TEST(ArrivalProcessTest, NonHomogeneousRatesFollowProfile) {
+  // Low rate early, high rate late: count arrivals in each half.
+  ArrivalProcess proc(RateProfile(
+      {{0.0, 0.5}, {999.9, 0.5}, {1000.0, 5.0}, {2000.0, 5.0}}));
+  sim::Rng rng(4);
+  int early = 0;
+  int late = 0;
+  double t = 0.0;
+  while (true) {
+    t = proc.next_arrival(t, 2000.0, rng);
+    if (t > 2000.0) break;
+    (t < 1000.0 ? early : late) += 1;
+  }
+  EXPECT_NEAR(early, 500, 90);
+  EXPECT_NEAR(late, 5000, 300);
+}
+
+TEST(ArrivalProcessTest, FlashCrowdAddsBurst) {
+  FlashCrowd crowd;
+  crowd.center = 500.0;
+  crowd.width = 30.0;
+  crowd.amplitude = 10.0;
+  ArrivalProcess proc(RateProfile::constant(1.0), {crowd});
+  EXPECT_NEAR(proc.rate(500.0), 11.0, 1e-9);
+  EXPECT_NEAR(proc.rate(0.0), 1.0, 1e-3);
+
+  sim::Rng rng(5);
+  int in_burst = 0;
+  int baseline_window = 0;
+  double t = 0.0;
+  while (true) {
+    t = proc.next_arrival(t, 1000.0, rng);
+    if (t > 1000.0) break;
+    if (t >= 440.0 && t < 560.0) ++in_burst;
+    if (t >= 100.0 && t < 220.0) ++baseline_window;
+  }
+  EXPECT_GT(in_burst, baseline_window * 3);
+}
+
+}  // namespace
+}  // namespace coolstream::workload

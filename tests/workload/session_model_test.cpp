@@ -1,0 +1,68 @@
+#include "workload/session_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace coolstream::workload {
+namespace {
+
+TEST(SessionModelTest, PatienceAboveMinimum) {
+  SessionModel m;
+  sim::Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_GE(m.draw_patience(rng), m.patience_min);
+  }
+}
+
+TEST(SessionModelTest, PatienceMeanRoughlyCorrect) {
+  SessionModel m;
+  sim::Rng rng(2);
+  double sum = 0.0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) sum += m.draw_patience(rng);
+  EXPECT_NEAR(sum / n, m.patience_min + m.patience_mean, 2.0);
+}
+
+TEST(SessionModelTest, RetryDelayAboveMinimum) {
+  SessionModel m;
+  sim::Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_GE(m.draw_retry_delay(rng), m.retry_delay_min);
+  }
+}
+
+TEST(SessionModelTest, DurationTailFraction) {
+  SessionModel m;
+  m.long_tail_prob = 0.25;
+  sim::Rng rng(4);
+  int infinite = 0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (std::isinf(m.draw_duration(rng))) ++infinite;
+  }
+  EXPECT_NEAR(infinite, n * 0.25, 300);
+}
+
+TEST(SessionModelTest, FiniteDurationsFollowLognormalMedian) {
+  SessionModel m;
+  m.long_tail_prob = 0.0;
+  m.duration_mu = 6.0;
+  m.duration_sigma = 1.0;
+  sim::Rng rng(5);
+  std::vector<double> v;
+  for (int i = 0; i < 20000; ++i) v.push_back(m.draw_duration(rng));
+  std::nth_element(v.begin(), v.begin() + 10000, v.end());
+  EXPECT_NEAR(v[10000], std::exp(6.0), std::exp(6.0) * 0.05);
+}
+
+TEST(SessionModelTest, DurationsPositive) {
+  SessionModel m;
+  sim::Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_GT(m.draw_duration(rng), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace coolstream::workload
