@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mcache.dir/bench/ablation_mcache.cpp.o"
+  "CMakeFiles/bench_ablation_mcache.dir/bench/ablation_mcache.cpp.o.d"
+  "bench/bench_ablation_mcache"
+  "bench/bench_ablation_mcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_substreams.dir/bench/ablation_substreams.cpp.o"
+  "CMakeFiles/bench_ablation_substreams.dir/bench/ablation_substreams.cpp.o.d"
+  "bench/bench_ablation_substreams"
+  "bench/bench_ablation_substreams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_substreams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

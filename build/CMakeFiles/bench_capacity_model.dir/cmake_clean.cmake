@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_capacity_model.dir/bench/capacity_model.cpp.o"
+  "CMakeFiles/bench_capacity_model.dir/bench/capacity_model.cpp.o.d"
+  "bench/bench_capacity_model"
+  "bench/bench_capacity_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_capacity_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_user_types.dir/bench/fig03_user_types.cpp.o"
+  "CMakeFiles/bench_fig03_user_types.dir/bench/fig03_user_types.cpp.o.d"
+  "bench/bench_fig03_user_types"
+  "bench/bench_fig03_user_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_user_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

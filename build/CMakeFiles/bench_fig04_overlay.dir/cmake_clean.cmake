@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_overlay.dir/bench/fig04_overlay.cpp.o"
+  "CMakeFiles/bench_fig04_overlay.dir/bench/fig04_overlay.cpp.o.d"
+  "bench/bench_fig04_overlay"
+  "bench/bench_fig04_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_ready_time.dir/bench/fig06_ready_time.cpp.o"
+  "CMakeFiles/bench_fig06_ready_time.dir/bench/fig06_ready_time.cpp.o.d"
+  "bench/bench_fig06_ready_time"
+  "bench/bench_fig06_ready_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_ready_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

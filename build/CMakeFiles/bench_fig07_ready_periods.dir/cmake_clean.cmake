@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_ready_periods.dir/bench/fig07_ready_periods.cpp.o"
+  "CMakeFiles/bench_fig07_ready_periods.dir/bench/fig07_ready_periods.cpp.o.d"
+  "bench/bench_fig07_ready_periods"
+  "bench/bench_fig07_ready_periods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_ready_periods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

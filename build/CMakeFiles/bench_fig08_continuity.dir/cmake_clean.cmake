@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_continuity.dir/bench/fig08_continuity.cpp.o"
+  "CMakeFiles/bench_fig08_continuity.dir/bench/fig08_continuity.cpp.o.d"
+  "bench/bench_fig08_continuity"
+  "bench/bench_fig08_continuity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_continuity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_sessions.dir/bench/fig10_sessions.cpp.o"
+  "CMakeFiles/bench_fig10_sessions.dir/bench/fig10_sessions.cpp.o.d"
+  "bench/bench_fig10_sessions"
+  "bench/bench_fig10_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_peerwise.dir/bench/peerwise.cpp.o"
+  "CMakeFiles/bench_peerwise.dir/bench/peerwise.cpp.o.d"
+  "bench/bench_peerwise"
+  "bench/bench_peerwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_peerwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

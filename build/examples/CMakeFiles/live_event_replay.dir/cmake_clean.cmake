@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_event_replay.dir/live_event_replay.cpp.o"
+  "CMakeFiles/live_event_replay.dir/live_event_replay.cpp.o.d"
+  "live_event_replay"
+  "live_event_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_event_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nat_and_heterogeneity.dir/nat_and_heterogeneity.cpp.o"
+  "CMakeFiles/nat_and_heterogeneity.dir/nat_and_heterogeneity.cpp.o.d"
+  "nat_and_heterogeneity"
+  "nat_and_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nat_and_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

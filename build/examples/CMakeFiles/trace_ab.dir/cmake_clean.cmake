@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_ab.dir/trace_ab.cpp.o"
+  "CMakeFiles/trace_ab.dir/trace_ab.cpp.o.d"
+  "trace_ab"
+  "trace_ab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_ab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/continuity.cpp" "src/analysis/CMakeFiles/coolstream_analysis.dir/continuity.cpp.o" "gcc" "src/analysis/CMakeFiles/coolstream_analysis.dir/continuity.cpp.o.d"
+  "/root/repo/src/analysis/csv.cpp" "src/analysis/CMakeFiles/coolstream_analysis.dir/csv.cpp.o" "gcc" "src/analysis/CMakeFiles/coolstream_analysis.dir/csv.cpp.o.d"
+  "/root/repo/src/analysis/lorenz.cpp" "src/analysis/CMakeFiles/coolstream_analysis.dir/lorenz.cpp.o" "gcc" "src/analysis/CMakeFiles/coolstream_analysis.dir/lorenz.cpp.o.d"
+  "/root/repo/src/analysis/overhead.cpp" "src/analysis/CMakeFiles/coolstream_analysis.dir/overhead.cpp.o" "gcc" "src/analysis/CMakeFiles/coolstream_analysis.dir/overhead.cpp.o.d"
+  "/root/repo/src/analysis/overlay.cpp" "src/analysis/CMakeFiles/coolstream_analysis.dir/overlay.cpp.o" "gcc" "src/analysis/CMakeFiles/coolstream_analysis.dir/overlay.cpp.o.d"
+  "/root/repo/src/analysis/peer_stability.cpp" "src/analysis/CMakeFiles/coolstream_analysis.dir/peer_stability.cpp.o" "gcc" "src/analysis/CMakeFiles/coolstream_analysis.dir/peer_stability.cpp.o.d"
+  "/root/repo/src/analysis/session_analysis.cpp" "src/analysis/CMakeFiles/coolstream_analysis.dir/session_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/coolstream_analysis.dir/session_analysis.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/analysis/CMakeFiles/coolstream_analysis.dir/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/coolstream_analysis.dir/stats.cpp.o.d"
+  "/root/repo/src/analysis/table.cpp" "src/analysis/CMakeFiles/coolstream_analysis.dir/table.cpp.o" "gcc" "src/analysis/CMakeFiles/coolstream_analysis.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logging/CMakeFiles/coolstream_logging.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/coolstream_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coolstream_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolstream_analysis.dir/continuity.cpp.o"
+  "CMakeFiles/coolstream_analysis.dir/continuity.cpp.o.d"
+  "CMakeFiles/coolstream_analysis.dir/csv.cpp.o"
+  "CMakeFiles/coolstream_analysis.dir/csv.cpp.o.d"
+  "CMakeFiles/coolstream_analysis.dir/lorenz.cpp.o"
+  "CMakeFiles/coolstream_analysis.dir/lorenz.cpp.o.d"
+  "CMakeFiles/coolstream_analysis.dir/overhead.cpp.o"
+  "CMakeFiles/coolstream_analysis.dir/overhead.cpp.o.d"
+  "CMakeFiles/coolstream_analysis.dir/overlay.cpp.o"
+  "CMakeFiles/coolstream_analysis.dir/overlay.cpp.o.d"
+  "CMakeFiles/coolstream_analysis.dir/peer_stability.cpp.o"
+  "CMakeFiles/coolstream_analysis.dir/peer_stability.cpp.o.d"
+  "CMakeFiles/coolstream_analysis.dir/session_analysis.cpp.o"
+  "CMakeFiles/coolstream_analysis.dir/session_analysis.cpp.o.d"
+  "CMakeFiles/coolstream_analysis.dir/stats.cpp.o"
+  "CMakeFiles/coolstream_analysis.dir/stats.cpp.o.d"
+  "CMakeFiles/coolstream_analysis.dir/table.cpp.o"
+  "CMakeFiles/coolstream_analysis.dir/table.cpp.o.d"
+  "libcoolstream_analysis.a"
+  "libcoolstream_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolstream_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

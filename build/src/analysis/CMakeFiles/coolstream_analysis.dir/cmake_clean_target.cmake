@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcoolstream_analysis.a"
+)

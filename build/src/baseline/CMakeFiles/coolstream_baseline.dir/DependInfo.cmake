@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/multi_tree.cpp" "src/baseline/CMakeFiles/coolstream_baseline.dir/multi_tree.cpp.o" "gcc" "src/baseline/CMakeFiles/coolstream_baseline.dir/multi_tree.cpp.o.d"
+  "/root/repo/src/baseline/tree_overlay.cpp" "src/baseline/CMakeFiles/coolstream_baseline.dir/tree_overlay.cpp.o" "gcc" "src/baseline/CMakeFiles/coolstream_baseline.dir/tree_overlay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/coolstream_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/coolstream_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

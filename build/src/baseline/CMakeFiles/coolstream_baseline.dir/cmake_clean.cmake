@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolstream_baseline.dir/multi_tree.cpp.o"
+  "CMakeFiles/coolstream_baseline.dir/multi_tree.cpp.o.d"
+  "CMakeFiles/coolstream_baseline.dir/tree_overlay.cpp.o"
+  "CMakeFiles/coolstream_baseline.dir/tree_overlay.cpp.o.d"
+  "libcoolstream_baseline.a"
+  "libcoolstream_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolstream_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

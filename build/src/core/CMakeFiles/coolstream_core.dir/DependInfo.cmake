@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bootstrap.cpp" "src/core/CMakeFiles/coolstream_core.dir/bootstrap.cpp.o" "gcc" "src/core/CMakeFiles/coolstream_core.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/core/buffer_map.cpp" "src/core/CMakeFiles/coolstream_core.dir/buffer_map.cpp.o" "gcc" "src/core/CMakeFiles/coolstream_core.dir/buffer_map.cpp.o.d"
+  "/root/repo/src/core/cache_buffer.cpp" "src/core/CMakeFiles/coolstream_core.dir/cache_buffer.cpp.o" "gcc" "src/core/CMakeFiles/coolstream_core.dir/cache_buffer.cpp.o.d"
+  "/root/repo/src/core/mcache.cpp" "src/core/CMakeFiles/coolstream_core.dir/mcache.cpp.o" "gcc" "src/core/CMakeFiles/coolstream_core.dir/mcache.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/coolstream_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/coolstream_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/peer.cpp" "src/core/CMakeFiles/coolstream_core.dir/peer.cpp.o" "gcc" "src/core/CMakeFiles/coolstream_core.dir/peer.cpp.o.d"
+  "/root/repo/src/core/sync_buffer.cpp" "src/core/CMakeFiles/coolstream_core.dir/sync_buffer.cpp.o" "gcc" "src/core/CMakeFiles/coolstream_core.dir/sync_buffer.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/coolstream_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/coolstream_core.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/coolstream_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/logging/CMakeFiles/coolstream_logging.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coolstream_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

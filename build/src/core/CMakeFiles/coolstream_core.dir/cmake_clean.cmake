@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolstream_core.dir/bootstrap.cpp.o"
+  "CMakeFiles/coolstream_core.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/coolstream_core.dir/buffer_map.cpp.o"
+  "CMakeFiles/coolstream_core.dir/buffer_map.cpp.o.d"
+  "CMakeFiles/coolstream_core.dir/cache_buffer.cpp.o"
+  "CMakeFiles/coolstream_core.dir/cache_buffer.cpp.o.d"
+  "CMakeFiles/coolstream_core.dir/mcache.cpp.o"
+  "CMakeFiles/coolstream_core.dir/mcache.cpp.o.d"
+  "CMakeFiles/coolstream_core.dir/params.cpp.o"
+  "CMakeFiles/coolstream_core.dir/params.cpp.o.d"
+  "CMakeFiles/coolstream_core.dir/peer.cpp.o"
+  "CMakeFiles/coolstream_core.dir/peer.cpp.o.d"
+  "CMakeFiles/coolstream_core.dir/sync_buffer.cpp.o"
+  "CMakeFiles/coolstream_core.dir/sync_buffer.cpp.o.d"
+  "CMakeFiles/coolstream_core.dir/system.cpp.o"
+  "CMakeFiles/coolstream_core.dir/system.cpp.o.d"
+  "libcoolstream_core.a"
+  "libcoolstream_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolstream_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logging/log_server.cpp" "src/logging/CMakeFiles/coolstream_logging.dir/log_server.cpp.o" "gcc" "src/logging/CMakeFiles/coolstream_logging.dir/log_server.cpp.o.d"
+  "/root/repo/src/logging/log_string.cpp" "src/logging/CMakeFiles/coolstream_logging.dir/log_string.cpp.o" "gcc" "src/logging/CMakeFiles/coolstream_logging.dir/log_string.cpp.o.d"
+  "/root/repo/src/logging/reports.cpp" "src/logging/CMakeFiles/coolstream_logging.dir/reports.cpp.o" "gcc" "src/logging/CMakeFiles/coolstream_logging.dir/reports.cpp.o.d"
+  "/root/repo/src/logging/sessions.cpp" "src/logging/CMakeFiles/coolstream_logging.dir/sessions.cpp.o" "gcc" "src/logging/CMakeFiles/coolstream_logging.dir/sessions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/coolstream_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coolstream_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolstream_logging.dir/log_server.cpp.o"
+  "CMakeFiles/coolstream_logging.dir/log_server.cpp.o.d"
+  "CMakeFiles/coolstream_logging.dir/log_string.cpp.o"
+  "CMakeFiles/coolstream_logging.dir/log_string.cpp.o.d"
+  "CMakeFiles/coolstream_logging.dir/reports.cpp.o"
+  "CMakeFiles/coolstream_logging.dir/reports.cpp.o.d"
+  "CMakeFiles/coolstream_logging.dir/sessions.cpp.o"
+  "CMakeFiles/coolstream_logging.dir/sessions.cpp.o.d"
+  "libcoolstream_logging.a"
+  "libcoolstream_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolstream_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

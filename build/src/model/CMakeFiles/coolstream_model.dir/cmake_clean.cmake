@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolstream_model.dir/adaptation_model.cpp.o"
+  "CMakeFiles/coolstream_model.dir/adaptation_model.cpp.o.d"
+  "CMakeFiles/coolstream_model.dir/capacity_model.cpp.o"
+  "CMakeFiles/coolstream_model.dir/capacity_model.cpp.o.d"
+  "CMakeFiles/coolstream_model.dir/convergence_model.cpp.o"
+  "CMakeFiles/coolstream_model.dir/convergence_model.cpp.o.d"
+  "libcoolstream_model.a"
+  "libcoolstream_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolstream_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

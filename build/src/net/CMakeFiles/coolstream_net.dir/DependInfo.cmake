@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/address.cpp" "src/net/CMakeFiles/coolstream_net.dir/address.cpp.o" "gcc" "src/net/CMakeFiles/coolstream_net.dir/address.cpp.o.d"
+  "/root/repo/src/net/bandwidth.cpp" "src/net/CMakeFiles/coolstream_net.dir/bandwidth.cpp.o" "gcc" "src/net/CMakeFiles/coolstream_net.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/net/connectivity.cpp" "src/net/CMakeFiles/coolstream_net.dir/connectivity.cpp.o" "gcc" "src/net/CMakeFiles/coolstream_net.dir/connectivity.cpp.o.d"
+  "/root/repo/src/net/latency.cpp" "src/net/CMakeFiles/coolstream_net.dir/latency.cpp.o" "gcc" "src/net/CMakeFiles/coolstream_net.dir/latency.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/coolstream_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/coolstream_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/transport.cpp" "src/net/CMakeFiles/coolstream_net.dir/transport.cpp.o" "gcc" "src/net/CMakeFiles/coolstream_net.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/coolstream_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

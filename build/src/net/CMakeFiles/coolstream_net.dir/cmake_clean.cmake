@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolstream_net.dir/address.cpp.o"
+  "CMakeFiles/coolstream_net.dir/address.cpp.o.d"
+  "CMakeFiles/coolstream_net.dir/bandwidth.cpp.o"
+  "CMakeFiles/coolstream_net.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/coolstream_net.dir/connectivity.cpp.o"
+  "CMakeFiles/coolstream_net.dir/connectivity.cpp.o.d"
+  "CMakeFiles/coolstream_net.dir/latency.cpp.o"
+  "CMakeFiles/coolstream_net.dir/latency.cpp.o.d"
+  "CMakeFiles/coolstream_net.dir/topology.cpp.o"
+  "CMakeFiles/coolstream_net.dir/topology.cpp.o.d"
+  "CMakeFiles/coolstream_net.dir/transport.cpp.o"
+  "CMakeFiles/coolstream_net.dir/transport.cpp.o.d"
+  "libcoolstream_net.a"
+  "libcoolstream_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolstream_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolstream_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/coolstream_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/coolstream_sim.dir/rng.cpp.o"
+  "CMakeFiles/coolstream_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/coolstream_sim.dir/simulation.cpp.o"
+  "CMakeFiles/coolstream_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/coolstream_sim.dir/thread_pool.cpp.o"
+  "CMakeFiles/coolstream_sim.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/coolstream_sim.dir/time_series.cpp.o"
+  "CMakeFiles/coolstream_sim.dir/time_series.cpp.o.d"
+  "libcoolstream_sim.a"
+  "libcoolstream_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolstream_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrivals.cpp" "src/workload/CMakeFiles/coolstream_workload.dir/arrivals.cpp.o" "gcc" "src/workload/CMakeFiles/coolstream_workload.dir/arrivals.cpp.o.d"
+  "/root/repo/src/workload/scenario.cpp" "src/workload/CMakeFiles/coolstream_workload.dir/scenario.cpp.o" "gcc" "src/workload/CMakeFiles/coolstream_workload.dir/scenario.cpp.o.d"
+  "/root/repo/src/workload/session_model.cpp" "src/workload/CMakeFiles/coolstream_workload.dir/session_model.cpp.o" "gcc" "src/workload/CMakeFiles/coolstream_workload.dir/session_model.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/coolstream_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/coolstream_workload.dir/trace.cpp.o.d"
+  "/root/repo/src/workload/user_types.cpp" "src/workload/CMakeFiles/coolstream_workload.dir/user_types.cpp.o" "gcc" "src/workload/CMakeFiles/coolstream_workload.dir/user_types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/coolstream_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coolstream_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/logging/CMakeFiles/coolstream_logging.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/coolstream_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

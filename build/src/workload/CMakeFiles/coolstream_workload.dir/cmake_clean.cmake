@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolstream_workload.dir/arrivals.cpp.o"
+  "CMakeFiles/coolstream_workload.dir/arrivals.cpp.o.d"
+  "CMakeFiles/coolstream_workload.dir/scenario.cpp.o"
+  "CMakeFiles/coolstream_workload.dir/scenario.cpp.o.d"
+  "CMakeFiles/coolstream_workload.dir/session_model.cpp.o"
+  "CMakeFiles/coolstream_workload.dir/session_model.cpp.o.d"
+  "CMakeFiles/coolstream_workload.dir/trace.cpp.o"
+  "CMakeFiles/coolstream_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/coolstream_workload.dir/user_types.cpp.o"
+  "CMakeFiles/coolstream_workload.dir/user_types.cpp.o.d"
+  "libcoolstream_workload.a"
+  "libcoolstream_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolstream_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

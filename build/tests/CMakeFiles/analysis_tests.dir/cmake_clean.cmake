@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tests.dir/analysis/csv_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/csv_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/lorenz_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/lorenz_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/overhead_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/overhead_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/overlay_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/overlay_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/peer_stability_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/peer_stability_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/session_analysis_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/session_analysis_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/stats_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/stats_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/table_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/table_test.cpp.o.d"
+  "analysis_tests"
+  "analysis_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_tests.dir/baseline/multi_tree_test.cpp.o"
+  "CMakeFiles/baseline_tests.dir/baseline/multi_tree_test.cpp.o.d"
+  "CMakeFiles/baseline_tests.dir/baseline/tree_overlay_test.cpp.o"
+  "CMakeFiles/baseline_tests.dir/baseline/tree_overlay_test.cpp.o.d"
+  "baseline_tests"
+  "baseline_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/bootstrap_test.cpp" "tests/CMakeFiles/core_tests.dir/core/bootstrap_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/bootstrap_test.cpp.o.d"
+  "/root/repo/tests/core/buffer_map_test.cpp" "tests/CMakeFiles/core_tests.dir/core/buffer_map_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/buffer_map_test.cpp.o.d"
+  "/root/repo/tests/core/cache_buffer_test.cpp" "tests/CMakeFiles/core_tests.dir/core/cache_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/cache_buffer_test.cpp.o.d"
+  "/root/repo/tests/core/flow_conservation_test.cpp" "tests/CMakeFiles/core_tests.dir/core/flow_conservation_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/flow_conservation_test.cpp.o.d"
+  "/root/repo/tests/core/invariants_test.cpp" "tests/CMakeFiles/core_tests.dir/core/invariants_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/invariants_test.cpp.o.d"
+  "/root/repo/tests/core/join_process_test.cpp" "tests/CMakeFiles/core_tests.dir/core/join_process_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/join_process_test.cpp.o.d"
+  "/root/repo/tests/core/mcache_test.cpp" "tests/CMakeFiles/core_tests.dir/core/mcache_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/mcache_test.cpp.o.d"
+  "/root/repo/tests/core/params_test.cpp" "tests/CMakeFiles/core_tests.dir/core/params_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/params_test.cpp.o.d"
+  "/root/repo/tests/core/playout_test.cpp" "tests/CMakeFiles/core_tests.dir/core/playout_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/playout_test.cpp.o.d"
+  "/root/repo/tests/core/resync_test.cpp" "tests/CMakeFiles/core_tests.dir/core/resync_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/resync_test.cpp.o.d"
+  "/root/repo/tests/core/stream_types_test.cpp" "tests/CMakeFiles/core_tests.dir/core/stream_types_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/stream_types_test.cpp.o.d"
+  "/root/repo/tests/core/substream_sweep_test.cpp" "tests/CMakeFiles/core_tests.dir/core/substream_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/substream_sweep_test.cpp.o.d"
+  "/root/repo/tests/core/sync_buffer_test.cpp" "tests/CMakeFiles/core_tests.dir/core/sync_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/sync_buffer_test.cpp.o.d"
+  "/root/repo/tests/core/system_test.cpp" "tests/CMakeFiles/core_tests.dir/core/system_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/system_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/coolstream_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/coolstream_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/coolstream_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/coolstream_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/coolstream_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/logging/CMakeFiles/coolstream_logging.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/coolstream_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coolstream_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/bootstrap_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/bootstrap_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/buffer_map_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/buffer_map_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/cache_buffer_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/cache_buffer_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/flow_conservation_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/flow_conservation_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/invariants_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/invariants_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/join_process_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/join_process_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/mcache_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/mcache_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/params_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/params_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/playout_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/playout_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/resync_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/resync_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/stream_types_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/stream_types_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/substream_sweep_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/substream_sweep_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/sync_buffer_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/sync_buffer_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/system_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/system_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logging_tests.dir/logging/log_string_test.cpp.o"
+  "CMakeFiles/logging_tests.dir/logging/log_string_test.cpp.o.d"
+  "CMakeFiles/logging_tests.dir/logging/reports_test.cpp.o"
+  "CMakeFiles/logging_tests.dir/logging/reports_test.cpp.o.d"
+  "CMakeFiles/logging_tests.dir/logging/sessions_test.cpp.o"
+  "CMakeFiles/logging_tests.dir/logging/sessions_test.cpp.o.d"
+  "logging_tests"
+  "logging_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logging_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/model/adaptation_model_test.cpp" "tests/CMakeFiles/model_tests.dir/model/adaptation_model_test.cpp.o" "gcc" "tests/CMakeFiles/model_tests.dir/model/adaptation_model_test.cpp.o.d"
+  "/root/repo/tests/model/capacity_model_test.cpp" "tests/CMakeFiles/model_tests.dir/model/capacity_model_test.cpp.o" "gcc" "tests/CMakeFiles/model_tests.dir/model/capacity_model_test.cpp.o.d"
+  "/root/repo/tests/model/convergence_model_test.cpp" "tests/CMakeFiles/model_tests.dir/model/convergence_model_test.cpp.o" "gcc" "tests/CMakeFiles/model_tests.dir/model/convergence_model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/coolstream_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/coolstream_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/coolstream_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/coolstream_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/coolstream_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/logging/CMakeFiles/coolstream_logging.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/coolstream_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coolstream_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_tests.dir/model/adaptation_model_test.cpp.o"
+  "CMakeFiles/model_tests.dir/model/adaptation_model_test.cpp.o.d"
+  "CMakeFiles/model_tests.dir/model/capacity_model_test.cpp.o"
+  "CMakeFiles/model_tests.dir/model/capacity_model_test.cpp.o.d"
+  "CMakeFiles/model_tests.dir/model/convergence_model_test.cpp.o"
+  "CMakeFiles/model_tests.dir/model/convergence_model_test.cpp.o.d"
+  "model_tests"
+  "model_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

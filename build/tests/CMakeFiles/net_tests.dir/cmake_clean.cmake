@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_tests.dir/net/address_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/address_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/bandwidth_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/bandwidth_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/connectivity_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/connectivity_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/latency_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/latency_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/topology_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/topology_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/transport_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/transport_test.cpp.o.d"
+  "net_tests"
+  "net_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/distributions_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/distributions_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/event_queue_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/event_queue_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/rng_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/rng_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/simulation_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/simulation_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/thread_pool_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/thread_pool_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/time_series_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/time_series_test.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_tests.dir/workload/arrivals_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/arrivals_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/scenario_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/scenario_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/session_model_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/session_model_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/trace_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/trace_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/user_types_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/user_types_test.cpp.o.d"
+  "workload_tests"
+  "workload_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(sim_tests "/root/repo/build/tests/sim_tests")
+set_tests_properties(sim_tests PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;14;coolstream_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(net_tests "/root/repo/build/tests/net_tests")
+set_tests_properties(net_tests PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;22;coolstream_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(logging_tests "/root/repo/build/tests/logging_tests")
+set_tests_properties(logging_tests PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;30;coolstream_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_tests "/root/repo/build/tests/core_tests")
+set_tests_properties(core_tests PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;35;coolstream_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workload_tests "/root/repo/build/tests/workload_tests")
+set_tests_properties(workload_tests PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;51;coolstream_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(analysis_tests "/root/repo/build/tests/analysis_tests")
+set_tests_properties(analysis_tests PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;58;coolstream_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(model_tests "/root/repo/build/tests/model_tests")
+set_tests_properties(model_tests PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;68;coolstream_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(baseline_tests "/root/repo/build/tests/baseline_tests")
+set_tests_properties(baseline_tests PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;73;coolstream_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_tests "/root/repo/build/tests/integration_tests")
+set_tests_properties(integration_tests PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;77;coolstream_test;/root/repo/tests/CMakeLists.txt;0;")

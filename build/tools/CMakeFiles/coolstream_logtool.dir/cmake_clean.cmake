@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolstream_logtool.dir/logtool.cpp.o"
+  "CMakeFiles/coolstream_logtool.dir/logtool.cpp.o.d"
+  "coolstream_logtool"
+  "coolstream_logtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolstream_logtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
