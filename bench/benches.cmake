@@ -27,6 +27,10 @@ coolstream_bench(ablation_allocation)
 coolstream_bench(ablation_substreams)
 coolstream_bench(ablation_thresholds)
 
+add_executable(bench_micro_event_queue ${CMAKE_SOURCE_DIR}/bench/micro_event_queue.cpp)
+set_target_properties(bench_micro_event_queue PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+target_link_libraries(bench_micro_event_queue PRIVATE coolstream_sim coolstream_warnings)
+
 add_executable(bench_micro_substrate ${CMAKE_SOURCE_DIR}/bench/micro_substrate.cpp)
 set_target_properties(bench_micro_substrate PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 target_link_libraries(bench_micro_substrate PRIVATE

@@ -41,7 +41,8 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
     for (std::size_t i = 0; i < batch; ++i) {
       q.schedule(rng.uniform(), [] {});
     }
-    while (!q.empty()) benchmark::DoNotOptimize(q.pop().first);
+    while (q.run_next([](sim::Time t) { benchmark::DoNotOptimize(t); })) {
+    }
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(batch));

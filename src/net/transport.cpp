@@ -20,12 +20,6 @@ std::string_view to_string(MessageKind kind) noexcept {
   return "unknown";
 }
 
-void Transport::send(NodeId from, NodeId to, MessageKind kind,
-                     std::function<void()> deliver) {
-  ++counts_[static_cast<std::size_t>(kind)];
-  sim_.after(latency_.delay(from, to), std::move(deliver));
-}
-
 std::uint64_t Transport::total_sent() const noexcept {
   return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
 }

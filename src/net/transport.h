@@ -12,8 +12,8 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
 #include <string_view>
+#include <utility>
 
 #include "net/latency.h"
 #include "net/types.h"
@@ -44,9 +44,13 @@ class Transport {
   /// Delivers `deliver` at the destination after the one-way delay from
   /// `from` to `to`.  The callback must internally route to the right
   /// recipient object; the transport does not keep a node registry (the
-  /// System layer does).
-  void send(NodeId from, NodeId to, MessageKind kind,
-            std::function<void()> deliver);
+  /// System layer does).  Templated so the callable lands directly in the
+  /// event engine's in-record storage instead of a std::function.
+  template <typename F>
+  void send(NodeId from, NodeId to, MessageKind kind, F&& deliver) {
+    ++counts_[static_cast<std::size_t>(kind)];
+    sim_.after(latency_.delay(from, to), std::forward<F>(deliver));
+  }
 
   /// Accounts for a message whose delivery is modelled synchronously by
   /// the caller (e.g. the periodic buffer-map exchange).

@@ -1,43 +1,428 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
-#include <cassert>
+#include <cmath>
 
 namespace coolstream::sim {
 
-EventHandle EventQueue::schedule(Time at, EventFn fn) {
-  auto alive = std::make_shared<bool>(true);
-  heap_.push_back(Entry{at, next_seq_++, std::move(fn), alive});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  return EventHandle(std::move(alive));
+EventQueue::EventQueue() {
+  buckets_.assign(kMinBuckets, kNil);
+  year_span_ = bucket_width_ * static_cast<Time>(buckets_.size());
+  geometry_events_ = kMinBuckets;
 }
 
-void EventQueue::skim() {
-  while (!heap_.empty() && !*heap_.front().alive) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+EventQueue::~EventQueue() = default;
+
+// --------------------------------------------------------------------------
+// Slab
+// --------------------------------------------------------------------------
+
+void EventQueue::grow_slab() {
+  auto chunk = std::make_unique<Record[]>(kChunkSize);
+  // Chain the fresh records into the free list, lowest slot first so early
+  // allocations get low slot numbers (nicer for debugging; irrelevant for
+  // ordering, which is by (time, seq)).
+  const std::uint32_t base = slot_count_;
+  for (std::size_t i = kChunkSize; i-- > 0;) {
+    chunk[i].next = free_head_;
+    free_head_ = base + static_cast<std::uint32_t>(i);
+  }
+  chunks_.push_back(std::move(chunk));
+  slot_count_ = base + static_cast<std::uint32_t>(kChunkSize);
+}
+
+std::uint32_t EventQueue::alloc_slot() {
+  if (free_head_ == kNil) grow_slab();
+  const std::uint32_t slot = free_head_;
+  Record& r = record(slot);
+  free_head_ = r.next;
+  r.next = kNil;
+  r.prev = kNil;
+  return slot;
+}
+
+void EventQueue::free_slot(std::uint32_t slot) noexcept {
+  Record& r = record(slot);
+  r.where = Where::kFree;
+  r.periodic = false;
+  r.next = free_head_;
+  free_head_ = slot;
+}
+
+// --------------------------------------------------------------------------
+// Scheduling
+// --------------------------------------------------------------------------
+
+EventHandle EventQueue::arm(std::uint32_t slot, Time at, bool periodic,
+                            Time period) {
+  Record& r = record(slot);
+  r.time = at;
+  r.seq = next_seq_++;
+  r.periodic = periodic;
+  r.period = period;
+  r.base = at;
+  r.fires = 0;
+  link(slot);
+  maybe_rebuild();
+  return EventHandle(this, handle_id(slot, r.generation));
+}
+
+void EventQueue::link(std::uint32_t slot) {
+  place(slot);
+  ++live_;
+  if (live_ > peak_live_) peak_live_ = live_;
+  // Keep the memoized minimum valid: a new event only displaces it when it
+  // orders earlier.
+  if (cached_min_ != kNil) {
+    const Record& c = record(cached_min_);
+    const Record& n = record(slot);
+    if (n.time < c.time || (n.time == c.time && n.seq < c.seq)) {
+      cached_min_ = slot;
+    }
+  } else if (live_ == 1) {
+    cached_min_ = slot;  // the queue was empty: this event is the minimum
   }
 }
 
-bool EventQueue::empty() {
-  skim();
-  return heap_.empty();
+void EventQueue::place(std::uint32_t slot) {
+  Record& r = record(slot);
+  const Time t = r.time;
+  if (t >= year_start_ && t < year_start_ + year_span_) {
+    const std::size_t b = bucket_index(t);
+    r.where = Where::kBucket;
+    r.pos = static_cast<std::uint32_t>(b);
+    r.prev = kNil;
+    r.next = buckets_[b];
+    if (r.next != kNil) record(r.next).prev = slot;
+    buckets_[b] = slot;
+    ++bucketed_;
+    if (b < cursor_) cursor_ = b;
+  } else {
+    heap_push(slot);
+  }
+}
+
+void EventQueue::unlink(std::uint32_t slot) noexcept {
+  Record& r = record(slot);
+  if (r.where == Where::kBucket) {
+    if (r.prev != kNil) {
+      record(r.prev).next = r.next;
+    } else {
+      buckets_[r.pos] = r.next;
+    }
+    if (r.next != kNil) record(r.next).prev = r.prev;
+    --bucketed_;
+  } else {
+    assert(r.where == Where::kHeap);
+    heap_remove(r.pos);
+  }
+  r.where = Where::kExecuting;
+  r.prev = kNil;
+  r.next = kNil;
+  --live_;
+  cached_min_ = kNil;
+}
+
+std::size_t EventQueue::bucket_index(Time t) const noexcept {
+  // Multiply by the cached reciprocal instead of dividing: this runs on
+  // every placement.  The result can differ from floor(t/width) by one
+  // bucket in the last ulp, which is harmless — correctness only needs the
+  // mapping to be monotone in t (it is: multiply and truncate both are),
+  // since find_min() orders by the exact (time, seq) within a bucket.
+  const auto b =
+      static_cast<std::size_t>((t - year_start_) * inv_bucket_width_);
+  // Clamp: floating-point rounding at the year's edge must not escape the
+  // array.
+  return b < buckets_.size() ? b : buckets_.size() - 1;
+}
+
+void EventQueue::advance_year(Time t) noexcept {
+  if (!std::isfinite(t)) return;  // leave non-finite times to the heap
+  year_start_ = std::floor(t / year_span_) * year_span_;
+  cursor_ = bucket_index(t);
+  if (heap_.empty()) return;
+  // Migrate every heap event that now falls inside the calendar window.
+  // Near a year boundary a large fraction of the schedule transits the
+  // heap, so this is a linear partition + re-heapify (O(m)) rather than
+  // repeated heap pops (O(k log m)).  The membership test must match
+  // place()'s exactly: floor(t/span)*span can round to just above t, and
+  // an event place() would bounce back onto heap_ while we iterate over it
+  // would loop forever.  Such events stay in the heap and are served from
+  // there (find_min() always considers the heap top).
+  const Time year_end = year_start_ + year_span_;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    const std::uint32_t s = heap_[i];
+    const Time tt = record(s).time;
+    if (tt >= year_start_ && tt < year_end) {
+      place(s);
+    } else {
+      heap_[keep] = s;
+      record(s).pos = static_cast<std::uint32_t>(keep);
+      ++keep;
+    }
+  }
+  heap_.resize(keep);
+  for (std::size_t i = keep / 2; i-- > 0;) heap_sift_down(i);
+}
+
+std::uint32_t EventQueue::find_min() {
+  assert(live_ > 0);
+  if (cached_min_ != kNil) return cached_min_;
+  if (bucketed_ == 0 && !heap_.empty()) {
+    // The calendar ran dry: jump it to the heap's earliest event so the
+    // near future is bucketed again.
+    advance_year(record(heap_.front()).time);
+  }
+  std::uint32_t best = kNil;
+  if (bucketed_ > 0) {
+    // All bucketed events live at or after cursor_; buckets partition time,
+    // so the first non-empty bucket holds the earliest bucketed event.
+    std::size_t b = cursor_;
+    while (buckets_[b] == kNil) ++b;
+    cursor_ = b;
+    best = buckets_[b];
+    const Record* rb = &record(best);
+    for (std::uint32_t s = rb->next; s != kNil;) {
+      const Record& rs = record(s);
+      if (rs.time < rb->time || (rs.time == rb->time && rs.seq < rb->seq)) {
+        best = s;
+        rb = &rs;
+      }
+      s = rs.next;
+    }
+  }
+  if (!heap_.empty()) {
+    const std::uint32_t top = heap_.front();
+    if (best == kNil || heap_earlier(top, best)) best = top;
+  }
+  cached_min_ = best;
+  return best;
 }
 
 Time EventQueue::next_time() {
-  skim();
-  assert(!heap_.empty());
-  return heap_.front().time;
+  assert(!empty());
+  return record(find_min()).time;
 }
 
-std::pair<Time, EventFn> EventQueue::pop() {
-  skim();
-  assert(!heap_.empty());
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry e = std::move(heap_.back());
+std::uint32_t EventQueue::take_next() {
+  if (live_ == 0) return kNil;
+  const std::uint32_t slot = find_min();
+  unlink(slot);
+  // No rebuild check here: the population only grows through arm()/link(),
+  // so geometry pressure is evaluated on the scheduling side.
+  return slot;
+}
+
+void EventQueue::fire_periodic(std::uint32_t slot) {
+  Record& r = record(slot);
+  const std::uint32_t generation = r.generation;
+  r.fn();
+  // The callback may have cancelled the series (generation bumped) — the
+  // record was kept alive for the callback's own frame; retire it now.
+  Record& r2 = record(slot);
+  if (r2.generation != generation) {
+    r2.fn.reset();
+    free_slot(slot);
+    return;
+  }
+  ++r2.fires;
+  // Absolute arithmetic: occurrence n fires at base + n*period, so rounding
+  // error stays bounded instead of accumulating one addition per period.
+  r2.time = r2.base + static_cast<Time>(r2.fires) * r2.period;
+  r2.seq = next_seq_++;
+  link(slot);
+  maybe_rebuild();
+}
+
+// --------------------------------------------------------------------------
+// Geometry adaptation
+// --------------------------------------------------------------------------
+
+void EventQueue::maybe_rebuild() {
+  // Re-derive the calendar geometry when the live population doubled (grow),
+  // when most events sit in the spill heap because the bucket width does not
+  // match the workload's time scale (spill), or when the population — peak
+  // since the last rebuild, so churny loads that keep coming back never
+  // thrash — collapsed (shrink).  Steady-state load never rebuilds.
+  ++ops_since_rebuild_;
+  const std::size_t n = live_;
+  if (n > geometry_events_ * 2 && buckets_.size() < kMaxBuckets) {
+    rebuild();
+  } else if (!spill_futile_ && heap_.size() > n / 2 + 8 &&
+             ops_since_rebuild_ >= 2 * n + kMinBuckets) {
+    rebuild();
+  } else if (buckets_.size() > kMinBuckets &&
+             peak_live_ * 8 < geometry_events_ &&
+             ops_since_rebuild_ >= 2 * geometry_events_) {
+    rebuild();
+  }
+}
+
+void EventQueue::rebuild() {
+  // Collect every scheduled record.
+  scratch_.clear();
+  scratch_.reserve(live_);
+  for (const std::uint32_t head : buckets_) {
+    for (std::uint32_t s = head; s != kNil; s = record(s).next) {
+      scratch_.push_back(s);
+    }
+  }
+  for (const std::uint32_t s : heap_) scratch_.push_back(s);
+  assert(scratch_.size() == live_);
+  if (scratch_.empty()) {
+    buckets_.assign(kMinBuckets, kNil);
+    bucket_width_ = 1e-3;
+    inv_bucket_width_ = 1.0 / bucket_width_;
+    year_span_ = bucket_width_ * static_cast<Time>(buckets_.size());
+    year_start_ = 0.0;
+    cursor_ = 0;
+    bucketed_ = 0;
+    heap_.clear();
+    geometry_events_ = kMinBuckets;
+    peak_live_ = 0;
+    ops_since_rebuild_ = 0;
+    spill_futile_ = false;
+    cached_min_ = kNil;
+    return;
+  }
+
+  // Pick the bucket width from the dense half of the schedule: the average
+  // gap between the earliest event and the median event.  Far-future
+  // outliers (session timeouts, program-end timers) spill to the heap and
+  // do not distort the calendar.  With 2n buckets of one-mean-gap width the
+  // year covers ~4x the dense span at ~1 event per bucket, so the min scan
+  // inside a bucket stays short even after the population doubles again.
+  Time t_min = record(scratch_.front()).time;
+  for (const std::uint32_t s : scratch_) {
+    t_min = std::min(t_min, record(s).time);
+  }
+  const std::size_t n = scratch_.size();
+  std::vector<std::uint32_t>& times_by = scratch_;  // sorted in place below
+  std::nth_element(times_by.begin(), times_by.begin() + static_cast<std::ptrdiff_t>(n / 2),
+                   times_by.end(), [this](std::uint32_t a, std::uint32_t b) {
+                     return record(a).time < record(b).time;
+                   });
+  const Time t_med = record(times_by[n / 2]).time;
+  const Time near_span = t_med - t_min;
+  const std::size_t near_count = std::max<std::size_t>(1, n / 2);
+  Time width = near_span / static_cast<Time>(near_count);
+  if (!(width > kMinBucketWidth)) width = kMinBucketWidth;
+
+  std::size_t want = kMinBuckets;
+  while (want < 2 * n && want < kMaxBuckets) want <<= 1;
+
+  // assign() never shrinks capacity, so once the high-water mark is paid,
+  // later rebuilds (including shrink-regrow cycles) allocate nothing.
+  buckets_.assign(want, kNil);
+  bucket_width_ = width;
+  inv_bucket_width_ = 1.0 / width;
+  year_span_ = bucket_width_ * static_cast<Time>(buckets_.size());
+  year_start_ = std::isfinite(t_min)
+                    ? std::floor(t_min / year_span_) * year_span_
+                    : 0.0;
+  cursor_ = std::isfinite(t_min) ? bucket_index(t_min) : 0;
+  bucketed_ = 0;
+  heap_.clear();
+  for (const std::uint32_t s : scratch_) place(s);
+  geometry_events_ = std::max(n, kMinBuckets);
+  peak_live_ = n;
+  ops_since_rebuild_ = 0;
+  // If most events still spill (a genuinely wide bimodal schedule), further
+  // spill-triggered rebuilds would recompute the same geometry; disable the
+  // trigger until the population changes enough to force a grow/shrink.
+  spill_futile_ = heap_.size() > live_ / 2;
+  cached_min_ = kNil;
+}
+
+// --------------------------------------------------------------------------
+// Spill heap
+// --------------------------------------------------------------------------
+
+bool EventQueue::heap_earlier(std::uint32_t a, std::uint32_t b) const noexcept {
+  const Record& ra = record(a);
+  const Record& rb = record(b);
+  if (ra.time != rb.time) return ra.time < rb.time;
+  return ra.seq < rb.seq;
+}
+
+void EventQueue::heap_push(std::uint32_t slot) {
+  Record& r = record(slot);
+  r.where = Where::kHeap;
+  r.pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(slot);
+  heap_sift_up(heap_.size() - 1);
+}
+
+void EventQueue::heap_remove(std::size_t index) noexcept {
+  assert(index < heap_.size());
+  const std::size_t last = heap_.size() - 1;
+  if (index != last) {
+    heap_[index] = heap_[last];
+    record(heap_[index]).pos = static_cast<std::uint32_t>(index);
+  }
   heap_.pop_back();
-  *e.alive = false;  // fired events report !pending()
-  return {e.time, std::move(e.fn)};
+  if (index < heap_.size()) {
+    heap_sift_up(index);
+    heap_sift_down(index);
+  }
+}
+
+void EventQueue::heap_sift_up(std::size_t index) noexcept {
+  while (index > 0) {
+    const std::size_t parent = (index - 1) / 2;
+    if (!heap_earlier(heap_[index], heap_[parent])) break;
+    std::swap(heap_[index], heap_[parent]);
+    record(heap_[index]).pos = static_cast<std::uint32_t>(index);
+    record(heap_[parent]).pos = static_cast<std::uint32_t>(parent);
+    index = parent;
+  }
+}
+
+void EventQueue::heap_sift_down(std::size_t index) noexcept {
+  for (;;) {
+    std::size_t smallest = index;
+    const std::size_t left = 2 * index + 1;
+    const std::size_t right = 2 * index + 2;
+    if (left < heap_.size() && heap_earlier(heap_[left], heap_[smallest])) {
+      smallest = left;
+    }
+    if (right < heap_.size() && heap_earlier(heap_[right], heap_[smallest])) {
+      smallest = right;
+    }
+    if (smallest == index) break;
+    std::swap(heap_[index], heap_[smallest]);
+    record(heap_[index]).pos = static_cast<std::uint32_t>(index);
+    record(heap_[smallest]).pos = static_cast<std::uint32_t>(smallest);
+    index = smallest;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Handles
+// --------------------------------------------------------------------------
+
+void EventQueue::cancel_id(std::uint64_t id) noexcept {
+  const auto slot = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  Record& r = record(slot);
+  if (r.generation != generation) return;  // already fired / cancelled
+  if (r.where == Where::kExecuting) {
+    // A periodic callback cancelling its own series: the executing frame
+    // owns the record; just mark the series dead so it is not re-linked.
+    ++r.generation;
+    return;
+  }
+  unlink(slot);
+  ++r.generation;
+  r.fn.reset();
+  free_slot(slot);
+}
+
+bool EventQueue::pending_id(std::uint64_t id) const noexcept {
+  const auto slot = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  return record(slot).generation == generation;
 }
 
 }  // namespace coolstream::sim

@@ -1,15 +1,42 @@
-// Priority queue of timestamped events for the discrete-event engine.
+// Allocation-free discrete-event queue.
 //
 // Events are callbacks ordered by (time, insertion sequence).  The secondary
 // ordering makes execution order fully deterministic even when many events
 // share a timestamp, which matters for reproducible simulations.
-// Events can be cancelled in O(1) through an EventHandle; cancelled entries
-// are dropped lazily when they reach the top of the heap.
+//
+// Internals (see DESIGN.md, "Event engine internals"):
+//   * Event records live in a chunked slab; records never move, and freed
+//     slots are recycled through a free list, so the steady state performs
+//     zero heap allocations per event.
+//   * Callbacks are stored in-place when they fit a 48-byte small-buffer
+//     (every periodic protocol-loop callback does); larger captures fall
+//     back to one heap allocation owned by the record.
+//   * Cancellation tokens are {slot, generation} pairs.  Firing, cancelling
+//     or completing an event bumps the slot's generation, so stale handles
+//     become inert automatically — no shared_ptr, no reference counting.
+//   * Near-future events sit in a calendar (bucket) queue giving O(1)
+//     schedule/pop for the periodic protocol loops; far-future events spill
+//     into a binary heap and migrate into buckets as the clock advances.
+//     Bucket geometry adapts to the live event population.
+//   * cancel() eagerly unlinks the record (O(1) from a bucket, O(log n)
+//     from the spill heap), so churn-heavy runs never accumulate dead
+//     entries.
+//   * Periodic events are first-class: one record is reused for the whole
+//     series and the n-th occurrence fires at first + n*period computed
+//     with absolute arithmetic (no floating-point drift accumulation).
+//
+// The queue is single-threaded, like the simulation it drives.  Handles
+// must not outlive the queue that issued them.
 #pragma once
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace coolstream::sim {
@@ -17,72 +44,325 @@ namespace coolstream::sim {
 /// Simulation time in seconds.
 using Time = double;
 
-/// Callback invoked when an event fires.
+/// Convenience alias for type-erased callbacks at API boundaries that are
+/// not performance sensitive.  The queue itself stores callables without
+/// going through std::function.
 using EventFn = std::function<void()>;
 
-/// Cancellation token for a scheduled event.  Copyable; all copies refer to
-/// the same underlying event.  A default-constructed handle is inert.
+namespace detail {
+
+/// Type-erased move-only callable with in-place storage for small targets.
+/// Callables up to kInlineSize bytes (all protocol-loop lambdas) are stored
+/// inside the record; larger ones cost one heap allocation.
+class InlineFn {
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+
+  InlineFn() = default;
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+  InlineFn(InlineFn&& other) noexcept { move_from(other); }
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  ~InlineFn() { reset(); }
+
+  template <typename F>
+  void emplace(F&& f) {
+    using D = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<void, D&>,
+                  "event callbacks must be invocable as void()");
+    reset();
+    if constexpr (fits_inline<D>()) {
+      ::new (storage()) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (storage()) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  void operator()() { ops_->invoke(storage()); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage());
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-constructs the target into `dst` and destroys the `src` copy.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineSize &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static D* as(void* s) noexcept {
+    return static_cast<D*>(s);
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps{
+      [](void* s) { (*as<D>(s))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D(std::move(*as<D>(src)));
+        as<D>(src)->~D();
+      },
+      [](void* s) noexcept { as<D>(s)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps{
+      [](void* s) { (**as<D*>(s))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D*(*as<D*>(src));
+      },
+      [](void* s) noexcept { delete *as<D*>(s); },
+  };
+
+  void* storage() noexcept { return static_cast<void*>(storage_); }
+
+  void move_from(InlineFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) ops_->relocate(storage(), other.storage());
+    other.ops_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace detail
+
+class EventQueue;
+
+/// Cancellation token for a scheduled event (or periodic series).
+/// Copyable value type; all copies refer to the same underlying event via a
+/// {slot, generation} pair, so a fired/cancelled event turns every copy
+/// inert automatically.  A default-constructed handle is inert.  Handles
+/// must not outlive the EventQueue that issued them.
 class EventHandle {
  public:
   EventHandle() = default;
 
-  /// Cancels the event if it has not fired yet.  Idempotent.
-  void cancel() noexcept {
-    if (alive_) *alive_ = false;
-  }
+  /// Cancels the event (or periodic series) if it has not completed yet.
+  /// The record is unlinked eagerly; nothing lingers in the queue.
+  /// Idempotent.
+  void cancel() noexcept;
 
-  /// True if the event is still pending (scheduled, not cancelled, not yet
-  /// fired).  False for default-constructed handles.
-  bool pending() const noexcept { return alive_ && *alive_; }
+  /// True while the event is scheduled or (for periodic series) the series
+  /// is still running.  False for default-constructed handles, after the
+  /// event fired, and after cancel().
+  bool pending() const noexcept;
 
  private:
   friend class EventQueue;
-  friend class Simulation;
-  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::shared_ptr<bool> alive_;
+  EventHandle(EventQueue* queue, std::uint64_t id) noexcept
+      : queue_(queue), id_(id) {}
+
+  EventQueue* queue_ = nullptr;
+  std::uint64_t id_ = 0;  ///< generation in the high 32 bits, slot in the low
 };
 
-/// Min-heap of events keyed by (time, sequence number).
+/// Calendar/heap hybrid priority queue of events keyed by (time, sequence).
 class EventQueue {
  public:
-  /// Schedules `fn` to fire at absolute time `at`.  Returns a handle that
-  /// can cancel the event.
-  EventHandle schedule(Time at, EventFn fn);
+  EventQueue();
+  ~EventQueue();
 
-  /// True when no live events remain.  May compact cancelled events.
-  bool empty();
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `fn` to fire once at absolute time `at`.  Returns a handle
+  /// that can cancel the event.
+  template <typename F>
+  EventHandle schedule(Time at, F&& fn) {
+    const std::uint32_t slot = alloc_slot();
+    record(slot).fn.emplace(std::forward<F>(fn));
+    return arm(slot, at, /*periodic=*/false, 0.0);
+  }
+
+  /// Schedules `fn` to fire at `first`, then every `period` seconds after
+  /// (occurrence n fires at exactly first + n*period).  The series reuses a
+  /// single slab record: no allocation per occurrence.  The callback runs
+  /// before the next occurrence is linked, and cancelling from inside the
+  /// callback stops the series.
+  template <typename F>
+  EventHandle schedule_every(Time first, Time period, F&& fn) {
+    assert(period > 0.0);
+    const std::uint32_t slot = alloc_slot();
+    record(slot).fn.emplace(std::forward<F>(fn));
+    return arm(slot, first, /*periodic=*/true, period);
+  }
+
+  /// True when no live events remain.
+  bool empty() const noexcept { return live_ == 0; }
+
+  /// Number of live (scheduled, uncancelled) events.  Cancelled events are
+  /// removed eagerly, so this is exact.
+  std::size_t size() const noexcept { return live_; }
 
   /// Timestamp of the earliest live event.  Requires !empty().
   Time next_time();
 
-  /// Removes and returns the earliest live event.  Requires !empty().
-  /// The returned pair is (time, callback).
-  std::pair<Time, EventFn> pop();
+  /// Removes the earliest event, calls `on_fire(time)` (callers use this to
+  /// advance their clock), then runs the event callback.  Returns false if
+  /// the queue was empty.  For periodic events the next occurrence is
+  /// linked after the callback returns, consuming a fresh sequence number —
+  /// the same ordering a self-rescheduling callback would produce.
+  template <typename OnFire>
+  bool run_next(OnFire&& on_fire) {
+    const std::uint32_t slot = take_next();
+    if (slot == kNil) return false;
+    Record& r = record(slot);
+    const Time fire_time = r.time;
+    on_fire(fire_time);
+    if (r.periodic) {
+      fire_periodic(slot);
+    } else {
+      // Bump the generation first so handles report !pending() inside the
+      // callback.  The callback runs in place in the slab record — records
+      // never move and the slot is not on the free list, so re-entrant
+      // schedule() calls cannot disturb it.
+      ++r.generation;
+      r.fn();
+      r.fn.reset();
+      free_slot(slot);
+    }
+    return true;
+  }
 
-  /// Number of entries currently in the heap, including not-yet-compacted
-  /// cancelled events.  Intended for tests and instrumentation.
-  std::size_t raw_size() const noexcept { return heap_.size(); }
+  /// run_next() without a clock observer.
+  bool run_next() {
+    return run_next([](Time) {});
+  }
+
+  // --- instrumentation (tests / benches) ---------------------------------
+
+  /// Buckets currently allocated in the calendar tier.
+  std::size_t bucket_count() const noexcept { return buckets_.size(); }
+  /// Live events currently in the spill heap (far future).
+  std::size_t spill_size() const noexcept { return heap_.size(); }
 
  private:
-  struct Entry {
-    Time time;
-    std::uint64_t seq;
-    EventFn fn;
-    std::shared_ptr<bool> alive;
+  friend class EventHandle;
+
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  static constexpr std::size_t kChunkShift = 9;  // 512 records per chunk
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+  static constexpr std::size_t kMinBuckets = 64;
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 20;
+  static constexpr Time kMinBucketWidth = 1e-9;
+
+  enum class Where : std::uint8_t {
+    kFree,       ///< on the free list
+    kBucket,     ///< linked into a calendar bucket
+    kHeap,       ///< in the spill heap
+    kExecuting,  ///< unlinked, callback running (periodic) or being freed
   };
 
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  struct Record {
+    Time time = 0.0;
+    std::uint64_t seq = 0;
+    std::uint32_t generation = 0;
+    std::uint32_t prev = kNil;  ///< bucket list link (kBucket only)
+    std::uint32_t next = kNil;  ///< bucket list link / free list link
+    std::uint32_t pos = 0;      ///< bucket index (kBucket) or heap index (kHeap)
+    Where where = Where::kFree;
+    bool periodic = false;
+    Time period = 0.0;
+    Time base = 0.0;            ///< time of the first occurrence
+    std::uint64_t fires = 0;    ///< completed occurrences of the series
+    detail::InlineFn fn;
   };
 
-  /// Pops cancelled entries off the top of the heap.
-  void skim();
+  Record& record(std::uint32_t slot) noexcept {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+  const Record& record(std::uint32_t slot) const noexcept {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
 
-  std::vector<Entry> heap_;
+  static std::uint64_t handle_id(std::uint32_t slot,
+                                 std::uint32_t generation) noexcept {
+    return (static_cast<std::uint64_t>(generation) << 32) | slot;
+  }
+
+  // Slab management.
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t slot) noexcept;
+  void grow_slab();
+
+  // Scheduling internals.
+  EventHandle arm(std::uint32_t slot, Time at, bool periodic, Time period);
+  void link(std::uint32_t slot);
+  void place(std::uint32_t slot);
+  void unlink(std::uint32_t slot) noexcept;
+  std::uint32_t find_min();
+  std::uint32_t take_next();
+  void fire_periodic(std::uint32_t slot);
+  void advance_year(Time t) noexcept;
+  std::size_t bucket_index(Time t) const noexcept;
+  void maybe_rebuild();
+  void rebuild();
+
+  // Spill heap (indices into the slab, ordered by (time, seq)).
+  bool heap_earlier(std::uint32_t a, std::uint32_t b) const noexcept;
+  void heap_push(std::uint32_t slot);
+  void heap_remove(std::size_t index) noexcept;
+  void heap_sift_up(std::size_t index) noexcept;
+  void heap_sift_down(std::size_t index) noexcept;
+
+  // Handle operations (via EventHandle).
+  void cancel_id(std::uint64_t id) noexcept;
+  bool pending_id(std::uint64_t id) const noexcept;
+
+  std::vector<std::unique_ptr<Record[]>> chunks_;
+  std::uint32_t free_head_ = kNil;
+  std::uint32_t slot_count_ = 0;
+
+  std::vector<std::uint32_t> buckets_;  ///< head slot per bucket (kNil = empty)
+  std::vector<std::uint32_t> heap_;
+  std::vector<std::uint32_t> scratch_;  ///< reused by rebuild()
+
+  Time bucket_width_ = 1e-3;
+  Time inv_bucket_width_ = 1e3;  ///< 1 / bucket_width_ (avoids div on place)
+  Time year_span_ = 0.0;   ///< bucket_width_ * buckets_.size()
+  Time year_start_ = 0.0;  ///< calendar covers [year_start_, year_start_+span)
+  std::size_t cursor_ = 0;  ///< no bucketed event lives before this bucket
+
+  std::size_t live_ = 0;      ///< scheduled events (buckets + heap)
+  std::size_t bucketed_ = 0;  ///< events in the calendar tier
+  std::size_t geometry_events_ = 0;  ///< live count when geometry was chosen
+  std::size_t peak_live_ = 0;  ///< max live count since the last rebuild
+  std::size_t ops_since_rebuild_ = 0;  ///< rate-limits geometry changes
+  bool spill_futile_ = false;  ///< last rebuild left most events spilled
   std::uint64_t next_seq_ = 0;
+  std::uint32_t cached_min_ = kNil;  ///< memoized find_min() result
 };
+
+inline void EventHandle::cancel() noexcept {
+  if (queue_ != nullptr) queue_->cancel_id(id_);
+}
+
+inline bool EventHandle::pending() const noexcept {
+  return queue_ != nullptr && queue_->pending_id(id_);
+}
 
 }  // namespace coolstream::sim

@@ -1,48 +1,15 @@
 #include "sim/simulation.h"
 
-#include <cassert>
-#include <memory>
-#include <utility>
-
 namespace coolstream::sim {
-
-EventHandle Simulation::at(Time when, EventFn fn) {
-  assert(when >= now_);
-  return queue_.schedule(when, std::move(fn));
-}
-
-EventHandle Simulation::after(Time delay, EventFn fn) {
-  assert(delay >= 0.0);
-  return queue_.schedule(now_ + delay, std::move(fn));
-}
-
-EventHandle Simulation::every(Time first_delay, Time period, EventFn fn) {
-  assert(first_delay >= 0.0 && period > 0.0);
-  // The chain flag outlives any single occurrence; cancelling the returned
-  // handle flips it and stops the series at the next firing.
-  auto chain_alive = std::make_shared<bool>(true);
-  // `tick` owns the callback and re-schedules itself.  It is stored in a
-  // shared_ptr so the lambda can capture a stable reference to itself.
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, chain_alive, tick, period, fn = std::move(fn)]() {
-    if (!*chain_alive) return;
-    fn();
-    if (!*chain_alive) return;  // callback may have cancelled the chain
-    queue_.schedule(now_ + period, *tick);
-  };
-  queue_.schedule(now_ + first_delay, *tick);
-  return EventHandle(std::move(chain_alive));
-}
 
 bool Simulation::step(Time until) {
   if (queue_.empty()) return false;
-  const Time t = queue_.next_time();
-  if (t > until) return false;
-  auto [when, fn] = queue_.pop();
-  assert(when >= now_);
-  now_ = when;
+  if (queue_.next_time() > until) return false;
   ++executed_;
-  fn();
+  queue_.run_next([this](Time when) {
+    assert(when >= now_);
+    now_ = when;
+  });
   return true;
 }
 

@@ -4,11 +4,16 @@
 // protocol code schedules work through this interface; nothing in the
 // repository reads wall-clock time.  Runs are deterministic: the same seed
 // and the same schedule of calls produce bit-identical results.
+//
+// Scheduling is allocation-free on the common path: callables are stored
+// in-place inside slab-allocated event records (see sim/event_queue.h), and
+// periodic series reuse one record for their whole lifetime.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
 #include <limits>
+#include <utility>
 
 #include "sim/event_queue.h"
 #include "sim/rng.h"
@@ -30,19 +35,34 @@ class Simulation {
   Rng& rng() noexcept { return rng_; }
 
   /// Schedules `fn` at absolute time `at` (must be >= now()).
-  EventHandle at(Time when, EventFn fn);
+  template <typename F>
+  EventHandle at(Time when, F&& fn) {
+    assert(when >= now_);
+    return queue_.schedule(when, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` to fire `delay` seconds from now (delay >= 0).
-  EventHandle after(Time delay, EventFn fn);
+  template <typename F>
+  EventHandle after(Time delay, F&& fn) {
+    assert(delay >= 0.0);
+    return queue_.schedule(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` every `period` seconds starting `first_delay` seconds
-  /// from now, until the returned handle is cancelled.  The callback runs
+  /// from now, until the returned handle is cancelled.  Occurrence n fires
+  /// at exactly (now + first_delay) + n*period — absolute arithmetic, so
+  /// rounding error does not accumulate over long runs.  The callback runs
   /// before the next occurrence is scheduled, and cancelling from inside
   /// the callback stops the series.
   ///
   /// Periodic events are the backbone of the protocol loops (buffer-map
   /// exchange, gossip, adaptation checks, 5-minute status reports).
-  EventHandle every(Time first_delay, Time period, EventFn fn);
+  template <typename F>
+  EventHandle every(Time first_delay, Time period, F&& fn) {
+    assert(first_delay >= 0.0 && period > 0.0);
+    return queue_.schedule_every(now_ + first_delay, period,
+                                 std::forward<F>(fn));
+  }
 
   /// Runs events until the queue drains or the clock would pass `until`.
   /// The clock is left at min(until, time of last event executed); if the

@@ -1,6 +1,7 @@
 #include "sim/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace coolstream::sim {
 
@@ -34,6 +35,11 @@ void ThreadPool::submit(std::function<void()> job) {
 void ThreadPool::wait() {
   std::unique_lock lock(mu_);
   idle_cv_.wait(lock, [this] { return jobs_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -47,10 +53,18 @@ void ThreadPool::worker_loop() {
       jobs_.pop();
       ++in_flight_;
     }
-    job();
+    std::exception_ptr err;
+    try {
+      job();
+    } catch (...) {
+      // An escaped exception must not std::terminate the worker; capture it
+      // and let wait() rethrow the first one on the calling thread.
+      err = std::current_exception();
+    }
     {
       std::lock_guard lock(mu_);
       --in_flight_;
+      if (err && !first_error_) first_error_ = err;
     }
     idle_cv_.notify_all();
   }

@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -33,7 +34,9 @@ class ThreadPool {
   /// pool is being destroyed concurrently.
   void submit(std::function<void()> job);
 
-  /// Blocks until every submitted job has finished.
+  /// Blocks until every submitted job has finished.  If any job threw, the
+  /// first exception (in completion order) is rethrown here; the remaining
+  /// jobs still run to completion first.  Subsequent waits start clean.
   void wait();
 
   std::size_t thread_count() const noexcept { return workers_.size(); }
@@ -45,6 +48,7 @@ class ThreadPool {
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
   std::queue<std::function<void()>> jobs_;
+  std::exception_ptr first_error_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;

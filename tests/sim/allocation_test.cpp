@@ -1,0 +1,163 @@
+// Proves the event engine's zero-allocation steady state.
+//
+// This test binary replaces the global operator new/delete with counting
+// versions.  After a warm-up phase (slab chunks, bucket arrays and vector
+// capacities are amortized infrastructure, not per-event cost), scheduling,
+// firing and cancelling events through the periodic-loop path must perform
+// exactly zero heap allocations.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "sim/event_queue.h"
+#include "sim/simulation.h"
+
+namespace {
+
+std::uint64_t g_allocations = 0;
+
+void* counted_alloc(std::size_t size) {
+  ++g_allocations;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_alloc(std::size_t size, std::align_val_t align) {
+  ++g_allocations;
+  void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                               (size + static_cast<std::size_t>(align) - 1) &
+                                   ~(static_cast<std::size_t>(align) - 1));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace coolstream::sim {
+namespace {
+
+TEST(AllocationTest, PeriodicLoopIsAllocationFree) {
+  Simulation s;
+  std::uint64_t fires = 0;
+  // Several concurrent periodic series, like a peer's protocol loops
+  // (buffer-map exchange, gossip, adaptation, status reports).
+  EventHandle loops[4];
+  loops[0] = s.every(0.1, 1.0, [&] { ++fires; });
+  loops[1] = s.every(0.2, 1.5, [&] { ++fires; });
+  loops[2] = s.every(0.3, 5.0, [&] { ++fires; });
+  loops[3] = s.every(0.4, 300.0, [&] { ++fires; });
+  s.run_until(500.0);  // warm up: slab chunks, calendar geometry
+
+  const std::uint64_t fires_before = fires;
+  const std::uint64_t allocs_before = g_allocations;
+  s.run_until(10000.0);
+  const std::uint64_t allocs_after = g_allocations;
+  const std::uint64_t fired = fires - fires_before;
+
+  EXPECT_GT(fired, 10000u);
+  EXPECT_EQ(allocs_after - allocs_before, 0u)
+      << "periodic path allocated " << (allocs_after - allocs_before)
+      << " times over " << fired << " events";
+  for (auto& h : loops) h.cancel();
+}
+
+TEST(AllocationTest, OneShotChurnIsAllocationFree) {
+  Simulation s;
+  // Self-sustaining one-shot chain: every firing schedules the next, the
+  // way transport deliveries and timers drive the simulation.
+  std::uint64_t fires = 0;
+  struct Chain {
+    Simulation& sim;
+    std::uint64_t& count;
+    void operator()() const {
+      ++count;
+      sim.after(0.05, Chain{sim, count});
+    }
+  };
+  s.after(0.0, Chain{s, fires});
+  s.run_until(100.0);  // warm up
+
+  const std::uint64_t allocs_before = g_allocations;
+  s.run_until(2000.0);
+  EXPECT_GT(fires, 10000u);
+  EXPECT_EQ(g_allocations - allocs_before, 0u);
+}
+
+TEST(AllocationTest, CancelPathIsAllocationFree) {
+  EventQueue q;
+  // Warm up the slab and the calendar with a churny population.
+  EventHandle handles[256];
+  for (int round = 0; round < 20; ++round) {
+    for (std::size_t i = 0; i < 256; ++i) {
+      handles[i] =
+          q.schedule(static_cast<Time>(round) + static_cast<Time>(i) * 1e-3,
+                     [] {});
+    }
+    for (auto& h : handles) h.cancel();
+  }
+
+  const std::uint64_t allocs_before = g_allocations;
+  for (int round = 0; round < 100; ++round) {
+    for (std::size_t i = 0; i < 256; ++i) {
+      handles[i] =
+          q.schedule(static_cast<Time>(round) + static_cast<Time>(i) * 1e-3,
+                     [] {});
+    }
+    for (auto& h : handles) h.cancel();
+  }
+  EXPECT_EQ(g_allocations - allocs_before, 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(AllocationTest, SmallCallbacksStayInline) {
+  // The protocol callbacks capture at most ~40 bytes (this pointer, a node
+  // id, a small vector); they must fit the in-record buffer.
+  EventQueue q;
+  struct Capture {  // mirrors the largest capture in src/core/system.cpp
+    void* self;                // [this]
+    std::uint32_t from, to;    // node ids
+    unsigned char vec[24];     // a moved-in std::vector (send_gossip)
+  };
+  static_assert(sizeof(Capture) + sizeof(void*) <=
+                detail::InlineFn::kInlineSize);
+
+  q.schedule(1.0, [] {});  // warm the slab and the far-future spill heap
+  q.run_next();
+  const std::uint64_t allocs_before = g_allocations;
+  Capture c{};
+  bool ran = false;
+  q.schedule(2.0, [c, &ran] {
+    (void)c;
+    ran = true;
+  });
+  q.run_next();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(g_allocations - allocs_before, 0u);
+}
+
+}  // namespace
+}  // namespace coolstream::sim

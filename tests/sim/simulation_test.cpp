@@ -87,6 +87,29 @@ TEST(SimulationTest, EveryCancelFromInsideCallback) {
   EXPECT_EQ(count, 2);
 }
 
+TEST(SimulationTest, EveryHasNoFloatingPointDriftOver10kPeriods) {
+  Simulation s;
+  // 0.1 is not representable in binary; a now()+period chain accumulates
+  // one rounding error per occurrence.  The engine must instead compute
+  // first + n*period, which this test reproduces exactly.
+  const double first = 0.3;
+  const double period = 0.1;
+  std::vector<double> times;
+  EventHandle h = s.every(first, period, [&] { times.push_back(s.now()); });
+  const int kPeriods = 10000;
+  s.run_until(first + period * static_cast<double>(kPeriods));
+  h.cancel();
+  ASSERT_GE(times.size(), static_cast<std::size_t>(kPeriods));
+  for (std::size_t n = 0; n < times.size(); ++n) {
+    // Bit-exact: same arithmetic expression, same rounding.
+    ASSERT_EQ(times[n], first + static_cast<double>(n) * period)
+        << "occurrence " << n;
+    if (n > 0) {
+      ASSERT_GT(times[n], times[n - 1]);
+    }
+  }
+}
+
 TEST(SimulationTest, StepExecutesOneEvent) {
   Simulation s;
   int fired = 0;

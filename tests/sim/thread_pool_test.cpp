@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace coolstream::sim {
@@ -39,6 +40,34 @@ TEST(ThreadPoolTest, ReusableAfterWait) {
 TEST(ThreadPoolTest, DefaultThreadCountAtLeastOne) {
   ThreadPool pool;
   EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, JobExceptionIsRethrownFromWait) {
+  // Regression: an exception escaping a job used to hit the worker loop and
+  // std::terminate the process.  It must be captured and rethrown from
+  // wait() on the calling thread.
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.submit([] { throw std::runtime_error("job failed"); });
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&completed] { completed.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The failure did not kill the workers or drop the remaining jobs.
+  EXPECT_EQ(completed.load(), 50);
+  // The error is consumed: the pool is reusable and later waits are clean.
+  pool.submit([&completed] { completed.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(completed.load(), 51);
+}
+
+TEST(ThreadPoolTest, FirstOfSeveralExceptionsWins) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  pool.wait();  // all other exceptions were dropped; pool is clean
 }
 
 TEST(ParallelForTest, CoversAllIndicesExactlyOnce) {

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Configures a sanitizer-instrumented build tree and runs the full test
+# suite under it.  Defaults to ASan+UBSan; override with e.g.
+#   SAN=thread BUILD_DIR=build-tsan tools/run_sanitized_tests.sh
+set -euo pipefail
+
+SAN="${SAN:-address,undefined}"
+BUILD_DIR="${BUILD_DIR:-build-sanitize}"
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCOOLSTREAM_SANITIZE="$SAN"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error so CI fails loudly; detect_leaks catches event-record and
+# callback ownership mistakes in the slab engine.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
