@@ -1,0 +1,351 @@
+#include "core/invariants.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "core/peer.h"
+#include "core/system.h"
+
+namespace coolstream::core {
+
+const char* to_string(InvariantRule rule) noexcept {
+  switch (rule) {
+    case InvariantRule::kPartnerSymmetry: return "partner-symmetry";
+    case InvariantRule::kSingleParent: return "single-parent";
+    case InvariantRule::kBufferMapAgreement: return "buffer-map-agreement";
+    case InvariantRule::kSyncMonotonic: return "sync-monotonic";
+    case InvariantRule::kBlockConservation: return "block-conservation";
+    case InvariantRule::kCensus: return "census";
+    case InvariantRule::kEventQueue: return "event-queue";
+    case InvariantRule::kTeardown: return "teardown";
+  }
+  return "unknown";
+}
+
+std::string to_string(const InvariantViolation& v) {
+  std::ostringstream os;
+  os << to_string(v.rule);
+  if (v.node != net::kInvalidNode) os << " node=" << v.node;
+  if (v.other != net::kInvalidNode) os << " other=" << v.other;
+  os << ": " << v.detail;
+  return os.str();
+}
+
+namespace {
+
+/// Matches System::flow_transfer's whole-block byte size.
+std::uint64_t block_bytes_of(const Params& p) noexcept {
+  return static_cast<std::uint64_t>(p.block_size_bits() / 8.0);
+}
+
+/// Matches the data plane's per-connection credit cap (see system.cpp).
+constexpr double kMaxFlowCredit = 4.0;
+
+}  // namespace
+
+InvariantAuditor::InvariantAuditor(System& system) : sys_(system) {}
+
+InvariantAuditor::~InvariantAuditor() { stop(); }
+
+void InvariantAuditor::start(double period) {
+  stop();
+  handle_ = sys_.simulation().every(period, period, [this] {
+    const std::vector<InvariantViolation> found = audit();
+    if (found.empty()) return;
+    if (on_violations) {
+      on_violations(found);
+      return;
+    }
+    for (const auto& v : found) {
+      std::fprintf(stderr, "invariant violation @t=%.3f: %s\n", sys_.now(),
+                   to_string(v).c_str());
+    }
+    std::abort();
+  });
+}
+
+void InvariantAuditor::stop() { handle_.cancel(); }
+
+void InvariantAuditor::check_peer(const Peer& p,
+                                  std::vector<InvariantViolation>* out) {
+  const net::NodeId id = p.id();
+  const Params& params = sys_.params();
+  const int k = params.substream_count;
+  const double now = sys_.now();
+  auto add = [out, id](InvariantRule rule, net::NodeId other,
+                       std::string detail) {
+    out->push_back({rule, id, other, std::move(detail)});
+  };
+
+  if (!p.alive()) {
+    // A departed peer must be fully dismantled: no partner or serving state
+    // left behind, and no longer offered to joiners by the boot-strap node.
+    if (!p.partners().empty()) {
+      add(InvariantRule::kTeardown, net::kInvalidNode,
+          "departed peer still holds partner state");
+    }
+    if (!p.out_links().empty()) {
+      add(InvariantRule::kTeardown, net::kInvalidNode,
+          "departed peer still holds serving links");
+    }
+    if (sys_.bootstrap().contains(id)) {
+      add(InvariantRule::kTeardown, net::kInvalidNode,
+          "departed peer still listed by the boot-strap node");
+    }
+    return;
+  }
+
+  if (!sys_.bootstrap().contains(id)) {
+    add(InvariantRule::kCensus, net::kInvalidNode,
+        "live peer missing from the boot-strap registry");
+  }
+  if (p.partner_count() >
+      static_cast<std::size_t>(sys_.max_partners_of(p)) + 2) {
+    add(InvariantRule::kCensus, net::kInvalidNode,
+        "partner count exceeds the M cap (plus in-flight slack)");
+  }
+
+  // --- partnership symmetry (§III-B) --------------------------------------
+  for (const PartnerState& ps : p.partners()) {
+    const Peer* q = sys_.peer(ps.id);
+    if (q == nullptr || !q->alive()) {
+      add(InvariantRule::kPartnerSymmetry, ps.id,
+          "partner is dead or unknown");
+      continue;
+    }
+    if (q->find_partner(id) == nullptr &&
+        now - ps.established > symmetry_grace_seconds) {
+      add(InvariantRule::kPartnerSymmetry, ps.id,
+          "partner does not list us back (beyond the in-flight grace)");
+    }
+  }
+
+  // --- single parent per sub-stream (§III-C) ------------------------------
+  for (SubstreamId j = 0; j < k; ++j) {
+    const net::NodeId parent = p.parent_of(j);
+    if (parent == net::kInvalidNode) continue;
+    const Peer* q = sys_.peer(parent);
+    if (q == nullptr || !q->alive()) {
+      add(InvariantRule::kSingleParent, parent,
+          "subscribed to a dead parent (sub-stream " + std::to_string(j) +
+              ")");
+      continue;
+    }
+    if (p.find_partner(parent) == nullptr) {
+      add(InvariantRule::kSingleParent, parent,
+          "parent is not a partner (sub-stream " + std::to_string(j) + ")");
+    }
+    int serving = 0;
+    for (const OutLink& l : q->out_links()) {
+      if (l.child == id && l.substream == j) ++serving;
+    }
+    if (serving == 0) {
+      add(InvariantRule::kSingleParent, parent,
+          "parent has no serving link for sub-stream " + std::to_string(j));
+    } else if (serving > 1) {
+      add(InvariantRule::kSingleParent, parent,
+          "parent serves sub-stream " + std::to_string(j) + " " +
+              std::to_string(serving) + " times");
+    }
+  }
+  // No duplicated (child, sub-stream) pair among our own serving links.
+  std::vector<std::pair<net::NodeId, SubstreamId>> links;
+  links.reserve(p.out_links().size());
+  for (const OutLink& l : p.out_links()) links.emplace_back(l.child, l.substream);
+  std::sort(links.begin(), links.end());
+  if (std::adjacent_find(links.begin(), links.end()) != links.end()) {
+    add(InvariantRule::kSingleParent, net::kInvalidNode,
+        "duplicate serving link in out_links");
+  }
+
+  // --- buffer-map agreement (§III-C) --------------------------------------
+  for (const PartnerState& ps : p.partners()) {
+    if (ps.bm_time < 0.0) continue;  // never received one
+    if (ps.bm.substream_count() != k) {
+      add(InvariantRule::kBufferMapAgreement, ps.id,
+          "stored buffer map has wrong sub-stream count");
+      continue;
+    }
+    const Peer* sender = sys_.peer(ps.id);
+    for (SubstreamId j = 0; j < k; ++j) {
+      const SeqNum lat = ps.bm.latest(j);
+      if (lat < -1) {
+        add(InvariantRule::kBufferMapAgreement, ps.id,
+            "stored buffer map advertises sequence below -1");
+        break;
+      }
+      if (lat > sys_.source_head(j, now) + 1) {
+        add(InvariantRule::kBufferMapAgreement, ps.id,
+            "stored buffer map advertises a block beyond the encoder");
+        break;
+      }
+      // Heads are monotone, so a BM snapshot can never exceed the sender's
+      // current head — a higher value is a stale/forged advertisement.
+      if (sender != nullptr && sender->alive() && lat > sender->head(j)) {
+        add(InvariantRule::kBufferMapAgreement, ps.id,
+            "stored buffer map is ahead of the sender's own head");
+        break;
+      }
+    }
+  }
+  for (SubstreamId j = 0; j < k; ++j) {
+    if (p.head(j) > sys_.source_head(j, now) + 1) {
+      add(InvariantRule::kBufferMapAgreement, net::kInvalidNode,
+          "sync-buffer head beyond the encoder position");
+    }
+  }
+  if (p.phase() == PeerPhase::kPlaying &&
+      p.playhead() > global_of(0, sys_.source_head(0, now), k) + k) {
+    add(InvariantRule::kBufferMapAgreement, net::kInvalidNode,
+        "playhead beyond the live edge");
+  }
+
+  // --- synchronization-buffer monotonicity --------------------------------
+  const GlobalSeq combined = p.sync().combined();
+  for (SubstreamId j = 0; j < k; ++j) {
+    if (combined < j) continue;
+    // Largest global block g <= combined with g mod k == j has sub-stream
+    // sequence (combined - j') / k where j' adjusts to the residue; the
+    // combined prefix requires head(j) to cover it.
+    const GlobalSeq g = combined - ((combined - j) % k + k) % k;
+    if (p.head(j) < substream_seq_of(g, k)) {
+      add(InvariantRule::kSyncMonotonic, net::kInvalidNode,
+          "combined prefix ahead of sub-stream " + std::to_string(j) +
+              "'s contiguous head");
+    }
+  }
+  if (id < snap_.size() && snap_[id].heads.size() == static_cast<std::size_t>(k)) {
+    const NodeSnapshot& old = snap_[id];
+    for (SubstreamId j = 0; j < k; ++j) {
+      if (p.head(j) < old.heads[static_cast<std::size_t>(j)]) {
+        add(InvariantRule::kSyncMonotonic, net::kInvalidNode,
+            "sub-stream " + std::to_string(j) + " head moved backwards");
+      }
+    }
+    if (combined < old.combined) {
+      add(InvariantRule::kSyncMonotonic, net::kInvalidNode,
+          "combined prefix moved backwards");
+    }
+    if (p.stats().bytes_up < old.bytes_up ||
+        p.stats().bytes_down < old.bytes_down) {
+      add(InvariantRule::kSyncMonotonic, net::kInvalidNode,
+          "lifetime byte counter moved backwards");
+    }
+  }
+
+  // --- local accounting ----------------------------------------------------
+  if (p.stats().blocks_on_time > p.stats().blocks_due) {
+    add(InvariantRule::kBlockConservation, net::kInvalidNode,
+        "more blocks on time than deadlines counted");
+  }
+}
+
+void InvariantAuditor::check_global(std::vector<InvariantViolation>* out,
+                                    std::size_t live_seen) {
+  auto add = [out](InvariantRule rule, std::string detail) {
+    out->push_back({rule, net::kInvalidNode, net::kInvalidNode,
+                    std::move(detail)});
+  };
+
+  // --- block conservation (lifetime, dead peers included) ------------------
+  std::uint64_t up = 0;
+  std::uint64_t down = 0;
+  for (net::NodeId id = 0;; ++id) {
+    const Peer* p = sys_.peer(id);
+    if (p == nullptr) break;
+    up += p->stats().bytes_up;
+    down += p->stats().bytes_down;
+  }
+  const std::uint64_t expect =
+      sys_.stats().blocks_transferred * block_bytes_of(sys_.params());
+  if (up != down) {
+    add(InvariantRule::kBlockConservation,
+        "uploaded bytes (" + std::to_string(up) +
+            ") != downloaded bytes (" + std::to_string(down) + ")");
+  }
+  if (up != expect) {
+    add(InvariantRule::kBlockConservation,
+        "transferred bytes (" + std::to_string(up) +
+            ") disagree with the block counter (" + std::to_string(expect) +
+            ")");
+  }
+
+  // --- census ---------------------------------------------------------------
+  const auto servers = static_cast<std::size_t>(sys_.config().server_count);
+  if (live_seen != sys_.live_viewer_count() + servers) {
+    add(InvariantRule::kCensus,
+        "live census " + std::to_string(live_seen) + " != viewers " +
+            std::to_string(sys_.live_viewer_count()) + " + servers " +
+            std::to_string(servers));
+  }
+  if (sys_.concurrent_viewers().value() !=
+      static_cast<long long>(sys_.live_viewer_count())) {
+    add(InvariantRule::kCensus,
+        "concurrent-viewer step counter disagrees with the live census");
+  }
+
+  // --- event engine ---------------------------------------------------------
+  const std::string queue_err = sys_.simulation().queue().self_check();
+  if (!queue_err.empty()) {
+    add(InvariantRule::kEventQueue, "event queue: " + queue_err);
+  }
+}
+
+std::vector<InvariantViolation> InvariantAuditor::audit() {
+  std::vector<InvariantViolation> out;
+  std::size_t live_seen = 0;
+  net::NodeId end = 0;
+  for (net::NodeId id = 0;; ++id) {
+    const Peer* p = sys_.peer(id);
+    if (p == nullptr) {
+      end = id;
+      break;
+    }
+    if (p->alive()) ++live_seen;
+    check_peer(*p, &out);
+  }
+  check_global(&out, live_seen);
+
+  // Refresh the monotonicity snapshot only after all checks ran.
+  const int k = sys_.params().substream_count;
+  snap_.resize(end);
+  for (net::NodeId id = 0; id < end; ++id) {
+    const Peer* p = sys_.peer(id);
+    NodeSnapshot& s = snap_[id];
+    s.heads.assign(static_cast<std::size_t>(k), SeqNum{-1});
+    for (SubstreamId j = 0; j < k; ++j) {
+      s.heads[static_cast<std::size_t>(j)] = p->head(j);
+    }
+    s.combined = p->sync().combined();
+    s.bytes_up = p->stats().bytes_up;
+    s.bytes_down = p->stats().bytes_down;
+  }
+
+  ++audits_;
+  violations_ += out.size();
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Test access
+// --------------------------------------------------------------------------
+
+std::vector<PartnerState>& InvariantTestAccess::partners(Peer& p) {
+  return p.partners_;
+}
+
+std::vector<net::NodeId>& InvariantTestAccess::parents(Peer& p) {
+  return p.parents_;
+}
+
+void InvariantTestAccess::rewind_head(Peer& p, SubstreamId j, SeqNum seq) {
+  p.sync_.heads_[static_cast<std::size_t>(j)] = seq;
+}
+
+SystemStats& InvariantTestAccess::stats(System& sys) { return sys.stats_; }
+
+}  // namespace coolstream::core

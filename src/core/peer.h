@@ -189,6 +189,8 @@ class Peer {
   GlobalSeq playhead() const noexcept { return last_deadline_counted_; }
 
  private:
+  friend struct InvariantTestAccess;  // seeded-corruption hooks (tests only)
+
   // --- join / subscription logic ---
   void try_establish_partnerships(std::size_t want);
   void decide_start_offset();

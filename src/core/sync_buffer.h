@@ -66,6 +66,8 @@ class SyncBuffer {
   std::uint64_t blocks_received() const noexcept { return received_; }
 
  private:
+  friend struct InvariantTestAccess;  // seeded-corruption hooks (tests only)
+
   void recompute_combined() noexcept;
 
   std::vector<SeqNum> heads_;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/invariants.h"
 #include "net/bandwidth.h"
 
 namespace coolstream::core {
@@ -49,6 +50,12 @@ void System::start() {
   }
   tick_handle_ = sim_.every(params_.flow_tick, params_.flow_tick,
                             [this] { tick(); });
+#ifdef COOLSTREAM_AUDIT
+  if (config_.audit_period > 0.0) {
+    auditor_ = std::make_unique<InvariantAuditor>(*this);
+    auditor_->start(config_.audit_period);
+  }
+#endif
 }
 
 net::NodeId System::join(const PeerSpec& spec) {

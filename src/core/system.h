@@ -35,6 +35,8 @@
 
 namespace coolstream::core {
 
+class InvariantAuditor;
+
 /// Uplink sharing policy of the data plane (ablation: §V-E's "system
 /// capacity" factor depends on how well uplinks are used).
 enum class AllocationPolicy : unsigned char {
@@ -58,6 +60,10 @@ struct SystemConfig {
   /// Viewers' download capacity is modelled as unconstrained (uplink is
   /// the era's bottleneck) unless this is set to a positive bps value.
   double download_capacity_bps = 0.0;
+  /// Simulated seconds between runtime invariant audits (core/invariants.h).
+  /// Only honoured in builds configured with -DCOOLSTREAM_AUDIT=ON; 0
+  /// disables auditing even there.
+  double audit_period = 0.0;
 };
 
 /// Session milestones surfaced to workload drivers.
@@ -156,7 +162,13 @@ class System {
   /// (servers lag this by config().server_lag).
   SeqNum source_head(SubstreamId j, double t) const noexcept;
 
+  /// The runtime invariant auditor, when one was attached by start()
+  /// (COOLSTREAM_AUDIT builds with config().audit_period > 0); else null.
+  InvariantAuditor* auditor() noexcept { return auditor_.get(); }
+
  private:
+  friend struct InvariantTestAccess;  // seeded-corruption hooks (tests only)
+
   void tick();
   void flow_transfer(double dt);
 
@@ -175,6 +187,7 @@ class System {
   sim::StepCounter viewers_over_time_;
   SystemStats stats_;
   sim::EventHandle tick_handle_;
+  std::unique_ptr<InvariantAuditor> auditor_;
   bool started_ = false;
 
   // scratch buffers reused by flow_transfer to avoid per-tick allocation

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 namespace coolstream::sim {
 
@@ -396,6 +397,105 @@ void EventQueue::heap_sift_down(std::size_t index) noexcept {
     record(heap_[smallest]).pos = static_cast<std::uint32_t>(smallest);
     index = smallest;
   }
+}
+
+// --------------------------------------------------------------------------
+// Structural validation
+// --------------------------------------------------------------------------
+
+std::string EventQueue::self_check() const {
+  std::ostringstream err;
+  auto fail = [&err](auto&&... parts) {
+    ((err << parts), ...);
+    return err.str();
+  };
+
+  if (slot_count_ != chunks_.size() * kChunkSize) {
+    return fail("slot_count ", slot_count_, " != chunks*", kChunkSize);
+  }
+
+  // 0 = unseen, 1 = bucket, 2 = heap, 3 = free list.
+  std::vector<std::uint8_t> seen(slot_count_, 0);
+  auto claim = [&](std::uint32_t slot, std::uint8_t tag) -> bool {
+    if (slot >= slot_count_ || seen[slot] != 0) return false;
+    seen[slot] = tag;
+    return true;
+  };
+
+  // Calendar tier: walk every bucket's doubly linked list.
+  std::size_t bucket_members = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    std::uint32_t prev = kNil;
+    for (std::uint32_t s = buckets_[b]; s != kNil;) {
+      if (!claim(s, 1)) return fail("slot ", s, " linked twice (bucket ", b, ")");
+      const Record& r = record(s);
+      if (r.where != Where::kBucket) {
+        return fail("slot ", s, " in bucket ", b, " but where!=kBucket");
+      }
+      if (r.pos != b) return fail("slot ", s, " pos ", r.pos, " != bucket ", b);
+      if (r.prev != prev) return fail("slot ", s, " broken prev link");
+      if (r.time < year_start_ || r.time >= year_start_ + year_span_) {
+        return fail("slot ", s, " time ", r.time, " outside calendar year [",
+                    year_start_, ", ", year_start_ + year_span_, ")");
+      }
+      if (b < cursor_) return fail("bucketed slot ", s, " before cursor ", cursor_);
+      if (r.seq >= next_seq_) return fail("slot ", s, " seq from the future");
+      ++bucket_members;
+      prev = s;
+      s = r.next;
+      if (bucket_members > live_) return fail("bucket list cycle");
+    }
+  }
+  if (bucket_members != bucketed_) {
+    return fail("bucketed_ ", bucketed_, " != walked ", bucket_members);
+  }
+
+  // Spill heap: positions and the heap property.
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    const std::uint32_t s = heap_[i];
+    if (!claim(s, 2)) return fail("slot ", s, " linked twice (heap)");
+    const Record& r = record(s);
+    if (r.where != Where::kHeap) return fail("slot ", s, " in heap but where!=kHeap");
+    if (r.pos != i) return fail("heap slot ", s, " pos ", r.pos, " != index ", i);
+    if (r.seq >= next_seq_) return fail("heap slot ", s, " seq from the future");
+    if (i > 0 && heap_earlier(s, heap_[(i - 1) / 2])) {
+      return fail("heap property violated at index ", i);
+    }
+  }
+
+  if (live_ != bucketed_ + heap_.size()) {
+    return fail("live_ ", live_, " != bucketed ", bucketed_, " + heap ",
+                heap_.size());
+  }
+
+  // Free list: no cycles, consistent tags.
+  std::size_t free_members = 0;
+  for (std::uint32_t s = free_head_; s != kNil; s = record(s).next) {
+    if (!claim(s, 3)) return fail("slot ", s, " linked twice (free list)");
+    if (record(s).where != Where::kFree) {
+      return fail("slot ", s, " on free list but where!=kFree");
+    }
+    ++free_members;
+    if (free_members > slot_count_) return fail("free list cycle");
+  }
+
+  // Every slot is in exactly one place; the only unclaimed slots allowed
+  // are records whose callback frame is live right now (a periodic event
+  // mid-fire — e.g. the audit event this check runs from).
+  for (std::uint32_t s = 0; s < slot_count_; ++s) {
+    if (seen[s] == 0 && record(s).where != Where::kExecuting) {
+      return fail("slot ", s, " unaccounted for (where=",
+                  static_cast<int>(record(s).where), ")");
+    }
+  }
+
+  // The memoized minimum must be a linked record.
+  if (cached_min_ != kNil &&
+      (cached_min_ >= slot_count_ || seen[cached_min_] == 0 ||
+       seen[cached_min_] == 3)) {
+    return fail("cached_min_ ", cached_min_, " is not a linked record");
+  }
+  return {};
 }
 
 // --------------------------------------------------------------------------

@@ -35,6 +35,7 @@
 #include <functional>
 #include <memory>
 #include <new>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -260,8 +261,17 @@ class EventQueue {
   /// Live events currently in the spill heap (far future).
   std::size_t spill_size() const noexcept { return heap_.size(); }
 
+  /// Exhaustive structural validation of the slab, calendar, spill heap and
+  /// free list: every slot accounted for exactly once, link fields and
+  /// cached counters consistent, heap ordered, cursor and bucket positions
+  /// correct.  Returns an empty string when consistent, else a description
+  /// of the first inconsistency.  O(slots); used by the invariant auditor
+  /// and the tests, never by the hot path.
+  std::string self_check() const;
+
  private:
   friend class EventHandle;
+  friend struct EventQueueTestAccess;  ///< seeded-corruption tests only
 
   static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
   static constexpr std::size_t kChunkShift = 9;  // 512 records per chunk

@@ -1,0 +1,8 @@
+// A properly guarded, hazard-free header: the linter must be silent.
+//
+// This file is lint-test data only — it is never included.
+#pragma once
+
+struct GuardedHeader {
+  int value = 0;
+};

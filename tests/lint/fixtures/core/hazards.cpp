@@ -1,0 +1,36 @@
+// Positive fixtures for coolstream_lint: every line that must produce a
+// finding carries an expectation marker.  Fixture mode fails if the
+// linter reports anything unannotated or stays silent on an annotation.
+//
+// This file is lint-test data only — it is never compiled.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+void wall_clock_hazards() {
+  auto t0 = std::chrono::system_clock::now();         // lint:expect(wall-clock)
+  auto t1 = std::chrono::steady_clock::now();         // lint:expect(wall-clock)
+  long t2 = time(nullptr);                            // lint:expect(wall-clock)
+  (void)t0;
+  (void)t1;
+  (void)t2;
+}
+
+void random_hazards() {
+  int r = std::rand();                                // lint:expect(std-random)
+  std::mt19937 gen(42);                               // lint:expect(std-random)
+  std::uniform_int_distribution<int> pick(0, 9);      // lint:expect(std-random)
+  (void)r;
+  (void)gen;
+  (void)pick;
+}
+
+void allocation_hazards() {
+  int* leak = new int[8];                             // lint:expect(raw-new-delete)
+  delete[] leak;                                      // lint:expect(raw-new-delete)
+}
+
+float lossy_interp(double a) {                        // lint:expect(no-float)
+  return static_cast<float>(a);                       // lint:expect(no-float)
+}

@@ -1,0 +1,7 @@
+// A header without #pragma once: the whole-file pragma-once finding.
+// lint:expect-file(pragma-once)
+//
+// This file is lint-test data only — it is never included.
+struct BareHeader {
+  int value = 0;
+};

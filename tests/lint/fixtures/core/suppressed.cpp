@@ -1,0 +1,17 @@
+// Suppression fixtures: every hazard below carries a lint:allow, so
+// fixture mode requires the linter to stay silent on this file.  Both
+// forms are exercised: same-line and alone-on-the-preceding-line.
+//
+// This file is lint-test data only — it is never compiled.
+#include <cstdlib>
+
+void suppressed() {
+  int r = std::rand();  // lint:allow(std-random)
+  // lint:allow(no-float)
+  float tolerated = 0.5F;
+  // lint:allow(raw-new-delete)
+  int* scratch = new int;
+  delete scratch;  // lint:allow(raw-new-delete)
+  (void)tolerated;
+  (void)r;
+}

@@ -1,0 +1,12 @@
+// Scope fixture: this file sits under a sim/ directory, where the
+// wall-clock rule is exempt (the simulator's host-time instrumentation
+// legitimately reads real clocks).  No expectations: the linter must be
+// silent here even though a real clock is read.
+//
+// This file is lint-test data only — it is never compiled.
+#include <chrono>
+
+double host_seconds() {
+  auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(t).count();
+}

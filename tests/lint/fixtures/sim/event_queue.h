@@ -1,0 +1,12 @@
+// Scope fixture: sim/event_queue.* is the slab engine, the one place raw
+// new/delete are allowed.  No expectations: the linter must be silent.
+//
+// This file is lint-test data only — it is never included.
+#pragma once
+
+struct Chunk {
+  unsigned char bytes[4096];
+};
+
+inline Chunk* grab() { return new Chunk; }
+inline void drop(Chunk* c) { delete c; }

@@ -1,0 +1,103 @@
+// EventQueue::self_check(): clean queues in every configuration must pass,
+// and seeded slab corruptions (the kind a stray write or a broken unlink
+// would produce) must be reported.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace coolstream::sim {
+
+// Friend of EventQueue (declared in event_queue.h): reaches into the slab
+// to plant corruptions the public API can never produce.
+struct EventQueueTestAccess {
+  static void corrupt_where_free(EventQueue& q, std::uint32_t slot) {
+    q.record(slot).where = EventQueue::Where::kFree;
+  }
+  static void corrupt_pos(EventQueue& q, std::uint32_t slot) {
+    q.record(slot).pos += 1;
+  }
+  static void corrupt_seq(EventQueue& q, std::uint32_t slot) {
+    q.record(slot).seq = q.next_seq_ + 1000;
+  }
+  static void corrupt_time(EventQueue& q, std::uint32_t slot) {
+    q.record(slot).time = q.year_start_ + 2.0 * q.year_span_ + 1.0;
+  }
+  static void corrupt_live_counter(EventQueue& q) { q.live_ += 1; }
+};
+
+namespace {
+
+TEST(EventQueueSelfCheckTest, EmptyQueueIsConsistent) {
+  EventQueue q;
+  EXPECT_EQ(q.self_check(), "");
+}
+
+TEST(EventQueueSelfCheckTest, BusyQueueIsConsistent) {
+  EventQueue q;
+  // Near events (calendar tier), far events (spill heap), periodic series,
+  // and cancellations — every structural path.
+  std::vector<EventHandle> handles;
+  int fired = 0;
+  for (int i = 0; i < 200; ++i) {
+    handles.push_back(q.schedule(0.001 * i, [&fired] { ++fired; }));
+  }
+  for (int i = 0; i < 50; ++i) {
+    handles.push_back(q.schedule(1e6 + i, [&fired] { ++fired; }));
+  }
+  handles.push_back(q.schedule_every(0.05, 0.05, [&fired] { ++fired; }));
+  EXPECT_EQ(q.self_check(), "");
+
+  for (int i = 0; i < 100; i += 7) handles[static_cast<std::size_t>(i)].cancel();
+  EXPECT_EQ(q.self_check(), "");
+
+  for (int i = 0; i < 120; ++i) q.run_next();
+  EXPECT_EQ(q.self_check(), "");
+  EXPECT_GT(fired, 0);
+}
+
+TEST(EventQueueSelfCheckTest, DetectsWhereFlippedToFree) {
+  EventQueue q;
+  q.schedule(1.0, [] {});  // first allocation -> slot 0
+  ASSERT_EQ(q.self_check(), "");
+  EventQueueTestAccess::corrupt_where_free(q, 0);
+  EXPECT_NE(q.self_check(), "");
+}
+
+TEST(EventQueueSelfCheckTest, DetectsBucketPositionMismatch) {
+  EventQueue q;
+  q.schedule(0.0001, [] {});  // lands in the calendar tier
+  ASSERT_EQ(q.self_check(), "");
+  EventQueueTestAccess::corrupt_pos(q, 0);
+  EXPECT_NE(q.self_check(), "");
+}
+
+TEST(EventQueueSelfCheckTest, DetectsSequenceFromTheFuture) {
+  EventQueue q;
+  q.schedule(0.0001, [] {});
+  ASSERT_EQ(q.self_check(), "");
+  EventQueueTestAccess::corrupt_seq(q, 0);
+  EXPECT_NE(q.self_check(), "");
+}
+
+TEST(EventQueueSelfCheckTest, DetectsTimeOutsideTheCalendarYear) {
+  EventQueue q;
+  q.schedule(0.0001, [] {});
+  ASSERT_EQ(q.self_check(), "");
+  EventQueueTestAccess::corrupt_time(q, 0);
+  EXPECT_NE(q.self_check(), "");
+}
+
+TEST(EventQueueSelfCheckTest, DetectsLiveCounterDrift) {
+  EventQueue q;
+  q.schedule(1.0, [] {});
+  ASSERT_EQ(q.self_check(), "");
+  EventQueueTestAccess::corrupt_live_counter(q);
+  EXPECT_NE(q.self_check(), "");
+}
+
+}  // namespace
+}  // namespace coolstream::sim

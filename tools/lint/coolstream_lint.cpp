@@ -1,0 +1,634 @@
+// coolstream_lint: repo-specific determinism and correctness checker.
+//
+// The simulator's contract is bit-determinism: the same seed must produce
+// the same trace on every machine, thread count, and rebuild (the paper's
+// Ineq. 1-2 / Eqs. 3-6 reproductions depend on it).  The compiler cannot
+// enforce that contract, so this tool scans `src/` for the hazards that
+// have historically broken it in P2P simulators:
+//
+//   wall-clock       wall-clock time sources (std::chrono clocks, time(),
+//                    gettimeofday, ...) outside src/sim/ — all simulated
+//                    time must flow through sim::Simulation::now()
+//   std-random       std::rand/srand and <random> engines/distributions —
+//                    their outputs differ across standard libraries; only
+//                    sim::Rng (bit-exact xoshiro256++) is allowed
+//   unordered-iter   iteration over std::unordered_{map,set} in protocol
+//                    code (src/core, src/net, src/workload) — bucket order
+//                    depends on hash seeding and allocation history
+//   ptr-key          containers keyed by pointer — address-dependent
+//                    ordering/hashing differs run to run (ASLR)
+//   no-float         single-precision `float` anywhere in src/ — simulated
+//                    time and sequence arithmetic are double/int64 only;
+//                    float intermediates silently change results
+//   pragma-once      every header must start its include guard with
+//                    #pragma once
+//   raw-new-delete   naked new/delete outside the slab allocator
+//                    (src/sim/event_queue.h) — protocol code allocates
+//                    through containers or the event slab
+//
+// Suppression: append `// lint:allow(<rule>[,<rule>...])` to the offending
+// line, or put the comment alone on the preceding line.
+//
+// Fixture mode (`--fixtures <dir>`): every expected finding in a fixture
+// file is annotated `// lint:expect(<rule>)` on the same line (or
+// `// lint:expect-file(<rule>)` anywhere for whole-file findings such as
+// pragma-once).  The tool verifies the findings and the expectations match
+// exactly in both directions, which is how the linter tests itself.
+//
+// Exit status: 0 clean / expectations met, 1 findings / mismatches,
+// 2 usage or I/O error.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+enum class Rule {
+  kWallClock,
+  kStdRandom,
+  kUnorderedIter,
+  kPtrKey,
+  kNoFloat,
+  kPragmaOnce,
+  kRawNewDelete,
+};
+
+struct RuleInfo {
+  Rule rule;
+  const char* id;
+  const char* message;
+};
+
+constexpr RuleInfo kRules[] = {
+    {Rule::kWallClock, "wall-clock",
+     "wall-clock time source; use sim::Simulation::now() (allowed only "
+     "under src/sim/)"},
+    {Rule::kStdRandom, "std-random",
+     "standard-library RNG; use sim::Rng, whose output is bit-exact across "
+     "platforms"},
+    {Rule::kUnorderedIter, "unordered-iter",
+     "iteration over an unordered container in protocol code; bucket order "
+     "is not deterministic — iterate a sorted copy or use a vector/map"},
+    {Rule::kPtrKey, "ptr-key",
+     "container keyed by pointer; address order/hash changes every run "
+     "(ASLR) — key by a stable id instead"},
+    {Rule::kNoFloat, "no-float",
+     "single-precision float; simulated-time and sequence arithmetic must "
+     "use double (or integers) to stay bit-stable"},
+    {Rule::kPragmaOnce, "pragma-once", "header is missing #pragma once"},
+    {Rule::kRawNewDelete, "raw-new-delete",
+     "naked new/delete outside the slab engine; use containers, "
+     "make_unique, or the event slab"},
+};
+
+const RuleInfo* find_rule(const std::string& id) {
+  for (const auto& r : kRules) {
+    if (id == r.id) return &r;
+  }
+  return nullptr;
+}
+
+struct Finding {
+  std::string file;
+  int line = 0;  // 1-based; 0 = whole file
+  Rule rule = Rule::kWallClock;
+};
+
+// ---------------------------------------------------------------------------
+// Source preprocessing: strip comments and literals, keep line structure
+// ---------------------------------------------------------------------------
+
+/// Replaces comments and string/char literal contents with spaces so the
+/// scanners never match inside them.  Newlines are preserved, so line
+/// numbers in the stripped text equal line numbers in the original.
+std::string strip_comments_and_literals(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  enum class St { kCode, kLine, kBlock, kStr, kChar, kRaw };
+  St st = St::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char n = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && n == '/') {
+          st = St::kLine;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && n == '*') {
+          st = St::kBlock;
+          out += "  ";
+          ++i;
+        } else if (c == 'R' && n == '"' &&
+                   (i == 0 || (!isalnum(static_cast<unsigned char>(
+                                   text[i - 1])) &&
+                               text[i - 1] != '_'))) {
+          st = St::kRaw;
+          raw_delim.clear();
+          std::size_t j = i + 2;
+          while (j < text.size() && text[j] != '(') raw_delim += text[j++];
+          out += "  ";
+          out.append(raw_delim.size() + 1, ' ');
+          i = j;  // at '('
+        } else if (c == '"') {
+          st = St::kStr;
+          out += '"';
+        } else if (c == '\'') {
+          st = St::kChar;
+          out += '\'';
+        } else {
+          out += c;
+        }
+        break;
+      case St::kLine:
+        if (c == '\n') {
+          st = St::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case St::kBlock:
+        if (c == '*' && n == '/') {
+          st = St::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case St::kStr:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          st = St::kCode;
+          out += '"';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+          out += '\'';
+        } else {
+          out += ' ';
+        }
+        break;
+      case St::kRaw: {
+        const std::string close = ")" + raw_delim + "\"";
+        if (text.compare(i, close.size(), close) == 0) {
+          st = St::kCode;
+          out.append(close.size(), ' ');
+          i += close.size() - 1;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// lint:allow / lint:expect annotations (parsed from the *raw* lines,
+// because they live inside comments)
+// ---------------------------------------------------------------------------
+
+struct Annotations {
+  // line (1-based) -> rule ids
+  std::map<int, std::set<std::string>> allow;
+  std::map<int, std::set<std::string>> expect;
+  std::set<std::string> expect_file;
+  std::vector<std::string> errors;  // unknown rule ids etc.
+};
+
+void parse_marker_list(const std::string& line, const std::string& marker,
+                       int lineno, std::map<int, std::set<std::string>>* out,
+                       std::set<std::string>* out_file,
+                       std::vector<std::string>* errors,
+                       const std::string& file) {
+  std::size_t pos = 0;
+  while ((pos = line.find(marker, pos)) != std::string::npos) {
+    const std::size_t open = pos + marker.size();
+    if (open >= line.size() || line[open] != '(') {
+      ++pos;
+      continue;
+    }
+    const std::size_t close = line.find(')', open);
+    if (close == std::string::npos) {
+      errors->push_back(file + ":" + std::to_string(lineno) +
+                        ": malformed " + marker + " annotation");
+      return;
+    }
+    std::string list = line.substr(open + 1, close - open - 1);
+    std::stringstream ss(list);
+    std::string id;
+    while (std::getline(ss, id, ',')) {
+      id.erase(std::remove_if(id.begin(), id.end(), ::isspace), id.end());
+      if (id.empty()) continue;
+      if (find_rule(id) == nullptr) {
+        errors->push_back(file + ":" + std::to_string(lineno) +
+                          ": unknown lint rule '" + id + "'");
+        continue;
+      }
+      if (out != nullptr) (*out)[lineno].insert(id);
+      if (out_file != nullptr) out_file->insert(id);
+    }
+    pos = close;
+  }
+}
+
+Annotations parse_annotations(const std::vector<std::string>& raw_lines,
+                              const std::string& file) {
+  Annotations a;
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    const int lineno = static_cast<int>(i) + 1;
+    const std::string& line = raw_lines[i];
+    if (line.find("lint:") == std::string::npos) continue;
+    parse_marker_list(line, "lint:allow", lineno, &a.allow, nullptr,
+                      &a.errors, file);
+    parse_marker_list(line, "lint:expect-file", lineno, nullptr,
+                      &a.expect_file, &a.errors, file);
+    // Careful: "lint:expect-file" contains "lint:expect"; mask it.
+    std::string masked = line;
+    std::size_t p = 0;
+    while ((p = masked.find("lint:expect-file", p)) != std::string::npos) {
+      masked.replace(p, 16, "                ");
+    }
+    parse_marker_list(masked, "lint:expect", lineno, &a.expect, nullptr,
+                      &a.errors, file);
+  }
+  // A lint:allow alone on a line also covers the next line.
+  std::map<int, std::set<std::string>> extra;
+  for (const auto& [lineno, ids] : a.allow) {
+    const std::string& line = raw_lines[static_cast<std::size_t>(lineno - 1)];
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first != std::string::npos && line.compare(first, 2, "//") == 0) {
+      extra[lineno + 1].insert(ids.begin(), ids.end());
+    }
+  }
+  for (const auto& [lineno, ids] : extra) {
+    a.allow[lineno].insert(ids.begin(), ids.end());
+  }
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// Scanners
+// ---------------------------------------------------------------------------
+
+struct FileContext {
+  std::string display_path;  // as reported in findings
+  bool is_header = false;
+  bool in_sim = false;       // under a sim/ directory
+  bool is_slab = false;      // the event-queue slab engine itself
+  bool protocol = false;     // src/core, src/net, src/workload
+};
+
+const std::regex& wall_clock_re() {
+  static const std::regex re(
+      R"((std\s*::\s*chrono\s*::\s*(system_clock|steady_clock|high_resolution_clock))|(\bgettimeofday\s*\()|(\bclock_gettime\s*\()|(std\s*::\s*(time|clock)\s*\()|((^|[^\w.>:])(time|clock|localtime|gmtime|mktime)\s*\())");
+  return re;
+}
+
+const std::regex& std_random_re() {
+  static const std::regex re(
+      R"((std\s*::\s*rand\b)|((^|[^\w.>:])s?rand\s*\()|(\brandom_device\b)|(\bmt19937(_64)?\b)|(\bminstd_rand0?\b)|(\bdefault_random_engine\b)|(\b\w+_distribution\s*<))");
+  return re;
+}
+
+const std::regex& ptr_key_re() {
+  // A map/set whose *first* template argument is a pointer type: no comma
+  // may appear between '<' and the '*'.
+  static const std::regex re(
+      R"(\b(unordered_map|unordered_set|map|set|multimap|multiset)\s*<[^,<>]*\*)");
+  return re;
+}
+
+const std::regex& no_float_re() {
+  static const std::regex re(R"(\bfloat\b)");
+  return re;
+}
+
+const std::regex& new_delete_re() {
+  static const std::regex re(R"((\bnew\b)|(\bdelete\b))");
+  return re;
+}
+
+const std::regex& deleted_fn_re() {
+  static const std::regex re(R"((=\s*delete\b)|(\bdelete\s*;))");
+  return re;
+}
+
+const std::regex& unordered_decl_re() {
+  // Declaration of a named unordered container: capture the variable name.
+  static const std::regex re(
+      R"(\bunordered_(?:map|set)\s*<[^;{]*>\s+(\w+)\s*[;({=])");
+  return re;
+}
+
+void scan_file(const FileContext& ctx, const std::vector<std::string>& lines,
+               std::vector<Finding>* findings) {
+  // Whole-file rule: headers need #pragma once.
+  if (ctx.is_header) {
+    bool has_pragma = false;
+    for (const auto& l : lines) {
+      if (l.find("#pragma once") != std::string::npos) {
+        has_pragma = true;
+        break;
+      }
+    }
+    if (!has_pragma) {
+      findings->push_back({ctx.display_path, 0, Rule::kPragmaOnce});
+    }
+  }
+
+  // Collect names of unordered containers declared in this file (heuristic:
+  // single-line declarations; multi-line template spellings are rare here).
+  std::set<std::string> unordered_names;
+  if (ctx.protocol) {
+    for (const auto& l : lines) {
+      std::smatch m;
+      std::string rest = l;
+      while (std::regex_search(rest, m, unordered_decl_re())) {
+        unordered_names.insert(m[1].str());
+        rest = m.suffix();
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const int lineno = static_cast<int>(i) + 1;
+    const std::string& l = lines[i];
+
+    if (!ctx.in_sim && std::regex_search(l, wall_clock_re())) {
+      findings->push_back({ctx.display_path, lineno, Rule::kWallClock});
+    }
+    if (std::regex_search(l, std_random_re())) {
+      findings->push_back({ctx.display_path, lineno, Rule::kStdRandom});
+    }
+    if (std::regex_search(l, ptr_key_re())) {
+      findings->push_back({ctx.display_path, lineno, Rule::kPtrKey});
+    }
+    if (std::regex_search(l, no_float_re())) {
+      findings->push_back({ctx.display_path, lineno, Rule::kNoFloat});
+    }
+    if (!ctx.is_slab && std::regex_search(l, new_delete_re()) &&
+        !std::regex_search(l, deleted_fn_re())) {
+      findings->push_back({ctx.display_path, lineno, Rule::kRawNewDelete});
+    }
+    if (ctx.protocol && !unordered_names.empty()) {
+      bool hit = false;
+      for (const auto& name : unordered_names) {
+        // Lookups compare against .end() without touching .begin(); only
+        // an actual traversal (range-for or .begin()) is order-dependent.
+        const std::regex iter_re(R"(for\s*\([^;)]*:\s*)" + name + R"(\b)");
+        const std::regex begin_re("\\b" + name + R"(\s*\.\s*c?begin\s*\()");
+        if (std::regex_search(l, iter_re) || std::regex_search(l, begin_re)) {
+          hit = true;
+          break;
+        }
+      }
+      if (hit) {
+        findings->push_back({ctx.display_path, lineno, Rule::kUnorderedIter});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+bool has_suffix(const std::string& s, const std::string& suf) {
+  return s.size() >= suf.size() &&
+         s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+FileContext make_context(const fs::path& path) {
+  FileContext ctx;
+  ctx.display_path = path.generic_string();
+  const std::string p = "/" + ctx.display_path;
+  ctx.is_header = has_suffix(ctx.display_path, ".h") ||
+                  has_suffix(ctx.display_path, ".hpp");
+  ctx.in_sim = p.find("/sim/") != std::string::npos;
+  ctx.is_slab = ctx.in_sim && (has_suffix(p, "/event_queue.h") ||
+                               has_suffix(p, "/event_queue.cpp"));
+  ctx.protocol = p.find("/core/") != std::string::npos ||
+                 p.find("/net/") != std::string::npos ||
+                 p.find("/workload/") != std::string::npos;
+  return ctx;
+}
+
+std::vector<fs::path> collect_files(const std::vector<std::string>& roots,
+                                    std::vector<std::string>* errors) {
+  std::vector<fs::path> files;
+  for (const auto& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (auto it = fs::recursive_directory_iterator(root, ec);
+           it != fs::recursive_directory_iterator(); it.increment(ec)) {
+        if (ec) break;
+        if (!it->is_regular_file()) continue;
+        const std::string p = it->path().generic_string();
+        if (has_suffix(p, ".h") || has_suffix(p, ".hpp") ||
+            has_suffix(p, ".cpp") || has_suffix(p, ".cc")) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      files.emplace_back(root);
+    } else {
+      errors->push_back("cannot open: " + root);
+    }
+  }
+  // Deterministic report order, naturally.
+  std::sort(files.begin(), files.end(),
+            [](const fs::path& a, const fs::path& b) {
+              return a.generic_string() < b.generic_string();
+            });
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+struct FileResult {
+  std::vector<Finding> findings;       // after lint:allow suppression
+  Annotations annotations;
+};
+
+FileResult lint_file(const fs::path& path, std::vector<std::string>* errors) {
+  FileResult result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    errors->push_back("cannot read: " + path.generic_string());
+    return result;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  const std::vector<std::string> raw_lines = split_lines(text);
+  const std::vector<std::string> stripped =
+      split_lines(strip_comments_and_literals(text));
+  const FileContext ctx = make_context(path);
+
+  result.annotations = parse_annotations(raw_lines, ctx.display_path);
+  for (const auto& e : result.annotations.errors) errors->push_back(e);
+
+  std::vector<Finding> all;
+  scan_file(ctx, stripped, &all);
+
+  for (const auto& f : all) {
+    const auto it = result.annotations.allow.find(f.line);
+    const char* id = kRules[static_cast<std::size_t>(f.rule)].id;
+    if (it != result.annotations.allow.end() && it->second.count(id) > 0) {
+      continue;  // suppressed
+    }
+    result.findings.push_back(f);
+  }
+  return result;
+}
+
+void print_finding(const Finding& f) {
+  const RuleInfo& info = kRules[static_cast<std::size_t>(f.rule)];
+  std::fprintf(stderr, "%s:%d: error: [%s] %s\n", f.file.c_str(),
+               f.line > 0 ? f.line : 1, info.id, info.message);
+}
+
+/// Fixture mode: findings and lint:expect annotations must match exactly.
+int run_fixture_mode(const std::vector<fs::path>& files) {
+  int mismatches = 0;
+  std::vector<std::string> errors;
+  for (const auto& path : files) {
+    FileResult r = lint_file(path, &errors);
+    const std::string file = path.generic_string();
+
+    // Expected (line, rule) pairs not yet matched.
+    std::set<std::pair<int, std::string>> expected;
+    for (const auto& [line, ids] : r.annotations.expect) {
+      for (const auto& id : ids) expected.insert({line, id});
+    }
+    std::set<std::string> expected_file = r.annotations.expect_file;
+
+    for (const auto& f : r.findings) {
+      const char* id = kRules[static_cast<std::size_t>(f.rule)].id;
+      if (f.line == 0) {
+        if (expected_file.erase(id) == 0) {
+          std::fprintf(stderr, "%s: unexpected whole-file finding [%s]\n",
+                       file.c_str(), id);
+          ++mismatches;
+        }
+        continue;
+      }
+      if (expected.erase({f.line, id}) == 0) {
+        std::fprintf(stderr, "%s:%d: unexpected finding [%s]\n", file.c_str(),
+                     f.line, id);
+        ++mismatches;
+      }
+    }
+    for (const auto& [line, id] : expected) {
+      std::fprintf(stderr, "%s:%d: expected [%s] but the linter was silent\n",
+                   file.c_str(), line, id.c_str());
+      ++mismatches;
+    }
+    for (const auto& id : expected_file) {
+      std::fprintf(stderr,
+                   "%s: expected whole-file [%s] but the linter was silent\n",
+                   file.c_str(), id.c_str());
+      ++mismatches;
+    }
+  }
+  for (const auto& e : errors) std::fprintf(stderr, "%s\n", e.c_str());
+  if (mismatches == 0 && errors.empty()) {
+    std::fprintf(stderr, "coolstream_lint: %zu fixture file(s) behaved as "
+                 "annotated\n", files.size());
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fixture_mode = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fixtures") {
+      fixture_mode = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: coolstream_lint [--fixtures] <file-or-dir>...\n");
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "coolstream_lint: no paths given\n");
+    return 2;
+  }
+
+  std::vector<std::string> errors;
+  const std::vector<fs::path> files = collect_files(roots, &errors);
+  if (files.empty()) {
+    std::fprintf(stderr, "coolstream_lint: no source files found\n");
+    return 2;
+  }
+
+  if (fixture_mode) return run_fixture_mode(files);
+
+  std::size_t finding_count = 0;
+  for (const auto& path : files) {
+    FileResult r = lint_file(path, &errors);
+    for (const auto& f : r.findings) {
+      print_finding(f);
+      ++finding_count;
+    }
+  }
+  for (const auto& e : errors) std::fprintf(stderr, "%s\n", e.c_str());
+  if (!errors.empty()) return 2;
+  if (finding_count > 0) {
+    std::fprintf(stderr, "coolstream_lint: %zu finding(s) in %zu file(s)\n",
+                 finding_count, files.size());
+    return 1;
+  }
+  std::fprintf(stderr, "coolstream_lint: %zu file(s) clean\n", files.size());
+  return 0;
+}
