@@ -63,7 +63,8 @@ KPoint run_k(int k, std::size_t users, std::uint64_t seed) {
     if (p2 == nullptr) break;
     if (p2->kind() != core::PeerKind::kViewer) continue;
     ++viewers;
-    stall_seconds += p2->stats().stall_seconds;
+    stall_seconds +=  // lint:allow(value-escape)
+        p2->stats().stall_seconds.value();
     play_seconds += static_cast<double>(p2->stats().blocks_due) /
                     s.params.block_rate;
     switches += p2->stats().parent_switches;

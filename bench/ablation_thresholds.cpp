@@ -52,7 +52,8 @@ Point run_point(double ts_seconds, double ta_seconds, std::size_t users,
     const core::Peer* peer = sys.peer(id);
     if (peer == nullptr) break;
     if (peer->kind() != core::PeerKind::kViewer) continue;
-    stall_seconds += peer->stats().stall_seconds;
+    stall_seconds +=  // lint:allow(value-escape)
+        peer->stats().stall_seconds.value();
     play_seconds += static_cast<double>(peer->stats().blocks_due) /
                     s.params.block_rate;
     switches += peer->stats().parent_switches;

@@ -95,9 +95,10 @@ struct LagStats {
 
 inline LagStats measure_playback_lag(core::System& system) {
   std::vector<double> lags;
-  const double now = system.now();
-  const auto live = core::global_of(
-      0, system.source_head(0, now), system.params().substream_count);
+  const core::Tick now = system.now();
+  const auto j0 = core::SubstreamId(0);
+  const auto live = core::global_of(j0, system.source_head(j0, now),
+                                    system.params().substream_count);
   for (net::NodeId id = 0;; ++id) {
     const core::Peer* p = system.peer(id);
     if (p == nullptr) break;
@@ -105,8 +106,11 @@ inline LagStats measure_playback_lag(core::System& system) {
         p->phase() != core::PeerPhase::kPlaying) {
       continue;
     }
-    lags.push_back(static_cast<double>(live - p->playhead()) /
-                   system.params().block_rate);
+    // Lag census reports raw seconds behind the broadcast clock.
+    lags.push_back(
+        static_cast<double>(
+            (live - p->playhead()).value()) /  // lint:allow(value-escape)
+        system.params().block_rate);
   }
   LagStats out;
   out.playing = lags.size();

@@ -91,7 +91,8 @@ int main(int argc, char** argv) {
       const core::Peer* p = sys.peer(id);
       if (p == nullptr) break;
       if (p->kind() != core::PeerKind::kViewer) continue;
-      stall_seconds += p->stats().stall_seconds;
+      stall_seconds +=  // lint:allow(value-escape)
+        p->stats().stall_seconds.value();
       play_seconds += static_cast<double>(p->stats().blocks_due) /
                       s.params.block_rate;
     }

@@ -44,7 +44,8 @@ int main(int argc, char** argv) {
       if (node.is_server) continue;
       const core::Peer* p = sys.peer(node.id);
       if (p == nullptr || !p->alive()) continue;
-      const double age = at - p->joined_at();
+      const double age =
+          at - p->joined_at().value();  // lint:allow(value-escape)
       const auto bucket = static_cast<std::size_t>(age / kAgeBucket);
       if (bucket >= kBuckets) continue;
       for (net::NodeId parent_id : node.parents) {
@@ -99,9 +100,11 @@ int main(int argc, char** argv) {
       const core::Peer* p = sys.peer(id);
       if (p == nullptr) break;
       if (p->kind() != core::PeerKind::kViewer) continue;
-      capable_time += p->stats().capable_subscription_time;
+      capable_time +=  // lint:allow(value-escape)
+          p->stats().capable_subscription_time.value();
       capable_n += p->stats().capable_subscriptions_ended;
-      weak_time += p->stats().weak_subscription_time;
+      weak_time +=  // lint:allow(value-escape)
+          p->stats().weak_subscription_time.value();
       weak_n += p->stats().weak_subscriptions_ended;
     }
   }

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
     while (!departures.empty() && departures.front() <= now) {
       std::pop_heap(departures.begin(), departures.end(),
                     std::greater<>());
-      users.add(departures.back(), -1);
+      users.add(sim::Time(departures.back()), -1);
       departures.pop_back();
     }
   };
@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
     t = arrivals.next_arrival(t, kDay, rng);
     if (t > kDay) break;
     pop_due(t);
-    users.add(t, +1);
+    users.add(sim::Time(t), +1);
     ++total_sessions;
     double dur = sessions.draw_duration(rng);
     double leave = t + dur;
@@ -90,8 +90,11 @@ int main(int argc, char** argv) {
                           double dt) {
     analysis::banner(std::cout, title);
     analysis::Table table({"time (h)", "concurrent users"});
-    for (const auto& s : users.sample_grid(t0, t1, dt)) {
-      table.row({analysis::fmt(s.time / kHour, 2),
+    for (const auto& s : users.sample_grid(sim::Time(t0), sim::Time(t1),
+                                           units::Duration(dt))) {
+      // Human-readable hours at the report boundary.
+      table.row({analysis::fmt(s.time.value() / kHour,  // lint:allow(value-escape)
+                               2),
                  analysis::fmt(s.value, 0)});
     }
     table.print(std::cout);

@@ -32,8 +32,12 @@
 
 namespace {
 
+using coolstream::sim::Duration;
 using coolstream::sim::Rng;
 using coolstream::sim::Time;
+
+// The reference engine replicates the seed, whose clock was a raw double.
+using RefTime = double;
 
 // ---------------------------------------------------------------------------
 // Reference engine: the seed's heap-of-std::function queue, verbatim design.
@@ -43,20 +47,21 @@ class RefHandle;
 
 class RefQueue {
  public:
-  RefHandle schedule(Time time, std::function<void()> fn);
-  RefHandle schedule_every(Time first, Time period, std::function<void()> fn);
+  RefHandle schedule(RefTime time, std::function<void()> fn);
+  RefHandle schedule_every(RefTime first, RefTime period,
+                           std::function<void()> fn);
 
   bool empty() {
     skim();
     return heap_.empty();
   }
 
-  Time next_time() {
+  RefTime next_time() {
     skim();
     return heap_.front().time;
   }
 
-  bool run_next(Time* now) {
+  bool run_next(RefTime* now) {
     skim();
     if (heap_.empty()) return false;
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
@@ -73,7 +78,7 @@ class RefQueue {
   friend class RefHandle;
 
   struct Entry {
-    Time time;
+    RefTime time;
     std::uint64_t seq;
     std::function<void()> fn;
     std::shared_ptr<bool> alive;
@@ -94,7 +99,7 @@ class RefQueue {
 
   std::vector<Entry> heap_;
   std::uint64_t next_seq_ = 0;
-  Time now_ = 0.0;
+  RefTime now_ = 0.0;
 };
 
 class RefHandle {
@@ -109,14 +114,14 @@ class RefHandle {
   std::shared_ptr<bool> alive_;
 };
 
-RefHandle RefQueue::schedule(Time time, std::function<void()> fn) {
+RefHandle RefQueue::schedule(RefTime time, std::function<void()> fn) {
   auto alive = std::make_shared<bool>(true);
   heap_.push_back(Entry{time, next_seq_++, std::move(fn), alive});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   return RefHandle(alive);
 }
 
-RefHandle RefQueue::schedule_every(Time first, Time period,
+RefHandle RefQueue::schedule_every(RefTime first, RefTime period,
                                    std::function<void()> fn) {
   // The seed's periodic loop: a shared chain flag plus a self-rescheduling
   // shared std::function that re-enqueues itself at now + period.
@@ -138,7 +143,8 @@ RefHandle RefQueue::schedule_every(Time first, Time period,
 // ---------------------------------------------------------------------------
 
 double now_seconds() {
-  using clock = std::chrono::steady_clock;
+  // Benchmark harness: measures host wall time, not simulated time.
+  using clock = std::chrono::steady_clock;  // lint:allow(wall-clock)
   return std::chrono::duration<double>(clock::now().time_since_epoch())
       .count();
 }
@@ -173,7 +179,7 @@ constexpr std::size_t kTimerCount = 4096;
 constexpr std::uint64_t kTimerOps = 409600;
 // Per-op clock step chosen so a timer armed u(0.5, 1.0) ahead is reset
 // about 9 times before it would fire: ~90% of events are cancelled.
-constexpr Time kTimerDt = 0.75 / (9.0 * static_cast<Time>(kTimerCount));
+constexpr double kTimerDt = 0.75 / (9.0 * static_cast<double>(kTimerCount));
 
 // (a) steady-state schedule + fire with a large live population.
 Result steady_ref() {
@@ -181,7 +187,7 @@ Result steady_ref() {
       [] {
         RefQueue q;
         Rng rng(11);
-        Time now = 0.0;
+        RefTime now = 0.0;
         std::uint64_t fired = 0;
         for (std::size_t i = 0; i < kSteadyLive; ++i) {
           q.schedule(rng.uniform(0.0, 1.0), [] {});
@@ -201,16 +207,16 @@ Result steady_new() {
       [] {
         coolstream::sim::EventQueue q;
         Rng rng(11);
-        Time now = 0.0;
+        Time now{};
         std::uint64_t fired = 0;
         for (std::size_t i = 0; i < kSteadyLive; ++i) {
-          q.schedule(rng.uniform(0.0, 1.0), [] {});
+          q.schedule(Time(rng.uniform(0.0, 1.0)), [] {});
         }
         while (fired < kSteadyOps &&
                q.run_next([&now](Time t) { now = t; })) {
           ++fired;
           if (fired + kSteadyLive <= kSteadyOps + kSteadyLive) {
-            q.schedule(now + rng.uniform(0.001, 1.0), [] {});
+            q.schedule(now + Duration(rng.uniform(0.001, 1.0)), [] {});
           }
         }
       },
@@ -228,7 +234,7 @@ Result periodic_ref() {
           handles.push_back(q.schedule_every(
               0.01 * static_cast<double>(i + 1), 1.0, [&fires] { ++fires; }));
         }
-        Time now = 0.0;
+        RefTime now = 0.0;
         while (fires < kPeriodicFires && q.run_next(&now)) {
         }
         for (auto& h : handles) h.cancel();
@@ -245,8 +251,9 @@ Result periodic_new() {
         std::uint64_t fires = 0;
         std::vector<coolstream::sim::EventHandle> handles;
         for (int i = 0; i < 64; ++i) {
-          handles.push_back(q.schedule_every(
-              0.01 * static_cast<double>(i + 1), 1.0, [&fires] { ++fires; }));
+          handles.push_back(
+              q.schedule_every(Time(0.01 * static_cast<double>(i + 1)),
+                               Duration(1.0), [&fires] { ++fires; }));
         }
         while (fires < kPeriodicFires && q.run_next()) {
         }
@@ -267,18 +274,19 @@ Result cancel_ref() {
       [] {
         RefQueue q;
         Rng rng(13);
-        Time now = 0.0;
+        RefTime now = 0.0;
         std::vector<RefHandle> handles(kTimerCount);
         for (std::size_t i = 0; i < kTimerCount; ++i) {
           handles[i] = q.schedule(now + rng.uniform(0.5, 1.0), [] {});
         }
-        Time fired_at = 0.0;
+        RefTime fired_at = 0.0;
         for (std::uint64_t op = 0; op < kTimerOps; ++op) {
           now += kTimerDt;
           while (!q.empty() && q.next_time() <= now) q.run_next(&fired_at);
-          const auto i = static_cast<std::size_t>(
-                             rng.uniform(0.0, static_cast<Time>(kTimerCount))) %
-                         kTimerCount;
+          const auto i =
+              static_cast<std::size_t>(
+                  rng.uniform(0.0, static_cast<double>(kTimerCount))) %
+              kTimerCount;
           handles[i].cancel();
           handles[i] = q.schedule(now + rng.uniform(0.5, 1.0), [] {});
         }
@@ -291,20 +299,21 @@ Result cancel_new() {
       [] {
         coolstream::sim::EventQueue q;
         Rng rng(13);
-        Time now = 0.0;
+        Time now{};
         std::vector<coolstream::sim::EventHandle> handles(kTimerCount);
         for (std::size_t i = 0; i < kTimerCount; ++i) {
-          handles[i] = q.schedule(now + rng.uniform(0.5, 1.0), [] {});
+          handles[i] = q.schedule(now + Duration(rng.uniform(0.5, 1.0)), [] {});
         }
         const auto on_fire = [](Time) {};
         for (std::uint64_t op = 0; op < kTimerOps; ++op) {
-          now += kTimerDt;
+          now += Duration(kTimerDt);
           while (!q.empty() && q.next_time() <= now) q.run_next(on_fire);
-          const auto i = static_cast<std::size_t>(
-                             rng.uniform(0.0, static_cast<Time>(kTimerCount))) %
-                         kTimerCount;
+          const auto i =
+              static_cast<std::size_t>(
+                  rng.uniform(0.0, static_cast<double>(kTimerCount))) %
+              kTimerCount;
           handles[i].cancel();
-          handles[i] = q.schedule(now + rng.uniform(0.5, 1.0), [] {});
+          handles[i] = q.schedule(now + Duration(rng.uniform(0.5, 1.0)), [] {});
         }
       },
       kTimerOps);

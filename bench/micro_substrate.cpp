@@ -39,7 +39,7 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   for (auto _ : state) {
     sim::EventQueue q;
     for (std::size_t i = 0; i < batch; ++i) {
-      q.schedule(rng.uniform(), [] {});
+      q.schedule(sim::Time(rng.uniform()), [] {});
     }
     while (q.run_next([](sim::Time t) { benchmark::DoNotOptimize(t); })) {
     }
@@ -53,8 +53,8 @@ void BM_SimulationPeriodicTick(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulation s(1);
     std::uint64_t count = 0;
-    s.every(0.5, 0.5, [&count] { ++count; });
-    s.run_until(1000.0);
+    s.every(units::Duration(0.5), units::Duration(0.5), [&count] { ++count; });
+    s.run_until(sim::Time(1000.0));
     benchmark::DoNotOptimize(count);
   }
 }
@@ -63,8 +63,10 @@ BENCHMARK(BM_SimulationPeriodicTick);
 void BM_SyncBufferInOrderInsert(benchmark::State& state) {
   for (auto _ : state) {
     core::SyncBuffer sb(4);
-    for (core::SeqNum s = 0; s < 1000; ++s) {
-      for (int j = 0; j < 4; ++j) sb.insert(j, s);
+    for (int s = 0; s < 1000; ++s) {
+      for (int j = 0; j < 4; ++j) {
+        sb.insert(core::SubstreamId(j), core::SeqNum(s));
+      }
     }
     benchmark::DoNotOptimize(sb.combined());
   }
@@ -76,8 +78,8 @@ BENCHMARK(BM_SyncBufferInOrderInsert);
 void BM_BufferMapRoundTrip(benchmark::State& state) {
   core::BufferMap bm(4);
   for (int j = 0; j < 4; ++j) {
-    bm.set_latest(j, 123456 + j);
-    bm.set_subscribed(j, j % 2 == 0);
+    bm.set_latest(core::SubstreamId(j), core::SeqNum(123456 + j));
+    bm.set_subscribed(core::SubstreamId(j), j % 2 == 0);
   }
   for (auto _ : state) {
     auto decoded = core::BufferMap::decode(bm.encode());
@@ -89,10 +91,10 @@ BENCHMARK(BM_BufferMapRoundTrip);
 void BM_MaxMinFair(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   sim::Rng rng(4);
-  std::vector<double> demands(n);
-  for (auto& d : demands) d = rng.uniform(0.5, 4.0);
+  std::vector<units::BlockRate> demands(n);
+  for (auto& d : demands) d = units::BlockRate(rng.uniform(0.5, 4.0));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(net::max_min_fair(3.0, demands));
+    benchmark::DoNotOptimize(net::max_min_fair(units::BlockRate(3.0), demands));
   }
 }
 BENCHMARK(BM_MaxMinFair)->Arg(4)->Arg(24)->Arg(96);

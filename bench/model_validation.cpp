@@ -25,7 +25,7 @@ core::PeerSpec weak_viewer(std::uint64_t user, sim::Rng& rng,
   s.kind = core::PeerKind::kViewer;
   s.type = net::ConnectionType::kNat;
   s.address = net::random_private_address(rng);
-  s.upload_capacity_bps = upload_bps;
+  s.upload_capacity = units::BitRate(upload_bps);
   return s;
 }
 
@@ -45,28 +45,33 @@ double measure_catch_up(double factor, std::uint64_t seed) {
   double start_sub = -1.0;
   sys.observer = [&](net::NodeId, core::SessionEvent e) {
     if (e == core::SessionEvent::kStartSubscription && start_sub < 0.0) {
-      start_sub = simulation.now();
+      // Bench measurements are reported in raw seconds.
+      start_sub = simulation.now().value();  // lint:allow(value-escape)
     }
   };
   sys.start();
-  simulation.run_until(30.0);
+  simulation.run_until(sim::Time(30.0));
   const net::NodeId id = sys.join(weak_viewer(1, simulation.rng()));
 
   // Step until the slowest sub-stream reaches the server's head (within
   // the one-tick pipeline slack: the server's own head advances after the
   // transfer each tick, so exact equality is unreachable by construction).
-  const auto slack = static_cast<core::SeqNum>(
-      2.0 * params.flow_tick * params.substream_block_rate() + 1.0);
-  while (simulation.now() < 600.0) {
-    simulation.run_until(simulation.now() + params.flow_tick);
+  const auto slack = units::BlockCount(static_cast<std::int64_t>(
+      2.0 * params.flow_tick * params.substream_block_rate() + 1.0));
+  while (simulation.now() < sim::Time(600.0)) {
+    simulation.run_until(simulation.now() + params.flow_dt());
     if (start_sub < 0.0) continue;
     bool caught_up = true;
     const core::Peer* p = sys.peer(id);
     const core::Peer* server = sys.peer(0);
-    for (int j = 0; j < params.substream_count; ++j) {
+    for (const core::SubstreamId j :
+         core::substreams(params.substream_count)) {
       if (p->head(j) < server->head(j) - slack) caught_up = false;
     }
-    if (caught_up) return simulation.now() - start_sub;
+    if (caught_up) {
+      return simulation.now().value() -  // lint:allow(value-escape)
+             start_sub;
+    }
   }
   return -1.0;
 }
@@ -88,14 +93,15 @@ double measure_competition(std::uint64_t seed, int full_children) {
   sim::Simulation simulation(seed);
   core::System sys(simulation, params, cfg, nullptr);
   sys.start();
-  simulation.run_until(60.0);  // let the server's buffer window fill
+  simulation.run_until(sim::Time(60.0));  // let the server's window fill
 
   std::vector<net::NodeId> ids;
   for (int i = 0; i < full_children; ++i) {
     ids.push_back(sys.join(weak_viewer(
         static_cast<std::uint64_t>(10 + i), simulation.rng())));
   }
-  simulation.run_until(simulation.now() + 120.0);  // all caught up
+  // All caught up after two minutes.
+  simulation.run_until(simulation.now() + units::Duration(120.0));
 
   // Baseline the established children's adaptation counters (their own
   // join catch-up may already have triggered some), then add the straw
@@ -106,14 +112,15 @@ double measure_competition(std::uint64_t seed, int full_children) {
   for (net::NodeId id : ids) baseline.push_back(sys.peer(id)->stats().adaptations);
 
   ids.push_back(sys.join(weak_viewer(99, simulation.rng())));
-  const double overload_at = simulation.now();
+  const sim::Time overload_at = simulation.now();
 
-  while (simulation.now() < overload_at + 300.0) {
-    simulation.run_until(simulation.now() + params.flow_tick);
+  while (simulation.now() < overload_at + units::Duration(300.0)) {
+    simulation.run_until(simulation.now() + params.flow_dt());
     for (std::size_t k = 0; k < baseline.size(); ++k) {
       const core::Peer* p = sys.peer(ids[k]);
       if (p != nullptr && p->stats().adaptations > baseline[k]) {
-        return simulation.now() - overload_at;
+        return (simulation.now() - overload_at)
+            .value();  // lint:allow(value-escape)
       }
     }
   }
@@ -129,7 +136,7 @@ int main(int argc, char** argv) {
                       params);
 
   model::StreamRates rates;
-  rates.stream_block_rate = params.block_rate;
+  rates.stream_rate = units::BlockRate(params.block_rate);
   rates.substream_count = params.substream_count;
   const double l = params.tp_blocks();  // join deficit per sub-stream
 
@@ -139,12 +146,15 @@ int main(int argc, char** argv) {
                       "simulated t (s)"});
   for (double factor : {1.5, 2.0, 3.0, 4.0, 6.0}) {
     // The server splits capacity over K connections of its one child.
-    const double r = factor * params.stream_rate_bps /
-                     params.substream_count / params.block_size_bits();
-    const double predicted = model::catch_up_time(l, r, rates);
+    const units::BlockRate r(factor * params.stream_rate_bps /
+                             params.substream_count /
+                             params.block_size_bits());
+    const double predicted =
+        model::catch_up_time(l, r, rates).value();  // lint:allow(value-escape)
     const double simulated = measure_catch_up(
         factor, args.seed + static_cast<std::uint64_t>(factor * 10));
-    t3.row({analysis::fmt(factor, 1), analysis::fmt(r, 2),
+    t3.row({analysis::fmt(factor, 1),
+            analysis::fmt(r.value(), 2),  // lint:allow(value-escape)
             analysis::fmt(predicted, 1), analysis::fmt(simulated, 1)});
   }
   t3.print(std::cout);
@@ -163,12 +173,15 @@ int main(int argc, char** argv) {
     // the rig grants so t_delta ~ 0 at overload time.  The children were
     // caught up, so the first trigger is Inequality (1) at T_s, i.e.
     // Eq. (4) with l = T_s.
-    const double r_down = (d + 0.5) / (d + 1.0) * rates.substream_rate();
-    const double predicted = model::abandon_time(params.ts_blocks(), r_down,
-                                                 rates);
+    const units::BlockRate r_down =
+        rates.substream_rate() * ((d + 0.5) / (d + 1.0));
+    const double predicted =
+        model::abandon_time(params.ts_blocks(), r_down, rates)
+            .value();  // lint:allow(value-escape)
     const double simulated =
         measure_competition(args.seed + static_cast<std::uint64_t>(d), d);
-    t45.row({std::to_string(d), analysis::fmt(r_down, 2),
+    t45.row({std::to_string(d),
+             analysis::fmt(r_down.value(), 2),  // lint:allow(value-escape)
              analysis::fmt(predicted, 1), analysis::fmt(simulated, 1)});
   }
   t45.print(std::cout);
@@ -182,12 +195,13 @@ int main(int argc, char** argv) {
   analysis::Table t6({"D_p", "lag threshold (blocks)",
                       "P(lose within T_a), t_delta ~ U[0, T_s]"});
   for (int d : {1, 2, 4, 8, 16}) {
+    const auto ta = units::Duration(params.ta_seconds);
     t6.row({std::to_string(d),
-            analysis::fmt(model::lose_slack_threshold(
-                              d, params.ts_blocks(), params.ta_seconds, rates),
-                          1),
+            analysis::fmt(
+                model::lose_slack_threshold(d, params.ts_blocks(), ta, rates),
+                1),
             analysis::pct(model::lose_probability_uniform_slack(
-                d, params.ts_blocks(), params.ta_seconds, rates))});
+                d, params.ts_blocks(), ta, rates))});
   }
   t6.print(std::cout);
   bench::paper_note(

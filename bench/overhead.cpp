@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
       const core::Peer* p = sys.peer(id);
       if (p == nullptr) break;
       if (p->kind() != core::PeerKind::kViewer) continue;
-      data_bytes += static_cast<double>(p->stats().bytes_down);
+      data_bytes += static_cast<double>(
+          p->stats().bytes_down.value());  // lint:allow(value-escape)
     }
     const auto report =
         analysis::measure_overhead(sys.transport(), data_bytes);

@@ -63,16 +63,18 @@ double run_multi_tree(double mean_session_s, std::size_t users,
     const auto type = types.draw_type(rng);
     live.push_back(mt.join(types.draw_capacity(type, rng),
                            net::accepts_inbound(type)));
-    simulation.run_until(simulation.now() + 0.5);
+    simulation.run_until(simulation.now() + units::Duration(0.5));
   }
-  simulation.run_until(120.0 + static_cast<double>(users) * 0.5);
+  simulation.run_until(
+      sim::Time(120.0 + static_cast<double>(users) * 0.5));
 
-  const double horizon = simulation.now() + 1500.0;
+  const sim::Time horizon = simulation.now() + units::Duration(1500.0);
   if (std::isfinite(mean_session_s)) {
     const double interval = mean_session_s / static_cast<double>(users);
     while (simulation.now() < horizon) {
       simulation.run_until(
-          std::min(horizon, simulation.now() + rng.exponential(interval)));
+          std::min(horizon,
+                   simulation.now() + units::Duration(rng.exponential(interval))));
       if (simulation.now() >= horizon) break;
       const auto pick = rng.below(live.size());
       mt.leave(live[pick]);
@@ -104,17 +106,19 @@ double run_tree(double mean_session_s, std::size_t users,
     const auto type = types.draw_type(rng);
     live.push_back(tree.join(types.draw_capacity(type, rng),
                              net::accepts_inbound(type)));
-    simulation.run_until(simulation.now() + 0.5);
+    simulation.run_until(simulation.now() + units::Duration(0.5));
   }
-  simulation.run_until(120.0 + static_cast<double>(users) * 0.5);
+  simulation.run_until(
+      sim::Time(120.0 + static_cast<double>(users) * 0.5));
 
-  const double horizon = simulation.now() + 1500.0;
+  const sim::Time horizon = simulation.now() + units::Duration(1500.0);
   if (std::isfinite(mean_session_s)) {
     const double interval =
         mean_session_s / static_cast<double>(users);
     while (simulation.now() < horizon) {
       simulation.run_until(
-          std::min(horizon, simulation.now() + rng.exponential(interval)));
+          std::min(horizon,
+                   simulation.now() + units::Duration(rng.exponential(interval))));
       if (simulation.now() >= horizon) break;
       const auto pick = rng.below(live.size());
       tree.leave(live[pick]);

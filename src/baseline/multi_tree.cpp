@@ -31,11 +31,14 @@ void MultiTreeOverlay::start() {
   root_ = 0;
   nodes_.push_back(std::move(root));
   live_count_ = 1;
-  tick_handle_ = sim_.every(params_.tick, params_.tick, [this] { tick(); });
+  tick_handle_ = sim_.every(units::Duration(params_.tick),
+                            units::Duration(params_.tick), [this] { tick(); });
 }
 
 double MultiTreeOverlay::root_stripe_head() const noexcept {
-  return sim_.now() * params_.stripe_block_rate();
+  // The baseline trees work in raw fractional block positions.
+  return sim_.now().value() *  // lint:allow(value-escape)
+         params_.stripe_block_rate();
 }
 
 int MultiTreeOverlay::max_children_of(const Node& n,
@@ -67,7 +70,7 @@ net::NodeId MultiTreeOverlay::join(double upload_capacity_bps,
   const auto id = static_cast<net::NodeId>(nodes_.size());
   nodes_.push_back(std::move(n));
   ++live_count_;
-  sim_.after(params_.join_delay, [this, id] {
+  sim_.after(units::Duration(params_.join_delay), [this, id] {
     if (!nodes_[id].live) return;
     const double start = std::max(
         0.0, root_stripe_head() -
@@ -116,7 +119,7 @@ void MultiTreeOverlay::attach(net::NodeId child, net::NodeId parent,
 }
 
 void MultiTreeOverlay::schedule_rejoin(net::NodeId id, int stripe) {
-  sim_.after(params_.repair_delay, [this, id, stripe] {
+  sim_.after(units::Duration(params_.repair_delay), [this, id, stripe] {
     Node& n = nodes_[id];
     if (!n.live ||
         n.parent[static_cast<std::size_t>(stripe)] != net::kInvalidNode) {
@@ -176,7 +179,7 @@ int MultiTreeOverlay::depth(net::NodeId id, int stripe) const {
 
 void MultiTreeOverlay::tick() {
   const double dt = params_.tick;
-  const double now = sim_.now();
+  const double now = sim_.now().value();  // lint:allow(value-escape)
   const double root_head = root_stripe_head();
   for (auto& h : nodes_[root_].head) h = root_head;
 

@@ -25,11 +25,13 @@ void TreeOverlay::start() {
   root_ = 0;
   nodes_.push_back(std::move(root));
   live_count_ = 1;
-  tick_handle_ = sim_.every(params_.tick, params_.tick, [this] { tick(); });
+  tick_handle_ = sim_.every(units::Duration(params_.tick),
+                            units::Duration(params_.tick), [this] { tick(); });
 }
 
 double TreeOverlay::root_head() const noexcept {
-  return sim_.now() * params_.block_rate;
+  // The baseline tree works in raw fractional block positions.
+  return sim_.now().value() * params_.block_rate;  // lint:allow(value-escape)
 }
 
 int TreeOverlay::max_children_of(const Node& n) const noexcept {
@@ -47,7 +49,7 @@ net::NodeId TreeOverlay::join(double upload_capacity_bps, bool reachable) {
   nodes_.push_back(std::move(n));
   ++live_count_;
   // Control-plane latency of descending the tree.
-  sim_.after(params_.join_delay, [this, id] {
+  sim_.after(units::Duration(params_.join_delay), [this, id] {
     if (!nodes_[id].live || nodes_[id].parent != net::kInvalidNode) return;
     const net::NodeId parent = find_parent();
     if (parent != net::kInvalidNode && parent != id) {
@@ -102,7 +104,7 @@ void TreeOverlay::orphan_subtree(net::NodeId id) {
 }
 
 void TreeOverlay::schedule_rejoin(net::NodeId id) {
-  sim_.after(params_.repair_delay, [this, id] {
+  sim_.after(units::Duration(params_.repair_delay), [this, id] {
     Node& n = nodes_[id];
     if (!n.live || n.parent != net::kInvalidNode) return;
     const net::NodeId parent = find_parent();
@@ -146,7 +148,7 @@ int TreeOverlay::depth(net::NodeId id) const {
 
 void TreeOverlay::tick() {
   const double dt = params_.tick;
-  const double now = sim_.now();
+  const double now = sim_.now().value();  // lint:allow(value-escape)
   nodes_[root_].head = root_head();
 
   // Fluid transfer, parents before children is not required: heads only

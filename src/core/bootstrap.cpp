@@ -2,7 +2,7 @@
 
 namespace coolstream::core {
 
-void BootstrapServer::add(net::NodeId id, double joined_at) {
+void BootstrapServer::add(net::NodeId id, Tick joined_at) {
   if (index_.size() <= id) index_.resize(id + 1, 0);
   if (index_[id] != 0) return;  // already active
   order_.push_back(ActiveNode{id, joined_at});
@@ -24,8 +24,8 @@ bool BootstrapServer::contains(net::NodeId id) const noexcept {
   return id < index_.size() && index_[id] != 0;
 }
 
-double BootstrapServer::joined_at(net::NodeId id) const noexcept {
-  if (id >= index_.size() || index_[id] == 0) return -1.0;
+Tick BootstrapServer::joined_at(net::NodeId id) const noexcept {
+  if (id >= index_.size() || index_[id] == 0) return Tick(-1.0);
   return order_[index_[id] - 1].joined_at;
 }
 

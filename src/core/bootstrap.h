@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "core/stream_types.h"
 #include "net/types.h"
 #include "sim/rng.h"
 
@@ -20,7 +21,7 @@ namespace coolstream::core {
 class BootstrapServer {
  public:
   /// Registers a node as active.  Idempotent.
-  void add(net::NodeId id, double joined_at);
+  void add(net::NodeId id, Tick joined_at);
 
   /// Unregisters a node (leave/crash detected by the portal).
   void remove(net::NodeId id);
@@ -33,13 +34,13 @@ class BootstrapServer {
   std::size_t active_count() const noexcept { return order_.size(); }
   bool contains(net::NodeId id) const noexcept;
 
-  /// Join time of an active node; -1 when not active.
-  double joined_at(net::NodeId id) const noexcept;
+  /// Join time of an active node; Tick(-1) when not active.
+  Tick joined_at(net::NodeId id) const noexcept;
 
  private:
   struct ActiveNode {
     net::NodeId id;
-    double joined_at;
+    Tick joined_at;
   };
   // Dense vector + index map for O(1) add/remove and O(k) sampling.
   std::vector<ActiveNode> order_;

@@ -7,50 +7,51 @@
 namespace coolstream::core {
 
 BufferMap::BufferMap(int k)
-    : latest_(static_cast<std::size_t>(k), SeqNum{-1}),
+    : latest_(static_cast<std::size_t>(k), kNoSeq),
       subscribed_(static_cast<std::size_t>(k), 0) {
   assert(k >= 1);
 }
 
 SeqNum BufferMap::latest(SubstreamId i) const {
-  assert(i >= 0 && i < substream_count());
-  return latest_[static_cast<std::size_t>(i)];
+  assert(i.index() < latest_.size());
+  return latest_[i.index()];
 }
 
 void BufferMap::set_latest(SubstreamId i, SeqNum seq) {
-  assert(i >= 0 && i < substream_count());
-  latest_[static_cast<std::size_t>(i)] = seq;
+  assert(i.index() < latest_.size());
+  latest_[i.index()] = seq;
 }
 
 bool BufferMap::subscribed(SubstreamId i) const {
-  assert(i >= 0 && i < substream_count());
-  return subscribed_[static_cast<std::size_t>(i)] != 0;
+  assert(i.index() < subscribed_.size());
+  return subscribed_[i.index()] != 0;
 }
 
 void BufferMap::set_subscribed(SubstreamId i, bool on) {
-  assert(i >= 0 && i < substream_count());
-  subscribed_[static_cast<std::size_t>(i)] = on ? 1 : 0;
+  assert(i.index() < subscribed_.size());
+  subscribed_[i.index()] = on ? 1 : 0;
 }
 
 SeqNum BufferMap::max_latest() const noexcept {
-  if (latest_.empty()) return -1;
+  if (latest_.empty()) return kNoSeq;
   return *std::max_element(latest_.begin(), latest_.end());
 }
 
 SeqNum BufferMap::min_latest() const noexcept {
-  if (latest_.empty()) return -1;
+  if (latest_.empty()) return kNoSeq;
   return *std::min_element(latest_.begin(), latest_.end());
 }
 
-SeqNum BufferMap::spread() const noexcept {
-  return latest_.empty() ? 0 : max_latest() - min_latest();
+BlockCount BufferMap::spread() const noexcept {
+  return latest_.empty() ? BlockCount::zero() : max_latest() - min_latest();
 }
 
 std::string BufferMap::encode() const {
+  // Wire boundary: sequence numbers serialize as their raw values.
   std::string out;
   for (std::size_t i = 0; i < latest_.size(); ++i) {
     if (i != 0) out.push_back(',');
-    out += std::to_string(latest_[i]);
+    out += std::to_string(latest_[i].value());  // lint:allow(value-escape)
   }
   out.push_back('|');
   for (std::uint8_t s : subscribed_) out.push_back(s ? '1' : '0');
@@ -68,12 +69,12 @@ std::optional<BufferMap> BufferMap::decode(const std::string& text) {
   while (pos <= nums.size() && !nums.empty()) {
     std::size_t comma = nums.find(',', pos);
     if (comma == std::string_view::npos) comma = nums.size();
-    SeqNum value = 0;
+    std::int64_t value = 0;
     const auto* begin = nums.data() + pos;
     const auto* end = nums.data() + comma;
     auto [ptr, ec] = std::from_chars(begin, end, value);
     if (ec != std::errc{} || ptr != end) return std::nullopt;
-    latest.push_back(value);
+    latest.push_back(SeqNum(value));
     if (comma == nums.size()) break;
     pos = comma + 1;
   }

@@ -47,7 +47,7 @@ class BufferMap {
   SeqNum min_latest() const noexcept;
   /// max_latest() - min_latest(): the within-node sub-stream spread that
   /// Ineq. (1) bounds by T_s.
-  SeqNum spread() const noexcept;
+  BlockCount spread() const noexcept;
 
   const std::vector<SeqNum>& latest_all() const noexcept { return latest_; }
 

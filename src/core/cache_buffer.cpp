@@ -5,20 +5,20 @@
 
 namespace coolstream::core {
 
-CacheBuffer::CacheBuffer(SeqNum window_blocks) : window_(window_blocks) {
-  assert(window_blocks >= 1);
+CacheBuffer::CacheBuffer(BlockCount window_blocks) : window_(window_blocks) {
+  assert(window_blocks >= BlockCount(1));
 }
 
 SeqNum CacheBuffer::oldest(SeqNum head) const noexcept {
-  return std::max<SeqNum>(0, head - window_ + 1);
+  return std::max(SeqNum(0), head - window_ + BlockCount(1));
 }
 
 bool CacheBuffer::available(SeqNum head, SeqNum seq) const noexcept {
-  return seq >= 0 && seq <= head && seq >= oldest(head);
+  return seq >= SeqNum(0) && seq <= head && seq >= oldest(head);
 }
 
 SeqNum CacheBuffer::clamp_start(SeqNum head, SeqNum requested) const noexcept {
-  return std::clamp<SeqNum>(requested, oldest(head), head + 1);
+  return std::clamp(requested, oldest(head), head + BlockCount(1));
 }
 
 }  // namespace coolstream::core

@@ -21,7 +21,7 @@ class CacheBuffer {
  public:
   /// `window_blocks`: how many consecutive blocks per sub-stream stay
   /// resident (B converted to sub-stream blocks).  Must be >= 1.
-  explicit CacheBuffer(SeqNum window_blocks);
+  explicit CacheBuffer(BlockCount window_blocks);
 
   /// Oldest retained sequence number given the current head (inclusive).
   SeqNum oldest(SeqNum head) const noexcept;
@@ -35,10 +35,10 @@ class CacheBuffer {
   /// receive" (a caught-up child waits for it).
   SeqNum clamp_start(SeqNum head, SeqNum requested) const noexcept;
 
-  SeqNum window_blocks() const noexcept { return window_; }
+  BlockCount window_blocks() const noexcept { return window_; }
 
  private:
-  SeqNum window_;
+  BlockCount window_;
 };
 
 }  // namespace coolstream::core

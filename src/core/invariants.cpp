@@ -37,11 +37,6 @@ std::string to_string(const InvariantViolation& v) {
 
 namespace {
 
-/// Matches System::flow_transfer's whole-block byte size.
-std::uint64_t block_bytes_of(const Params& p) noexcept {
-  return static_cast<std::uint64_t>(p.block_size_bits() / 8.0);
-}
-
 /// Matches the data plane's per-connection credit cap (see system.cpp).
 constexpr double kMaxFlowCredit = 4.0;
 
@@ -51,7 +46,7 @@ InvariantAuditor::InvariantAuditor(System& system) : sys_(system) {}
 
 InvariantAuditor::~InvariantAuditor() { stop(); }
 
-void InvariantAuditor::start(double period) {
+void InvariantAuditor::start(Duration period) {
   stop();
   handle_ = sys_.simulation().every(period, period, [this] {
     const std::vector<InvariantViolation> found = audit();
@@ -61,7 +56,8 @@ void InvariantAuditor::start(double period) {
       return;
     }
     for (const auto& v : found) {
-      std::fprintf(stderr, "invariant violation @t=%.3f: %s\n", sys_.now(),
+      std::fprintf(stderr, "invariant violation @t=%.3f: %s\n",
+                   sys_.now().value(),  // lint:allow(value-escape)
                    to_string(v).c_str());
     }
     std::abort();
@@ -75,7 +71,7 @@ void InvariantAuditor::check_peer(const Peer& p,
   const net::NodeId id = p.id();
   const Params& params = sys_.params();
   const int k = params.substream_count;
-  const double now = sys_.now();
+  const Tick now = sys_.now();
   auto add = [out, id](InvariantRule rule, net::NodeId other,
                        std::string detail) {
     out->push_back({rule, id, other, std::move(detail)});
@@ -118,26 +114,28 @@ void InvariantAuditor::check_peer(const Peer& p,
       continue;
     }
     if (q->find_partner(id) == nullptr &&
-        now - ps.established > symmetry_grace_seconds) {
+        now - ps.established > symmetry_grace) {
       add(InvariantRule::kPartnerSymmetry, ps.id,
           "partner does not list us back (beyond the in-flight grace)");
     }
   }
 
   // --- single parent per sub-stream (§III-C) ------------------------------
-  for (SubstreamId j = 0; j < k; ++j) {
+  for (SubstreamId j : substreams(k)) {
     const net::NodeId parent = p.parent_of(j);
     if (parent == net::kInvalidNode) continue;
+    // Diagnostic strings carry the raw sub-stream number.
+    const std::string js =
+        std::to_string(j.value());  // lint:allow(value-escape)
     const Peer* q = sys_.peer(parent);
     if (q == nullptr || !q->alive()) {
       add(InvariantRule::kSingleParent, parent,
-          "subscribed to a dead parent (sub-stream " + std::to_string(j) +
-              ")");
+          "subscribed to a dead parent (sub-stream " + js + ")");
       continue;
     }
     if (p.find_partner(parent) == nullptr) {
       add(InvariantRule::kSingleParent, parent,
-          "parent is not a partner (sub-stream " + std::to_string(j) + ")");
+          "parent is not a partner (sub-stream " + js + ")");
     }
     int serving = 0;
     for (const OutLink& l : q->out_links()) {
@@ -145,11 +143,11 @@ void InvariantAuditor::check_peer(const Peer& p,
     }
     if (serving == 0) {
       add(InvariantRule::kSingleParent, parent,
-          "parent has no serving link for sub-stream " + std::to_string(j));
+          "parent has no serving link for sub-stream " + js);
     } else if (serving > 1) {
       add(InvariantRule::kSingleParent, parent,
-          "parent serves sub-stream " + std::to_string(j) + " " +
-              std::to_string(serving) + " times");
+          "parent serves sub-stream " + js + " " + std::to_string(serving) +
+              " times");
     }
   }
   // No duplicated (child, sub-stream) pair among our own serving links.
@@ -164,21 +162,21 @@ void InvariantAuditor::check_peer(const Peer& p,
 
   // --- buffer-map agreement (§III-C) --------------------------------------
   for (const PartnerState& ps : p.partners()) {
-    if (ps.bm_time < 0.0) continue;  // never received one
+    if (!ps.bm_time) continue;  // never received one
     if (ps.bm.substream_count() != k) {
       add(InvariantRule::kBufferMapAgreement, ps.id,
           "stored buffer map has wrong sub-stream count");
       continue;
     }
     const Peer* sender = sys_.peer(ps.id);
-    for (SubstreamId j = 0; j < k; ++j) {
+    for (SubstreamId j : substreams(k)) {
       const SeqNum lat = ps.bm.latest(j);
-      if (lat < -1) {
+      if (lat < kNoSeq) {
         add(InvariantRule::kBufferMapAgreement, ps.id,
             "stored buffer map advertises sequence below -1");
         break;
       }
-      if (lat > sys_.source_head(j, now) + 1) {
+      if (lat > sys_.source_head(j, now) + BlockCount(1)) {
         add(InvariantRule::kBufferMapAgreement, ps.id,
             "stored buffer map advertises a block beyond the encoder");
         break;
@@ -192,38 +190,43 @@ void InvariantAuditor::check_peer(const Peer& p,
       }
     }
   }
-  for (SubstreamId j = 0; j < k; ++j) {
-    if (p.head(j) > sys_.source_head(j, now) + 1) {
+  for (SubstreamId j : substreams(k)) {
+    if (p.head(j) > sys_.source_head(j, now) + BlockCount(1)) {
       add(InvariantRule::kBufferMapAgreement, net::kInvalidNode,
           "sync-buffer head beyond the encoder position");
     }
   }
   if (p.phase() == PeerPhase::kPlaying &&
-      p.playhead() > global_of(0, sys_.source_head(0, now), k) + k) {
+      p.playhead() >
+          global_of(SubstreamId(0), sys_.source_head(SubstreamId(0), now),
+                    k) +
+              BlockCount(k)) {
     add(InvariantRule::kBufferMapAgreement, net::kInvalidNode,
         "playhead beyond the live edge");
   }
 
   // --- synchronization-buffer monotonicity --------------------------------
   const GlobalSeq combined = p.sync().combined();
-  for (SubstreamId j = 0; j < k; ++j) {
-    if (combined < j) continue;
-    // Largest global block g <= combined with g mod k == j has sub-stream
-    // sequence (combined - j') / k where j' adjusts to the residue; the
-    // combined prefix requires head(j) to cover it.
-    const GlobalSeq g = combined - ((combined - j) % k + k) % k;
-    if (p.head(j) < substream_seq_of(g, k)) {
+  for (SubstreamId j : substreams(k)) {
+    // The largest global block g <= combined with g mod k == j must be
+    // covered by sub-stream j's contiguous head for the combined prefix to
+    // be honest; last_seq_at_or_below is exactly that block's sub-stream
+    // sequence number (kNoSeq when no such block exists yet).
+    if (p.head(j) < last_seq_at_or_below(combined, j, k)) {
       add(InvariantRule::kSyncMonotonic, net::kInvalidNode,
-          "combined prefix ahead of sub-stream " + std::to_string(j) +
+          "combined prefix ahead of sub-stream " +
+              std::to_string(j.value()) +  // lint:allow(value-escape)
               "'s contiguous head");
     }
   }
   if (id < snap_.size() && snap_[id].heads.size() == static_cast<std::size_t>(k)) {
     const NodeSnapshot& old = snap_[id];
-    for (SubstreamId j = 0; j < k; ++j) {
-      if (p.head(j) < old.heads[static_cast<std::size_t>(j)]) {
+    for (SubstreamId j : substreams(k)) {
+      if (p.head(j) < old.heads[j.index()]) {
         add(InvariantRule::kSyncMonotonic, net::kInvalidNode,
-            "sub-stream " + std::to_string(j) + " head moved backwards");
+            "sub-stream " +
+                std::to_string(j.value()) +  // lint:allow(value-escape)
+                " head moved backwards");
       }
     }
     if (combined < old.combined) {
@@ -252,25 +255,30 @@ void InvariantAuditor::check_global(std::vector<InvariantViolation>* out,
   };
 
   // --- block conservation (lifetime, dead peers included) ------------------
-  std::uint64_t up = 0;
-  std::uint64_t down = 0;
+  units::Bytes up{};
+  units::Bytes down{};
   for (net::NodeId id = 0;; ++id) {
     const Peer* p = sys_.peer(id);
     if (p == nullptr) break;
     up += p->stats().bytes_up;
     down += p->stats().bytes_down;
   }
-  const std::uint64_t expect =
-      sys_.stats().blocks_transferred * block_bytes_of(sys_.params());
+  const units::Bytes expect =
+      sys_.params().block_bytes() * sys_.stats().blocks_transferred;
   if (up != down) {
     add(InvariantRule::kBlockConservation,
-        "uploaded bytes (" + std::to_string(up) +
-            ") != downloaded bytes (" + std::to_string(down) + ")");
+        "uploaded bytes (" +
+            std::to_string(up.value()) +  // lint:allow(value-escape)
+            ") != downloaded bytes (" +
+            std::to_string(down.value()) +  // lint:allow(value-escape)
+            ")");
   }
   if (up != expect) {
     add(InvariantRule::kBlockConservation,
-        "transferred bytes (" + std::to_string(up) +
-            ") disagree with the block counter (" + std::to_string(expect) +
+        "transferred bytes (" +
+            std::to_string(up.value()) +  // lint:allow(value-escape)
+            ") disagree with the block counter (" +
+            std::to_string(expect.value()) +  // lint:allow(value-escape)
             ")");
   }
 
@@ -282,7 +290,7 @@ void InvariantAuditor::check_global(std::vector<InvariantViolation>* out,
             std::to_string(sys_.live_viewer_count()) + " + servers " +
             std::to_string(servers));
   }
-  if (sys_.concurrent_viewers().value() !=
+  if (sys_.concurrent_viewers().value() !=  // lint:allow(value-escape)
       static_cast<long long>(sys_.live_viewer_count())) {
     add(InvariantRule::kCensus,
         "concurrent-viewer step counter disagrees with the live census");
@@ -316,9 +324,9 @@ std::vector<InvariantViolation> InvariantAuditor::audit() {
   for (net::NodeId id = 0; id < end; ++id) {
     const Peer* p = sys_.peer(id);
     NodeSnapshot& s = snap_[id];
-    s.heads.assign(static_cast<std::size_t>(k), SeqNum{-1});
-    for (SubstreamId j = 0; j < k; ++j) {
-      s.heads[static_cast<std::size_t>(j)] = p->head(j);
+    s.heads.assign(static_cast<std::size_t>(k), kNoSeq);
+    for (SubstreamId j : substreams(k)) {
+      s.heads[j.index()] = p->head(j);
     }
     s.combined = p->sync().combined();
     s.bytes_up = p->stats().bytes_up;
@@ -343,7 +351,7 @@ std::vector<net::NodeId>& InvariantTestAccess::parents(Peer& p) {
 }
 
 void InvariantTestAccess::rewind_head(Peer& p, SubstreamId j, SeqNum seq) {
-  p.sync_.heads_[static_cast<std::size_t>(j)] = seq;
+  p.sync_.heads_[j.index()] = seq;
 }
 
 SystemStats& InvariantTestAccess::stats(System& sys) { return sys.stats_; }

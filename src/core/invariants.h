@@ -83,10 +83,10 @@ class InvariantAuditor {
   /// when every invariant holds).  Updates the monotonicity snapshot.
   std::vector<InvariantViolation> audit();
 
-  /// Schedules audit() every `period` simulated seconds (first run after
+  /// Schedules audit() every `period` of simulated time (first run after
   /// one period).  Violations are handed to `on_violations`; the default
   /// handler prints them and aborts.
-  void start(double period);
+  void start(Duration period);
   void stop();
 
   /// Replaceable violation sink for the periodic mode.
@@ -95,16 +95,16 @@ class InvariantAuditor {
   std::uint64_t audits_run() const noexcept { return audits_; }
   std::uint64_t violations_seen() const noexcept { return violations_; }
 
-  /// Partnerships younger than this many seconds may legitimately be
-  /// one-sided (the acceptance round trip is still in flight).
-  double symmetry_grace_seconds = 5.0;
+  /// Partnerships younger than this may legitimately be one-sided (the
+  /// acceptance round trip is still in flight).
+  Duration symmetry_grace = Duration(5.0);
 
  private:
   struct NodeSnapshot {
     std::vector<SeqNum> heads;
-    GlobalSeq combined = -1;
-    std::uint64_t bytes_up = 0;
-    std::uint64_t bytes_down = 0;
+    GlobalSeq combined = kNoSeq;
+    units::Bytes bytes_up{};
+    units::Bytes bytes_down{};
   };
 
   void check_peer(const Peer& p, std::vector<InvariantViolation>* out);

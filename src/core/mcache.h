@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/stream_types.h"
 #include "net/types.h"
 #include "sim/rng.h"
 
@@ -34,9 +35,9 @@ enum class McachePolicy : unsigned char {
 /// attempt on a plain-NAT peer.
 struct McacheEntry {
   net::NodeId id = net::kInvalidNode;
-  double first_seen = 0.0;  ///< when this node (reportedly) joined
-  double updated = 0.0;     ///< when we last heard about it
-  bool reachable = true;    ///< accepts inbound connections
+  Tick first_seen{};     ///< when this node (reportedly) joined
+  Tick updated{};        ///< when we last heard about it
+  bool reachable = true; ///< accepts inbound connections
 };
 
 /// Bounded partial view of the overlay membership.

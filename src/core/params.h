@@ -23,6 +23,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/units.h"
+
 namespace coolstream::core {
 
 /// All protocol and measurement constants for one broadcast.
@@ -136,6 +138,42 @@ struct Params {
   /// the media player starts.
   double media_ready_blocks() const noexcept {
     return media_ready_buffer_seconds * block_rate;
+  }
+
+  // --- typed derived quantities (the config boundary: raw doubles above
+  // are converted to strong domain types exactly once, here) ---------------
+  /// T_s as a whole-block sequence span (truncated like the protocol does).
+  units::BlockCount ts_block_count() const noexcept {
+    return units::BlockCount(static_cast<std::int64_t>(ts_blocks()));
+  }
+  /// T_p as a whole-block sequence span.
+  units::BlockCount tp_block_count() const noexcept {
+    return units::BlockCount(static_cast<std::int64_t>(tp_blocks()));
+  }
+  /// Cache-buffer window B as a per-sub-stream block span (>= 1).
+  units::BlockCount buffer_block_count() const noexcept {
+    const auto b = static_cast<std::int64_t>(buffer_blocks());
+    return units::BlockCount(b < 1 ? 1 : b);
+  }
+  /// Media-ready threshold as a global block span.
+  units::BlockCount media_ready_block_count() const noexcept {
+    return units::BlockCount(static_cast<std::int64_t>(media_ready_blocks()));
+  }
+  /// One sub-stream's sustained rate R/K in blocks per second.
+  units::BlockRate substream_block_rate_typed() const noexcept {
+    return units::BlockRate(substream_block_rate());
+  }
+  /// The stream rate R as a bit rate.
+  units::BitRate stream_rate() const noexcept {
+    return units::BitRate(stream_rate_bps);
+  }
+  /// Whole-block payload size in bytes (matches the fluid data plane).
+  units::Bytes block_bytes() const noexcept {
+    return units::Bytes(static_cast<std::uint64_t>(block_size_bits() / 8.0));
+  }
+  /// Fluid-flow integration step as a time span.
+  units::Duration flow_dt() const noexcept {
+    return units::Duration(flow_tick);
   }
 
   /// Throws std::invalid_argument when a parameter combination is

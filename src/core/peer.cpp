@@ -21,36 +21,39 @@ constexpr std::size_t kMaxIntervalChanges = 64;
 }  // namespace
 
 Peer::Peer(System& system, net::NodeId id, PeerSpec spec,
-           std::uint64_t session_id, double now)
+           units::SessionId session_id, Tick now)
     : sys_(system),
       id_(id),
       spec_(spec),
       session_id_(session_id),
       joined_at_(now),
       sync_(system.params().substream_count),
-      cache_(static_cast<SeqNum>(
-          std::max(1.0, system.params().buffer_blocks()))),
+      cache_(system.params().buffer_block_count()),
       mcache_(static_cast<std::size_t>(system.params().mcache_size),
               system.config().mcache_policy),
       parents_(static_cast<std::size_t>(system.params().substream_count),
                net::kInvalidNode),
       sub_since_(static_cast<std::size_t>(system.params().substream_count),
-                 0.0),
+                 Tick::zero()),
       credits_(static_cast<std::size_t>(system.params().substream_count),
                0.0) {
   // Stagger periodic timers with a random phase so thousands of peers do
   // not fire on the same tick edge.
   const Params& p = system.params();
   sim::Rng& rng = system.rng();
-  next_bm_push_ = now + rng.uniform(0.0, p.bm_exchange_period);
-  next_gossip_ = now + rng.uniform(0.0, p.gossip_period);
-  next_adaptation_ = now + rng.uniform(0.0, p.adaptation_check_period);
-  next_refill_ = now + rng.uniform(0.0, p.partner_refill_period);
-  next_report_ = now + p.status_report_period;
+  next_bm_push_ = now + Duration(rng.uniform(0.0, p.bm_exchange_period));
+  next_gossip_ = now + Duration(rng.uniform(0.0, p.gossip_period));
+  next_adaptation_ =
+      now + Duration(rng.uniform(0.0, p.adaptation_check_period));
+  next_refill_ = now + Duration(rng.uniform(0.0, p.partner_refill_period));
+  next_report_ = now + Duration(p.status_report_period);
 }
 
-double Peer::upload_blocks_per_sec() const noexcept {
-  return spec_.upload_capacity_bps / sys_.params().block_size_bits();
+units::BlockRate Peer::upload_block_rate() const noexcept {
+  // Boundary conversion: bits/s over bits/block yields blocks/s.
+  return units::BlockRate(
+      spec_.upload_capacity.value() /  // lint:allow(value-escape)
+      sys_.params().block_size_bits());
 }
 
 PartnerState* Peer::find_partner(net::NodeId pid) noexcept {
@@ -74,7 +77,7 @@ bool Peer::partners_full() const noexcept {
 
 BufferMap Peer::current_bm() const {
   BufferMap bm(sys_.params().substream_count);
-  for (int j = 0; j < sys_.params().substream_count; ++j) {
+  for (SubstreamId j : substreams(sys_.params().substream_count)) {
     bm.set_latest(j, sync_.head(j));
   }
   return bm;
@@ -92,7 +95,8 @@ void Peer::start_join() {
     return;
   }
   logging::ActivityReport r;
-  r.header = {spec_.user_id, session_id_, sys_.now()};
+  r.header = {spec_.user_id, session_id_.value(),  // lint:allow(value-escape)
+              sys_.now().value()};                 // lint:allow(value-escape)
   r.activity = logging::Activity::kJoin;
   r.address = spec_.address.to_string();
   sys_.report(logging::Report(r));
@@ -178,11 +182,11 @@ void Peer::on_partner_left(net::NodeId pid) {
                 [pid](const OutLink& l) { return l.child == pid; });
   // If it was a parent, reselect immediately: losing a parent must not wait
   // for the cool-down (the cool-down guards competition-driven churn).
-  for (std::size_t j = 0; j < parents_.size(); ++j) {
-    if (parents_[j] == pid) {
-      end_subscription(static_cast<SubstreamId>(j));
-      parents_[j] = net::kInvalidNode;
-      if (start_decided_) reselect(static_cast<SubstreamId>(j));
+  for (SubstreamId j : substreams(sys_.params().substream_count)) {
+    if (parents_[j.index()] == pid) {
+      end_subscription(j);
+      parents_[j.index()] = net::kInvalidNode;
+      if (start_decided_) reselect(j);
     }
   }
 }
@@ -225,35 +229,34 @@ void Peer::on_unsubscribe(net::NodeId child, SubstreamId j) {
 void Peer::decide_start_offset() {
   const Params& p = sys_.params();
   // m = the largest sequence number available across partners (§IV-A).
-  SeqNum m = -1;
+  SeqNum m = kNoSeq;
   for (const auto& ps : partners_) {
-    if (ps.bm_time >= 0.0) m = std::max(m, ps.bm.max_latest());
+    if (ps.bm_time) m = std::max(m, ps.bm.max_latest());
   }
-  if (m < 0) return;  // no usable buffer map yet; keep waiting
+  if (m == kNoSeq) return;  // no usable buffer map yet; keep waiting
 
   // "a node subscribes from a block that is shifted by a parameter T_p
   // from the latest block m."
-  const SeqNum s0 =
-      std::max<SeqNum>(0, m - static_cast<SeqNum>(p.tp_blocks()));
-  for (int j = 0; j < p.substream_count; ++j) {
+  const SeqNum s0 = std::max(SeqNum(0), m - p.tp_block_count());
+  for (SubstreamId j : substreams(p.substream_count)) {
     sync_.start_at(j, s0);
   }
-  play_start_seq_ = global_of(0, s0, p.substream_count);
-  sync_.set_combined_floor(play_start_seq_ - 1);
-  last_deadline_counted_ = play_start_seq_ - 1;
+  play_start_seq_ = global_of(SubstreamId(0), s0, p.substream_count);
+  sync_.set_combined_floor(play_start_seq_ - BlockCount(1));
+  last_deadline_counted_ = play_start_seq_ - BlockCount(1);
   start_decided_ = true;
   phase_ = PeerPhase::kBuffering;
 
-  for (int j = 0; j < p.substream_count; ++j) {
+  for (SubstreamId j : substreams(p.substream_count)) {
     const net::NodeId parent = select_parent(j, net::kInvalidNode);
     if (parent != net::kInvalidNode) subscribe_substream(j, parent);
   }
 }
 
 void Peer::end_subscription(SubstreamId j) {
-  const net::NodeId parent = parents_[static_cast<std::size_t>(j)];
+  const net::NodeId parent = parents_[j.index()];
   if (parent == net::kInvalidNode) return;
-  const double lifetime = sys_.now() - sub_since_[static_cast<std::size_t>(j)];
+  const Duration lifetime = sys_.now() - sub_since_[j.index()];
   const Peer* p = sys_.peer(parent);
   const bool capable =
       p != nullptr && (p->kind() == PeerKind::kServer ||
@@ -269,14 +272,16 @@ void Peer::end_subscription(SubstreamId j) {
 
 void Peer::subscribe_substream(SubstreamId j, net::NodeId parent) {
   end_subscription(j);
-  parents_[static_cast<std::size_t>(j)] = parent;
-  sub_since_[static_cast<std::size_t>(j)] = sys_.now();
-  credits_[static_cast<std::size_t>(j)] = 0.0;
+  parents_[j.index()] = parent;
+  sub_since_[j.index()] = sys_.now();
+  credits_[j.index()] = 0.0;
   sys_.subscribe(id_, parent, j);
   if (!start_sub_emitted_) {
     start_sub_emitted_ = true;
     logging::ActivityReport r;
-    r.header = {spec_.user_id, session_id_, sys_.now()};
+    r.header = {spec_.user_id,
+                session_id_.value(),  // lint:allow(value-escape)
+                sys_.now().value()};  // lint:allow(value-escape)
     r.activity = logging::Activity::kStartSubscription;
     sys_.report(logging::Report(r));
     sys_.notify(id_, SessionEvent::kStartSubscription);
@@ -285,16 +290,16 @@ void Peer::subscribe_substream(SubstreamId j, net::NodeId parent) {
 
 net::NodeId Peer::select_parent(SubstreamId j, net::NodeId exclude) const {
   const Params& p = sys_.params();
-  const auto ts = static_cast<SeqNum>(p.ts_blocks());
-  const auto tp = static_cast<SeqNum>(p.tp_blocks());
+  const BlockCount ts = p.ts_block_count();
+  const BlockCount tp = p.tp_block_count();
 
-  SeqNum own_max = -1;
-  for (int i = 0; i < p.substream_count; ++i) {
+  SeqNum own_max = kNoSeq;
+  for (SubstreamId i : substreams(p.substream_count)) {
     own_max = std::max(own_max, sync_.head(i));
   }
-  SeqNum partner_max = -1;
+  SeqNum partner_max = kNoSeq;
   for (const auto& ps : partners_) {
-    if (ps.bm_time >= 0.0) partner_max = std::max(partner_max, ps.bm.max_latest());
+    if (ps.bm_time) partner_max = std::max(partner_max, ps.bm.max_latest());
   }
 
   // Qualified candidates satisfy both inequalities (§IV-B): adopting them
@@ -305,7 +310,7 @@ net::NodeId Peer::select_parent(SubstreamId j, net::NodeId exclude) const {
   net::NodeId best_fallback = net::kInvalidNode;
   SeqNum best_latest = sync_.head(j);
   for (const auto& ps : partners_) {
-    if (ps.id == exclude || ps.bm_time < 0.0 || !sys_.is_live(ps.id)) continue;
+    if (ps.id == exclude || !ps.bm_time || !sys_.is_live(ps.id)) continue;
     const SeqNum latest = ps.bm.latest(j);
     if (latest <= sync_.head(j)) continue;  // nothing new to offer
     const bool ineq1_ok = own_max - latest < ts;
@@ -347,14 +352,14 @@ net::NodeId Peer::select_parent(SubstreamId j, net::NodeId exclude) const {
 }
 
 void Peer::reselect(SubstreamId j) {
-  const net::NodeId old = parents_[static_cast<std::size_t>(j)];
+  const net::NodeId old = parents_[j.index()];
   const net::NodeId next = select_parent(j, old);
   if (next == net::kInvalidNode) {
     // No alternative candidate.  Keep a live current parent (a temporary
     // parent still delivers *some* blocks, §IV-B); only clear the slot
     // when the parent is gone.
     if (old != net::kInvalidNode && !sys_.is_live(old)) {
-      parents_[static_cast<std::size_t>(j)] = net::kInvalidNode;
+      parents_[j.index()] = net::kInvalidNode;
     }
     return;
   }
@@ -370,25 +375,25 @@ void Peer::reselect(SubstreamId j) {
 // Adaptation (§IV-B)
 // --------------------------------------------------------------------------
 
-void Peer::run_adaptation(double now, bool cooldown_exempt) {
+void Peer::run_adaptation(Tick now, bool cooldown_exempt) {
   if (!start_decided_) return;
   const Params& p = sys_.params();
-  const auto ts = static_cast<SeqNum>(p.ts_blocks());
-  const auto tp = static_cast<SeqNum>(p.tp_blocks());
+  const BlockCount ts = p.ts_block_count();
+  const BlockCount tp = p.tp_block_count();
 
-  SeqNum own_max = -1;
-  for (int i = 0; i < p.substream_count; ++i) {
+  SeqNum own_max = kNoSeq;
+  for (SubstreamId i : substreams(p.substream_count)) {
     own_max = std::max(own_max, sync_.head(i));
   }
-  SeqNum partner_max = -1;
+  SeqNum partner_max = kNoSeq;
   for (const auto& ps : partners_) {
-    if (ps.bm_time >= 0.0) partner_max = std::max(partner_max, ps.bm.max_latest());
+    if (ps.bm_time) partner_max = std::max(partner_max, ps.bm.max_latest());
   }
 
   bool gated_work = false;
   std::vector<SubstreamId> to_fix;
-  for (int j = 0; j < p.substream_count; ++j) {
-    const net::NodeId parent = parents_[static_cast<std::size_t>(j)];
+  for (SubstreamId j : substreams(p.substream_count)) {
+    const net::NodeId parent = parents_[j.index()];
     if (parent == net::kInvalidNode || !sys_.is_live(parent) ||
         find_partner(parent) == nullptr) {
       to_fix.push_back(j);  // orphaned sub-stream: exempt from cool-down
@@ -404,13 +409,14 @@ void Peer::run_adaptation(double now, bool cooldown_exempt) {
     // so we trigger on either.
     const bool ineq1_spread = own_max - sync_.head(j) >= ts;
     const bool ineq1_parent_lag =
-        ps->bm_time >= 0.0 && ps->bm.latest(j) - sync_.head(j) >= ts;
+        ps->bm_time && ps->bm.latest(j) - sync_.head(j) >= ts;
     // Inequality (2): the parent must not lag the best partner by T_p or
     // more (a better source is known).
     const bool ineq2_violated =
-        ps->bm_time >= 0.0 && partner_max - ps->bm.latest(j) >= tp;
+        ps->bm_time && partner_max - ps->bm.latest(j) >= tp;
     if (ineq1_spread || ineq1_parent_lag || ineq2_violated) {
-      if (cooldown_exempt || now - last_adaptation_ >= p.ta_seconds) {
+      if (cooldown_exempt ||
+          now - last_adaptation_ >= Duration(p.ta_seconds)) {
         to_fix.push_back(j);
         gated_work = true;
       }
@@ -449,7 +455,7 @@ void Peer::drop_worst_partner() {
 // Periodic driver
 // --------------------------------------------------------------------------
 
-void Peer::on_tick(double now) {
+void Peer::on_tick(Tick now) {
   if (!alive()) return;
   const Params& p = sys_.params();
 
@@ -457,7 +463,7 @@ void Peer::on_tick(double now) {
     server_feed(now);
     if (now >= next_bm_push_) {
       for (const auto& ps : partners_) sys_.push_bm(id_, ps.id, current_bm());
-      next_bm_push_ = now + p.bm_exchange_period;
+      next_bm_push_ = now + Duration(p.bm_exchange_period);
     }
     return;
   }
@@ -466,21 +472,21 @@ void Peer::on_tick(double now) {
     BufferMap base = current_bm();
     for (const auto& ps : partners_) {
       BufferMap bm = base;
-      for (int j = 0; j < p.substream_count; ++j) {
-        bm.set_subscribed(j, parents_[static_cast<std::size_t>(j)] == ps.id);
+      for (SubstreamId j : substreams(p.substream_count)) {
+        bm.set_subscribed(j, parents_[j.index()] == ps.id);
       }
       sys_.push_bm(id_, ps.id, bm);
     }
-    next_bm_push_ = now + p.bm_exchange_period;
+    next_bm_push_ = now + Duration(p.bm_exchange_period);
   }
 
   if (now >= next_gossip_) {
     do_gossip();
-    next_gossip_ = now + p.gossip_period;
+    next_gossip_ = now + Duration(p.gossip_period);
   }
 
   if (phase_ == PeerPhase::kJoining && !start_decided_ && first_bm_at_ &&
-      now >= *first_bm_at_ + sys_.config().join_aggregation_delay) {
+      now >= *first_bm_at_ + Duration(sys_.config().join_aggregation_delay)) {
     decide_start_offset();
   }
   if (phase_ == PeerPhase::kBuffering) check_media_ready(now);
@@ -491,7 +497,7 @@ void Peer::on_tick(double now) {
 
   if (now >= next_adaptation_) {
     run_adaptation(now, /*cooldown_exempt=*/false);
-    next_adaptation_ = now + p.adaptation_check_period;
+    next_adaptation_ = now + Duration(p.adaptation_check_period);
   }
 
   if (now >= next_refill_) {
@@ -502,24 +508,25 @@ void Peer::on_tick(double now) {
     auto target = static_cast<std::size_t>(p.initial_partner_target);
     bool lagging = false;
     if (start_decided_) {
-      SeqNum own_max = -1;
-      for (int j = 0; j < p.substream_count; ++j) {
+      SeqNum own_max = kNoSeq;
+      for (SubstreamId j : substreams(p.substream_count)) {
         own_max = std::max(own_max, sync_.head(j));
       }
-      SeqNum partner_max = -1;
+      SeqNum partner_max = kNoSeq;
       for (const auto& ps : partners_) {
-        if (ps.bm_time >= 0.0) {
+        if (ps.bm_time) {
           partner_max = std::max(partner_max, ps.bm.max_latest());
         }
       }
-      lagging = partner_max - own_max >= static_cast<SeqNum>(p.tp_blocks());
+      lagging = partner_max - own_max >= p.tp_block_count();
       // The broadcast clock (block timestamps) also exposes staleness a
       // collectively-stale partner set cannot: explore when the freshest
       // sub-stream is far behind the live edge.
-      const SeqNum live_edge = sys_.source_head(0, now);
+      const SeqNum live_edge = sys_.source_head(SubstreamId(0), now);
       lagging = lagging ||
-                live_edge - own_max >= static_cast<SeqNum>(
-                    p.stale_threshold_seconds * p.substream_block_rate());
+                live_edge - own_max >=
+                    BlockCount(static_cast<std::int64_t>(
+                        p.stale_threshold_seconds * p.substream_block_rate()));
       if (lagging) {
         target = std::min<std::size_t>(
             static_cast<std::size_t>(sys_.max_partners_of(*this)),
@@ -555,12 +562,12 @@ void Peer::on_tick(double now) {
       // non-parent partner out to make room for fresh candidates.
       drop_worst_partner();
     }
-    next_refill_ = now + p.partner_refill_period;
+    next_refill_ = now + Duration(p.partner_refill_period);
   }
 
   if (now >= next_report_) {
     send_status_reports(now);
-    next_report_ = now + p.status_report_period;
+    next_report_ = now + Duration(p.status_report_period);
   }
 }
 
@@ -576,14 +583,16 @@ void Peer::do_gossip() {
   sys_.send_gossip(id_, target, std::move(entries));
 }
 
-void Peer::check_media_ready(double now) {
+void Peer::check_media_ready(Tick now) {
   const Params& p = sys_.params();
-  const auto need = static_cast<GlobalSeq>(p.media_ready_blocks());
-  if (sync_.combined() >= play_start_seq_ + need - 1) {
+  const BlockCount need = p.media_ready_block_count();
+  if (sync_.combined() >= play_start_seq_ + need - BlockCount(1)) {
     phase_ = PeerPhase::kPlaying;
     play_start_time_ = now;
     logging::ActivityReport r;
-    r.header = {spec_.user_id, session_id_, now};
+    r.header = {spec_.user_id,
+                session_id_.value(),  // lint:allow(value-escape)
+                now.value()};         // lint:allow(value-escape)
     r.activity = logging::Activity::kMediaPlayerReady;
     sys_.report(logging::Report(r));
     sys_.notify(id_, SessionEvent::kMediaReady);
@@ -591,43 +600,43 @@ void Peer::check_media_ready(double now) {
 }
 
 SeqNum Peer::deadline_floor(SubstreamId j) const noexcept {
-  if (phase_ != PeerPhase::kPlaying) return -1;
+  if (phase_ != PeerPhase::kPlaying) return kNoSeq;
   // Blocks whose deadline has been *counted* are dead.  Stay one round of
   // sub-streams behind the counted playhead so a block is never skipped
   // before its deadline was charged.
   const int k = sys_.params().substream_count;
-  const GlobalSeq safe = last_deadline_counted_ - k;
-  if (safe < j) return -1;
-  return (safe - j) / k;
+  const GlobalSeq safe = last_deadline_counted_ - BlockCount(k);
+  return last_seq_at_or_below(safe, j, k);
 }
 
 void Peer::handle_window_gap(SubstreamId j, SeqNum window_start) {
-  const SeqNum from = sync_.head(j) + 1;
-  const SeqNum to = window_start - 1;
+  const SeqNum from = sync_.head(j) + BlockCount(1);
+  const SeqNum to = window_start - BlockCount(1);
   if (from > to) return;
   ++stats_.window_skips;
   sync_.start_at(j, window_start);
 
   const Params& p = sys_.params();
-  const auto resync_blocks = static_cast<SeqNum>(
-      p.resync_skip_seconds * p.substream_block_rate());
-  if (phase_ == PeerPhase::kPlaying && to - from + 1 >= resync_blocks) {
+  const BlockCount resync_blocks = BlockCount(static_cast<std::int64_t>(
+      p.resync_skip_seconds * p.substream_block_rate()));
+  if (phase_ == PeerPhase::kPlaying &&
+      to - from + BlockCount(1) >= resync_blocks) {
     // Deep skip: re-anchor the playout timeline at the new position (a
     // live client that fell too far behind re-enters near the edge; the
     // abandoned stretch is never charged to the continuity index, exactly
     // the paper's §V-D reporting blindness for re-entering users).
     ++stats_.resyncs;
-    play_start_seq_ = sync_.combined() + 1;
+    play_start_seq_ = sync_.combined() + BlockCount(1);
     play_start_time_ = sys_.now();
-    last_deadline_counted_ = play_start_seq_ - 1;
-    stalled_on_ = -1;
+    last_deadline_counted_ = play_start_seq_ - BlockCount(1);
+    stalled_on_ = kNoSeq;
     skips_.clear();
     return;
   }
   skips_.push_back(SkipRange{j, from, to});
 }
 
-void Peer::do_playout(double now) {
+void Peer::do_playout(Tick now) {
   const Params& p = sys_.params();
   const double spb = 1.0 / p.block_rate;  // seconds of video per block
 
@@ -636,10 +645,13 @@ void Peer::do_playout(double now) {
   // duration (play_start_time_ moves forward).  After stall_skip_after of
   // freezing, the block is skipped and charged as missed.
   for (;;) {
-    const GlobalSeq g = last_deadline_counted_ + 1;
-    const double deadline =
+    const GlobalSeq g = last_deadline_counted_ + BlockCount(1);
+    const Tick deadline =
         play_start_time_ +
-        static_cast<double>(g - play_start_seq_ + 1) * spb;
+        Duration(static_cast<double>(
+                     (g - play_start_seq_ + BlockCount(1))
+                         .value()) *  // lint:allow(value-escape)
+                 spb);
     if (deadline > now) break;
 
     const SubstreamId i = substream_of(g, p.substream_count);
@@ -660,14 +672,15 @@ void Peer::do_playout(double now) {
         // rebuffering: enough contiguous video beyond the stalled block,
         // or the skip timeout expiring (whichever comes first), so the
         // player does not micro-stall on every delivery batch.
-        const auto rebuffer_blocks = static_cast<GlobalSeq>(
-            p.stall_rebuffer_seconds * p.block_rate);
+        const BlockCount rebuffer_blocks =
+            BlockCount(static_cast<std::int64_t>(p.stall_rebuffer_seconds *
+                                                 p.block_rate));
         const bool rebuffered = sync_.combined() >= g + rebuffer_blocks;
-        const double stalled_for = now - deadline;
-        if (!rebuffered && stalled_for < p.stall_skip_after) break;
+        const Duration stalled_for = now - deadline;
+        if (!rebuffered && stalled_for < Duration(p.stall_skip_after)) break;
         play_start_time_ += stalled_for;
         stats_.stall_seconds += stalled_for;
-        stalled_on_ = -1;
+        stalled_on_ = kNoSeq;
       }
       ++stats_.blocks_due;
       ++interval_due_;
@@ -677,8 +690,8 @@ void Peer::do_playout(double now) {
       continue;
     }
 
-    const double overdue = now - deadline;
-    if (overdue < p.stall_skip_after) {
+    const Duration overdue = now - deadline;
+    if (overdue < Duration(p.stall_skip_after)) {
       // Keep the player frozen, waiting for block g.
       if (stalled_on_ != g) {
         stalled_on_ = g;
@@ -687,26 +700,29 @@ void Peer::do_playout(double now) {
       break;
     }
     // Gave up on block g: skip it, shift later deadlines by the stall.
-    play_start_time_ += p.stall_skip_after;
-    stats_.stall_seconds += p.stall_skip_after;
-    stalled_on_ = -1;
+    play_start_time_ += Duration(p.stall_skip_after);
+    stats_.stall_seconds += Duration(p.stall_skip_after);
+    stalled_on_ = kNoSeq;
     ++stats_.blocks_due;
     ++interval_due_;
     last_deadline_counted_ = g;
   }
 
   // Prune skip ranges entirely behind the playhead.
-  if (!skips_.empty() && last_deadline_counted_ >= 0) {
+  if (!skips_.empty() && last_deadline_counted_ > kNoSeq) {
     const SeqNum oldest_need =
         substream_seq_of(last_deadline_counted_, p.substream_count);
     std::erase_if(skips_, [oldest_need](const SkipRange& s) {
-      return s.to < oldest_need - 1;
+      return s.to < oldest_need - BlockCount(1);
     });
   }
 }
 
-void Peer::send_status_reports(double now) {
-  const logging::ReportHeader header{spec_.user_id, session_id_, now};
+void Peer::send_status_reports(Tick now) {
+  const logging::ReportHeader header{
+      spec_.user_id,
+      session_id_.value(),  // lint:allow(value-escape)
+      now.value()};         // lint:allow(value-escape)
 
   logging::QosReport qos;
   qos.header = header;
@@ -718,11 +734,11 @@ void Peer::send_status_reports(double now) {
 
   logging::TrafficReport traffic;
   traffic.header = header;
-  traffic.bytes_down = interval_bytes_down_;
-  traffic.bytes_up = interval_bytes_up_;
+  traffic.bytes_down = interval_bytes_down_.value();  // lint:allow(value-escape)
+  traffic.bytes_up = interval_bytes_up_.value();      // lint:allow(value-escape)
   sys_.report(logging::Report(traffic));
-  interval_bytes_down_ = 0;
-  interval_bytes_up_ = 0;
+  interval_bytes_down_ = units::Bytes::zero();
+  interval_bytes_up_ = units::Bytes::zero();
 
   logging::PartnerReport partner;
   partner.header = header;
@@ -732,53 +748,57 @@ void Peer::send_status_reports(double now) {
   interval_changes_.clear();
 }
 
-void Peer::maybe_resync_forward(double now) {
+void Peer::maybe_resync_forward(Tick now) {
   const Params& p = sys_.params();
-  if (now - last_resync_ < p.resync_cooldown_seconds) return;
+  if (now - last_resync_ < Duration(p.resync_cooldown_seconds)) return;
   const GlobalSeq live =
-      global_of(0, sys_.source_head(0, now), p.substream_count);
-  const double lag_seconds =
-      static_cast<double>(live - last_deadline_counted_) / p.block_rate;
-  if (lag_seconds <= p.max_playback_lag_seconds) return;
+      global_of(SubstreamId(0), sys_.source_head(SubstreamId(0), now),
+                p.substream_count);
+  const Duration lag = Duration(
+      static_cast<double>(
+          (live - last_deadline_counted_).value()) /  // lint:allow(value-escape)
+      p.block_rate);
+  if (lag <= Duration(p.max_playback_lag_seconds)) return;
 
   // Re-anchor at the freshest partner, T_p behind its latest block — the
   // same rule as the initial join (§IV-A).
-  SeqNum m = -1;
+  SeqNum m = kNoSeq;
   for (const auto& ps : partners_) {
-    if (ps.bm_time >= 0.0) m = std::max(m, ps.bm.max_latest());
+    if (ps.bm_time) m = std::max(m, ps.bm.max_latest());
   }
-  const SeqNum s0 = m - static_cast<SeqNum>(p.tp_blocks());
+  const SeqNum s0 = m - p.tp_block_count();
   // Only jump if it actually moves us forward meaningfully.
-  const GlobalSeq target = global_of(0, s0, p.substream_count);
-  if (target <= last_deadline_counted_ + static_cast<GlobalSeq>(p.block_rate)) {
+  const GlobalSeq target = global_of(SubstreamId(0), s0, p.substream_count);
+  if (target <= last_deadline_counted_ +
+                    BlockCount(static_cast<std::int64_t>(p.block_rate))) {
     return;  // nothing fresher in reach; keep exploring partners
   }
   last_resync_ = now;
   ++stats_.resyncs;
-  for (int j = 0; j < p.substream_count; ++j) {
+  for (SubstreamId j : substreams(p.substream_count)) {
     sync_.start_at(j, s0);
   }
-  sync_.set_combined_floor(target - 1);
+  sync_.set_combined_floor(target - BlockCount(1));
   play_start_seq_ = target;
   play_start_time_ = now;
-  last_deadline_counted_ = target - 1;
-  stalled_on_ = -1;
+  last_deadline_counted_ = target - BlockCount(1);
+  stalled_on_ = kNoSeq;
   skips_.clear();
   // Subscriptions continue from the new positions; parents whose buffers
   // no longer cover them will window-clamp forward naturally.
 }
 
-void Peer::server_feed(double now) {
-  const double feed_time = now - sys_.config().server_lag;
-  if (feed_time <= 0.0) return;
-  for (int j = 0; j < sys_.params().substream_count; ++j) {
+void Peer::server_feed(Tick now) {
+  const Tick feed_time = now - Duration(sys_.config().server_lag);
+  if (feed_time <= Tick::zero()) return;
+  for (SubstreamId j : substreams(sys_.params().substream_count)) {
     const SeqNum target = sys_.source_head(j, feed_time);
-    if (target > sync_.head(j)) sync_.start_at(j, target + 1);
+    if (target > sync_.head(j)) sync_.start_at(j, target + BlockCount(1));
   }
 }
 
 void Peer::set_left() {
-  for (int j = 0; j < sys_.params().substream_count; ++j) {
+  for (SubstreamId j : substreams(sys_.params().substream_count)) {
     end_subscription(j);
   }
   phase_ = PeerPhase::kLeft;

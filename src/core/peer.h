@@ -49,30 +49,30 @@ struct PeerSpec {
   PeerKind kind = PeerKind::kViewer;
   net::ConnectionType type = net::ConnectionType::kDirect;
   net::Ipv4Address address;
-  double upload_capacity_bps = 1'000'000.0;
+  units::BitRate upload_capacity = units::BitRate(1'000'000.0);
 };
 
 /// What this node knows about one partner.
 struct PartnerState {
   net::NodeId id = net::kInvalidNode;
-  bool incoming = false;   ///< partner initiated the connection
-  double established = 0.0;
-  BufferMap bm;            ///< latest buffer map received from the partner
-  double bm_time = -1.0;   ///< when bm was received (-1: never)
+  bool incoming = false;        ///< partner initiated the connection
+  Tick established{};
+  BufferMap bm;                 ///< latest buffer map received from the partner
+  std::optional<Tick> bm_time;  ///< when bm was received (nullopt: never)
 };
 
 /// Parent-side record of one sub-stream push connection.
 struct OutLink {
   net::NodeId child = net::kInvalidNode;
-  SubstreamId substream = 0;
+  SubstreamId substream{};
 };
 
 /// Running counters exposed for figures and tests.
 struct PeerStats {
   std::uint64_t blocks_due = 0;        ///< playout deadlines passed
   std::uint64_t blocks_on_time = 0;    ///< of those, block was present
-  std::uint64_t bytes_up = 0;          ///< data-plane upload (lifetime)
-  std::uint64_t bytes_down = 0;
+  units::Bytes bytes_up{};             ///< data-plane upload (lifetime)
+  units::Bytes bytes_down{};
   std::uint32_t adaptations = 0;       ///< Ineq.(1)/(2)-triggered reselects
   std::uint32_t parent_switches = 0;   ///< actual sub-stream parent changes
   std::uint32_t partnership_attempts = 0;
@@ -80,23 +80,23 @@ struct PeerStats {
   std::uint32_t window_skips = 0;      ///< fell out of a parent's buffer
   std::uint32_t deadline_skips = 0;    ///< jumped over already-due blocks
   std::uint32_t stalls = 0;            ///< player freezes (rebuffering)
-  double stall_seconds = 0.0;          ///< total time spent frozen
+  Duration stall_seconds{};            ///< total time spent frozen
   std::uint32_t resyncs = 0;           ///< playout timeline re-anchors
 
   /// Completed sub-stream subscription episodes, split by parent class
   /// (capable = server/direct/UPnP).  Weak-parent subscriptions being
   /// short-lived is the §V-B convergence mechanism.
   std::uint32_t capable_subscriptions_ended = 0;
-  double capable_subscription_time = 0.0;
+  Duration capable_subscription_time{};
   std::uint32_t weak_subscriptions_ended = 0;
-  double weak_subscription_time = 0.0;
+  Duration weak_subscription_time{};
 };
 
 /// One Coolstreaming node.
 class Peer {
  public:
   Peer(System& system, net::NodeId id, PeerSpec spec,
-       std::uint64_t session_id, double now);
+       units::SessionId session_id, Tick now);
 
   Peer(const Peer&) = delete;
   Peer& operator=(const Peer&) = delete;
@@ -106,8 +106,8 @@ class Peer {
   const PeerSpec& spec() const noexcept { return spec_; }
   PeerKind kind() const noexcept { return spec_.kind; }
   PeerPhase phase() const noexcept { return phase_; }
-  std::uint64_t session_id() const noexcept { return session_id_; }
-  double joined_at() const noexcept { return joined_at_; }
+  units::SessionId session_id() const noexcept { return session_id_; }
+  Tick joined_at() const noexcept { return joined_at_; }
   bool alive() const noexcept { return phase_ != PeerPhase::kLeft; }
 
   // --- protocol events (invoked by System) --------------------------------
@@ -132,7 +132,7 @@ class Peer {
   /// Periodic driver; `now` is the tick time.  Runs every due timer
   /// (BM push, gossip, adaptation, partner refill, status report) and the
   /// phase logic (media-ready check, playout accounting, server feed).
-  void on_tick(double now);
+  void on_tick(Tick now);
 
   /// Tears the node down: unsubscribes children bookkeeping is handled by
   /// System; this finalizes local state and freezes stats.
@@ -146,10 +146,16 @@ class Peer {
   const std::vector<OutLink>& out_links() const noexcept { return out_links_; }
   SeqNum head(SubstreamId j) const { return sync_.head(j); }
   /// Upload capacity in blocks per second.
-  double upload_blocks_per_sec() const noexcept;
-  double& credit(SubstreamId j) { return credits_[static_cast<std::size_t>(j)]; }
-  void add_bytes_up(std::uint64_t b) noexcept { stats_.bytes_up += b; interval_bytes_up_ += b; }
-  void add_bytes_down(std::uint64_t b) noexcept { stats_.bytes_down += b; interval_bytes_down_ += b; }
+  units::BlockRate upload_block_rate() const noexcept;
+  double& credit(SubstreamId j) { return credits_[j.index()]; }
+  void add_bytes_up(units::Bytes b) noexcept {
+    stats_.bytes_up += b;
+    interval_bytes_up_ += b;
+  }
+  void add_bytes_down(units::Bytes b) noexcept {
+    stats_.bytes_down += b;
+    interval_bytes_down_ += b;
+  }
   /// The child's next block on sub-stream `j` has been pushed out of the
   /// parent's cache window, which starts at `window_start`.  Jumps the
   /// sub-stream forward; small gaps are charged as missed at their
@@ -160,7 +166,7 @@ class Peer {
   /// already been counted (with safety margin); blocks at or below it are
   /// dead — a parent pushes only "blocks of a sub-stream in need" (§IV-B),
   /// so the data plane skips over them instead of wasting uplink.
-  /// -1 while not playing (everything is still in need).
+  /// kNoSeq while not playing (everything is still in need).
   SeqNum deadline_floor(SubstreamId j) const noexcept;
   void count_deadline_skip() noexcept { ++stats_.deadline_skips; }
 
@@ -170,9 +176,7 @@ class Peer {
   const PartnerState* find_partner(net::NodeId id) const noexcept;
   std::size_t partner_count() const noexcept { return partners_.size(); }
   bool partners_full() const noexcept;
-  net::NodeId parent_of(SubstreamId j) const {
-    return parents_[static_cast<std::size_t>(j)];
-  }
+  net::NodeId parent_of(SubstreamId j) const { return parents_[j.index()]; }
   bool had_incoming() const noexcept { return had_incoming_; }
   bool had_outgoing() const noexcept { return had_outgoing_; }
 
@@ -185,7 +189,7 @@ class Peer {
   /// Global sequence the player starts at; set at start-subscription.
   GlobalSeq play_start_seq() const noexcept { return play_start_seq_; }
   /// Last global block whose deadline has been processed (the playhead);
-  /// -1 before playback.  live_edge - playhead is the playback latency.
+  /// kNoSeq before playback.  live_edge - playhead is the playback latency.
   GlobalSeq playhead() const noexcept { return last_deadline_counted_; }
 
  private:
@@ -202,25 +206,25 @@ class Peer {
   /// two inequalities; returns kInvalidNode when no partner qualifies and
   /// no fallback exists.
   net::NodeId select_parent(SubstreamId j, net::NodeId exclude) const;
-  void run_adaptation(double now, bool cooldown_exempt);
+  void run_adaptation(Tick now, bool cooldown_exempt);
   void reselect(SubstreamId j);
-  void send_status_reports(double now);
-  void do_playout(double now);
-  void check_media_ready(double now);
+  void send_status_reports(Tick now);
+  void do_playout(Tick now);
+  void check_media_ready(Tick now);
   /// Bounded-latency enforcement: when playback drifts beyond
   /// Params::max_playback_lag_seconds behind the live edge, jump the
   /// buffers and the playout timeline forward to T_p behind the freshest
   /// partner (skipped content is abandoned, not charged — §V-D blindness).
-  void maybe_resync_forward(double now);
-  void server_feed(double now);
+  void maybe_resync_forward(Tick now);
+  void server_feed(Tick now);
   void do_gossip();
   void drop_worst_partner();
 
   System& sys_;
   net::NodeId id_;
   PeerSpec spec_;
-  std::uint64_t session_id_;
-  double joined_at_;
+  units::SessionId session_id_;
+  Tick joined_at_;
   PeerPhase phase_ = PeerPhase::kJoining;
 
   SyncBuffer sync_;
@@ -228,20 +232,20 @@ class Peer {
   Mcache mcache_;
   std::vector<PartnerState> partners_;
   std::vector<net::NodeId> parents_;   ///< parent per sub-stream
-  std::vector<double> sub_since_;      ///< subscription start per sub-stream
+  std::vector<Tick> sub_since_;        ///< subscription start per sub-stream
   std::vector<OutLink> out_links_;     ///< children we push to
   std::vector<double> credits_;        ///< fractional blocks per sub-stream
 
   // join state
   bool start_decided_ = false;
-  std::optional<double> first_bm_at_;
+  std::optional<Tick> first_bm_at_;
   std::size_t pending_attempts_ = 0;
 
   // playout state
-  GlobalSeq play_start_seq_ = -1;
-  double play_start_time_ = -1.0;  ///< shifts forward across stalls
-  GlobalSeq last_deadline_counted_ = -1;
-  GlobalSeq stalled_on_ = -1;  ///< block the player is waiting for (-1: none)
+  GlobalSeq play_start_seq_ = kNoSeq;
+  Tick play_start_time_{-1.0};  ///< shifts forward across stalls
+  GlobalSeq last_deadline_counted_ = kNoSeq;
+  GlobalSeq stalled_on_ = kNoSeq;  ///< block the player waits for
   bool start_sub_emitted_ = false;
 
   /// Blocks skipped forward past a parent's buffer window; they count as
@@ -254,19 +258,19 @@ class Peer {
   std::vector<SkipRange> skips_;
 
   // timers (absolute next-due times; staggered by a per-peer phase offset)
-  double next_bm_push_;
-  double next_gossip_;
-  double next_adaptation_;
-  double next_refill_;
-  double next_report_;
-  double last_adaptation_ = -1.0e18;
-  double last_resync_ = -1.0e18;
+  Tick next_bm_push_;
+  Tick next_gossip_;
+  Tick next_adaptation_;
+  Tick next_refill_;
+  Tick next_report_;
+  Tick last_adaptation_{-1.0e18};
+  Tick last_resync_{-1.0e18};
 
   // reporting accumulators (since last status report)
   std::uint64_t interval_due_ = 0;
   std::uint64_t interval_on_time_ = 0;
-  std::uint64_t interval_bytes_up_ = 0;
-  std::uint64_t interval_bytes_down_ = 0;
+  units::Bytes interval_bytes_up_{};
+  units::Bytes interval_bytes_down_{};
   std::vector<logging::PartnerChange> interval_changes_;
 
   bool had_incoming_ = false;

@@ -1,57 +1,119 @@
 // Sequence-number arithmetic for sub-streams and the interleaved global
-// playback order (§III-C).
+// playback order (§III-C), on top of the strong domain types of
+// core/units.h.
 //
 // Global block g (g = 0,1,2,...) belongs to sub-stream g mod K and carries
 // sub-stream sequence number g / K.  Conversely sub-stream i's block n is
 // global block n*K + i.  The "combination process" of the synchronization
 // buffer (Fig. 2b) produces the longest prefix of the global order present
 // in the per-sub-stream buffers.
+//
+// This header (like core/units.h) is layer-0 vocabulary shared by every
+// layer, and is one of the whitelisted boundary files allowed to use the
+// raw-value escape hatch: the mod/div interleaving arithmetic below is
+// exactly the place where sequence numbers are legitimately numbers.
 #pragma once
 
 #include <cstdint>
 
+#include "core/units.h"
+
 namespace coolstream::core {
 
-/// Sub-stream index in [0, K).
-using SubstreamId = int;
+/// Absolute simulation time and spans of it, re-exported so protocol code
+/// can speak about timers without pulling in the event engine.  sim::Time
+/// aliases the same units::Tick, so the two layers interoperate directly.
+using Tick = units::Tick;
+using Duration = units::Duration;
 
-/// Per-sub-stream block sequence number.  -1 means "nothing received yet".
-using SeqNum = std::int64_t;
+/// Sub-stream index in [0, K).
+using SubstreamId = units::SubStreamId;
+
+/// Per-sub-stream block sequence number.  SeqNum::none() (-1) means
+/// "nothing received yet".
+using SeqNum = units::BlockIndex;
 
 /// Position in the interleaved global playback order.
-using GlobalSeq = std::int64_t;
+using GlobalSeq = units::BlockIndex;
+
+/// Span in either sequence space.
+using BlockCount = units::BlockCount;
+
+/// The "nothing yet" sentinel shared by both sequence spaces.
+inline constexpr SeqNum kNoSeq = SeqNum::none();
+
+/// Iterable range over the K sub-stream ids: `for (SubstreamId j :
+/// substreams(k))`.  Keeps protocol loops free of raw-int index juggling.
+class SubstreamRange {
+ public:
+  class iterator {
+   public:
+    explicit constexpr iterator(int i) noexcept : id_(i) {}
+    constexpr SubstreamId operator*() const noexcept { return id_; }
+    constexpr iterator& operator++() noexcept {
+      ++id_;
+      return *this;
+    }
+    friend constexpr bool operator==(iterator, iterator) noexcept = default;
+
+   private:
+    SubstreamId id_;
+  };
+
+  explicit constexpr SubstreamRange(int k) noexcept : k_(k) {}
+  constexpr iterator begin() const noexcept { return iterator(0); }
+  constexpr iterator end() const noexcept { return iterator(k_); }
+
+ private:
+  int k_;
+};
+
+constexpr SubstreamRange substreams(int k) noexcept {
+  return SubstreamRange(k);
+}
 
 /// Sub-stream that carries global block `g` in a K-sub-stream split.
 constexpr SubstreamId substream_of(GlobalSeq g, int k) noexcept {
-  return static_cast<SubstreamId>(g % k);
+  return SubstreamId(static_cast<int>(g.value() % k));
 }
 
 /// Sub-stream sequence number of global block `g`.
 constexpr SeqNum substream_seq_of(GlobalSeq g, int k) noexcept {
-  return g / k;
+  return SeqNum(g.value() / k);
 }
 
 /// Global position of sub-stream `i`'s block `n`.
 constexpr GlobalSeq global_of(SubstreamId i, SeqNum n, int k) noexcept {
-  return n * k + i;
+  return GlobalSeq(n.value() * k + i.value());
+}
+
+/// Latest sequence number of sub-stream `i` whose global position is at or
+/// below `g`; none when sub-stream i has no block at or below g.  (The
+/// playout uses this to derive per-sub-stream deadline floors from the
+/// global playhead.)
+constexpr SeqNum last_seq_at_or_below(GlobalSeq g, SubstreamId i,
+                                      int k) noexcept {
+  if (g.value() < i.value()) return SeqNum::none();
+  return SeqNum((g.value() - i.value()) / k);
 }
 
 /// Given the latest *contiguous* sequence number per sub-stream
-/// (heads[i] = -1 if none), the last global block such that the whole
-/// global prefix [0, result] is available.  Returns -1 when even global
+/// (heads[i] = none if nothing), the last global block such that the whole
+/// global prefix [0, result] is available.  Returns none when even global
 /// block 0 is missing.  This is the Fig.-2b combination rule.
 ///
 /// heads must point at k values.
 /// `from` is a lower-bound hint (a previously computed prefix); the scan
 /// resumes there, making repeated incremental calls O(new blocks) total.
 constexpr GlobalSeq combined_prefix(const SeqNum* heads, int k,
-                                    GlobalSeq from = -1) noexcept {
+                                    GlobalSeq from = GlobalSeq::none()) noexcept {
   GlobalSeq best = from;
   for (;;) {
-    const GlobalSeq g = best + 1;
+    GlobalSeq g = best;
+    ++g;
     const SubstreamId i = substream_of(g, k);
     const SeqNum need = substream_seq_of(g, k);
-    if (heads[i] >= need) {
+    if (heads[i.index()] >= need) {
       best = g;
     } else {
       break;

@@ -6,22 +6,21 @@
 namespace coolstream::core {
 
 SyncBuffer::SyncBuffer(int k)
-    : heads_(static_cast<std::size_t>(k), SeqNum{-1}),
+    : heads_(static_cast<std::size_t>(k), kNoSeq),
       ahead_(static_cast<std::size_t>(k)) {
   assert(k >= 1);
 }
 
 bool SyncBuffer::insert(SubstreamId i, SeqNum seq) {
-  assert(i >= 0 && i < substream_count());
-  const auto idx = static_cast<std::size_t>(i);
-  SeqNum& head = heads_[idx];
+  assert(i.index() < heads_.size());
+  SeqNum& head = heads_[i.index()];
   if (seq <= head) return false;  // old or duplicate
-  auto& ahead = ahead_[idx];
-  if (seq == head + 1) {
+  auto& ahead = ahead_[i.index()];
+  if (seq == head + BlockCount(1)) {
     ++head;
     // Absorb any queued successors.
     auto it = ahead.begin();
-    while (it != ahead.end() && *it == head + 1) {
+    while (it != ahead.end() && *it == head + BlockCount(1)) {
       ++head;
       it = ahead.erase(it);
     }
@@ -34,17 +33,17 @@ bool SyncBuffer::insert(SubstreamId i, SeqNum seq) {
 }
 
 SeqNum SyncBuffer::head(SubstreamId i) const {
-  assert(i >= 0 && i < substream_count());
-  return heads_[static_cast<std::size_t>(i)];
+  assert(i.index() < heads_.size());
+  return heads_[i.index()];
 }
 
 void SyncBuffer::start_at(SubstreamId i, SeqNum seq) {
-  assert(i >= 0 && i < substream_count());
-  const auto idx = static_cast<std::size_t>(i);
-  heads_[idx] = std::max(heads_[idx], seq - 1);
+  assert(i.index() < heads_.size());
+  SeqNum& head = heads_[i.index()];
+  head = std::max(head, seq - BlockCount(1));
   // Drop queued blocks now below the head.
-  auto& ahead = ahead_[idx];
-  ahead.erase(ahead.begin(), ahead.lower_bound(heads_[idx] + 1));
+  auto& ahead = ahead_[i.index()];
+  ahead.erase(ahead.begin(), ahead.lower_bound(head + BlockCount(1)));
 }
 
 void SyncBuffer::set_combined_floor(GlobalSeq g) noexcept {
@@ -53,11 +52,11 @@ void SyncBuffer::set_combined_floor(GlobalSeq g) noexcept {
 }
 
 std::size_t SyncBuffer::pending(SubstreamId i) const {
-  assert(i >= 0 && i < substream_count());
-  return ahead_[static_cast<std::size_t>(i)].size();
+  assert(i.index() < ahead_.size());
+  return ahead_[i.index()].size();
 }
 
-SeqNum SyncBuffer::spread() const noexcept {
+BlockCount SyncBuffer::spread() const noexcept {
   const auto [lo, hi] = std::minmax_element(heads_.begin(), heads_.end());
   return *hi - *lo;
 }

@@ -57,7 +57,7 @@ class SyncBuffer {
   GlobalSeq combined() const noexcept { return combined_; }
 
   /// max head - min head across sub-streams: the Ineq.-(1) spread.
-  SeqNum spread() const noexcept;
+  BlockCount spread() const noexcept;
 
   /// All heads, indexable by sub-stream.
   const std::vector<SeqNum>& heads() const noexcept { return heads_; }
@@ -73,7 +73,7 @@ class SyncBuffer {
   std::vector<SeqNum> heads_;
   /// Out-of-order blocks per sub-stream (strictly above the head).
   std::vector<std::set<SeqNum>> ahead_;
-  GlobalSeq combined_ = -1;
+  GlobalSeq combined_ = kNoSeq;
   std::uint64_t received_ = 0;
 };
 

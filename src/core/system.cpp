@@ -40,20 +40,20 @@ void System::start() {
     spec.kind = PeerKind::kServer;
     spec.type = net::ConnectionType::kDirect;
     spec.address = net::random_public_address(sim_.rng());
-    spec.upload_capacity_bps = config_.server_capacity_bps;
+    spec.upload_capacity = units::BitRate(config_.server_capacity_bps);
     const net::NodeId id = static_cast<net::NodeId>(peers_.size());
-    peers_.push_back(
-        std::make_unique<Peer>(*this, id, spec, next_session_id_++, now()));
+    peers_.push_back(std::make_unique<Peer>(
+        *this, id, spec, units::SessionId(next_session_id_++), now()));
     live_.push_back(id);
     bootstrap_.add(id, now());
     peers_.back()->start_join();
   }
-  tick_handle_ = sim_.every(params_.flow_tick, params_.flow_tick,
-                            [this] { tick(); });
+  tick_handle_ =
+      sim_.every(params_.flow_dt(), params_.flow_dt(), [this] { tick(); });
 #ifdef COOLSTREAM_AUDIT
   if (config_.audit_period > 0.0) {
     auditor_ = std::make_unique<InvariantAuditor>(*this);
-    auditor_->start(config_.audit_period);
+    auditor_->start(Duration(config_.audit_period));
   }
 #endif
 }
@@ -64,8 +64,8 @@ net::NodeId System::join(const PeerSpec& spec) {
   PeerSpec s = spec;
   if (s.user_id == 0) s.user_id = next_user_auto_++;
   const net::NodeId id = static_cast<net::NodeId>(peers_.size());
-  peers_.push_back(
-      std::make_unique<Peer>(*this, id, s, next_session_id_++, now()));
+  peers_.push_back(std::make_unique<Peer>(
+      *this, id, s, units::SessionId(next_session_id_++), now()));
   live_.push_back(id);
   bootstrap_.add(id, now());
   ++live_viewers_;
@@ -83,7 +83,9 @@ void System::leave(net::NodeId id, bool graceful) {
 
   if (graceful) {
     logging::ActivityReport r;
-    r.header = {p->spec().user_id, p->session_id(), now()};
+    r.header = {p->spec().user_id,
+                p->session_id().value(),  // lint:allow(value-escape)
+                now().value()};           // lint:allow(value-escape)
     r.activity = logging::Activity::kLeave;
     r.had_incoming = p->had_incoming();
     r.had_outgoing = p->had_outgoing();
@@ -137,7 +139,8 @@ int System::max_partners_of(const Peer& p) const noexcept {
   // number of partners is less than the upper bound M" — with M set the
   // only way a deployment can set it: per the peer's capacity.
   const double substream_units =
-      p.spec().upload_capacity_bps / params_.substream_rate_bps();
+      p.spec().upload_capacity.value() /  // lint:allow(value-escape)
+      params_.substream_rate_bps();
   const int budget = params_.initial_partner_target +
                      static_cast<int>(std::ceil(substream_units / 1.5));
   return std::clamp(budget, params_.initial_partner_target + 1,
@@ -149,13 +152,13 @@ bool System::is_reachable(net::NodeId id) const noexcept {
   return p != nullptr && net::accepts_inbound(p->spec().type);
 }
 
-SeqNum System::source_head(SubstreamId j, double t) const noexcept {
+SeqNum System::source_head(SubstreamId j, Tick t) const noexcept {
   // Global blocks [0, G) have been produced by time t; sub-stream j holds
   // those g with g mod K == j.
-  const auto produced = static_cast<GlobalSeq>(
-      std::floor(t * params_.block_rate));
-  if (produced <= j) return -1;
-  return (produced - 1 - j) / params_.substream_count;
+  const auto produced = static_cast<std::int64_t>(
+      std::floor(t.value() * params_.block_rate));  // lint:allow(value-escape)
+  return last_seq_at_or_below(GlobalSeq(produced - 1), j,
+                              params_.substream_count);
 }
 
 // --------------------------------------------------------------------------
@@ -165,7 +168,7 @@ SeqNum System::source_head(SubstreamId j, double t) const noexcept {
 void System::request_bootstrap_list(net::NodeId requester) {
   // Round trip to the boot-strap node; the list is sampled when the
   // response is generated (server-side state at that instant).
-  const double rtt =
+  const Duration rtt =
       latency_model_.delay(requester, kBootstrapNodeId) * 2.0;
   transport_.send(requester, kBootstrapNodeId, net::MessageKind::kGossip,
                   [this, requester, rtt] {
@@ -276,23 +279,22 @@ void System::notify(net::NodeId id, SessionEvent event) {
 // --------------------------------------------------------------------------
 
 void System::tick() {
-  flow_transfer(params_.flow_tick);
+  flow_transfer(params_.flow_dt());
   // Protocol timers run after data movement so BMs reflect this tick's
   // arrivals.  Iterate a stable copy: on_tick can trigger leaves of *other*
   // nodes only indirectly (it never calls System::leave), but partner lists
   // mutate freely.
-  const double t = now();
+  const Tick t = now();
   for (std::size_t i = 0; i < live_.size(); ++i) {
     Peer* p = peer(live_[i]);
     if (p != nullptr && p->alive()) p->on_tick(t);
   }
 }
 
-void System::flow_transfer(double dt) {
-  const double sub_rate = params_.substream_block_rate();
-  const double catchup_cap = params_.max_catchup_factor * sub_rate;
-  const auto block_bytes =
-      static_cast<std::uint64_t>(params_.block_size_bits() / 8.0);
+void System::flow_transfer(Duration dt) {
+  const units::BlockRate sub_rate = params_.substream_block_rate_typed();
+  const units::BlockRate catchup_cap = sub_rate * params_.max_catchup_factor;
+  const units::Bytes block_bytes = params_.block_bytes();
 
   for (net::NodeId id : live_) {
     Peer* parent = peer(id);
@@ -301,7 +303,7 @@ void System::flow_transfer(double dt) {
     if (links.empty()) continue;
 
     // Demands per outgoing sub-stream connection (blocks/s).
-    demand_scratch_.assign(links.size(), 0.0);
+    demand_scratch_.assign(links.size(), units::BlockRate::zero());
     bool any_stale = false;
     for (std::size_t k = 0; k < links.size(); ++k) {
       const OutLink& l = links[k];
@@ -311,26 +313,25 @@ void System::flow_transfer(double dt) {
         any_stale = true;
         continue;  // demand stays 0; link compacted below
       }
-      const SeqNum backlog =
+      const BlockCount backlog =
           parent->head(l.substream) - child->head(l.substream);
-      if (backlog <= 0) {
+      if (backlog <= BlockCount::zero()) {
         demand_scratch_[k] = sub_rate;
       } else {
         demand_scratch_[k] =
-            std::min(static_cast<double>(backlog) / dt + sub_rate,
-                     catchup_cap);
+            std::min(units::rate_of(backlog, dt) + sub_rate, catchup_cap);
       }
     }
 
     const auto rates =
         config_.allocation == AllocationPolicy::kMaxMinFair
-            ? net::max_min_fair(parent->upload_blocks_per_sec(),
+            ? net::max_min_fair(parent->upload_block_rate(),
                                 demand_scratch_)
-            : net::equal_share(parent->upload_blocks_per_sec(),
+            : net::equal_share(parent->upload_block_rate(),
                                demand_scratch_);
 
     for (std::size_t k = 0; k < links.size(); ++k) {
-      if (rates[k] <= 0.0) continue;
+      if (rates[k] <= units::BlockRate::zero()) continue;
       const OutLink& l = links[k];
       Peer* child = peer(l.child);
       if (child == nullptr || !child->alive()) continue;
@@ -343,16 +344,16 @@ void System::flow_transfer(double dt) {
       const SeqNum dead = child->deadline_floor(l.substream);
       if (child->head(l.substream) < dead) {
         child->count_deadline_skip();
-        child->sync().start_at(l.substream, dead + 1);
+        child->sync().start_at(l.substream, dead + BlockCount(1));
       }
       while (credit >= 1.0 && child->head(l.substream) < parent_head) {
-        SeqNum next = child->head(l.substream) + 1;
+        SeqNum next = child->head(l.substream) + BlockCount(1);
         const SeqNum oldest = parent->cache().oldest(parent_head);
         if (next < oldest) {
           // The child fell behind the parent's cache window: the missing
           // range is gone (pushed out by playout) and must be skipped.
           child->handle_window_gap(l.substream, oldest);
-          next = child->head(l.substream) + 1;
+          next = child->head(l.substream) + BlockCount(1);
           if (next > parent_head) break;
         }
         child->sync().insert(l.substream, next);
@@ -379,7 +380,7 @@ void System::flow_transfer(double dt) {
 
 net::TopologySnapshot System::snapshot() const {
   net::TopologySnapshot snap;
-  snap.time = sim_.now();
+  snap.time = sim_.now().value();  // lint:allow(value-escape)
   snap.nodes.reserve(live_.size());
   for (net::NodeId id : live_) {
     const Peer* p = peer(id);
@@ -388,10 +389,11 @@ net::TopologySnapshot System::snapshot() const {
     node.id = id;
     node.type = p->spec().type;
     node.is_server = p->kind() == PeerKind::kServer;
-    node.upload_capacity_bps = p->spec().upload_capacity_bps;
+    node.upload_capacity_bps =
+        p->spec().upload_capacity.value();  // lint:allow(value-escape)
     node.parents.reserve(
         static_cast<std::size_t>(params_.substream_count));
-    for (int j = 0; j < params_.substream_count; ++j) {
+    for (SubstreamId j : substreams(params_.substream_count)) {
       node.parents.push_back(p->parent_of(j));
     }
     node.partners.reserve(p->partner_count());

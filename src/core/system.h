@@ -132,7 +132,7 @@ class System {
   std::function<void(net::NodeId, SessionEvent)> observer;
 
   // --- services used by Peer (protocol plumbing) ---------------------------
-  double now() const noexcept { return sim_.now(); }
+  Tick now() const noexcept { return sim_.now(); }
   sim::Rng& rng() noexcept { return sim_.rng(); }
   /// Sends the boot-strap list request/response round trip.
   void request_bootstrap_list(net::NodeId requester);
@@ -160,7 +160,7 @@ class System {
   bool is_reachable(net::NodeId id) const noexcept;
   /// Encoder position: contiguous head of sub-stream `j` at time `t`
   /// (servers lag this by config().server_lag).
-  SeqNum source_head(SubstreamId j, double t) const noexcept;
+  SeqNum source_head(SubstreamId j, Tick t) const noexcept;
 
   /// The runtime invariant auditor, when one was attached by start()
   /// (COOLSTREAM_AUDIT builds with config().audit_period > 0); else null.
@@ -170,7 +170,7 @@ class System {
   friend struct InvariantTestAccess;  // seeded-corruption hooks (tests only)
 
   void tick();
-  void flow_transfer(double dt);
+  void flow_transfer(Duration dt);
 
   sim::Simulation& sim_;
   Params params_;
@@ -191,7 +191,7 @@ class System {
   bool started_ = false;
 
   // scratch buffers reused by flow_transfer to avoid per-tick allocation
-  std::vector<double> demand_scratch_;
+  std::vector<units::BlockRate> demand_scratch_;
 };
 
 }  // namespace coolstream::core

@@ -2,58 +2,64 @@
 
 #include <algorithm>
 #include <cassert>
-#include <limits>
 
 namespace coolstream::model {
-namespace {
-constexpr double kInf = std::numeric_limits<double>::infinity();
-}
 
-double catch_up_time(double deficit_blocks, double upload_rate,
-                     const StreamRates& rates) noexcept {
+using units::BlockRate;
+using units::Duration;
+
+units::Duration catch_up_time(double deficit_blocks, BlockRate upload_rate,
+                              const StreamRates& rates) noexcept {
   assert(deficit_blocks >= 0.0);
-  const double margin = upload_rate - rates.substream_rate();
-  if (margin <= 0.0) return kInf;
-  return deficit_blocks / margin;
+  const BlockRate margin = upload_rate - rates.substream_rate();
+  if (margin <= BlockRate::zero()) return Duration::infinity();
+  // blocks over blocks/s: seconds.
+  return Duration(deficit_blocks /
+                  margin.value());  // lint:allow(value-escape)
 }
 
-double abandon_time(double slack_blocks, double download_rate,
-                    const StreamRates& rates) noexcept {
+units::Duration abandon_time(double slack_blocks, BlockRate download_rate,
+                             const StreamRates& rates) noexcept {
   assert(slack_blocks >= 0.0);
-  const double shortfall = rates.substream_rate() - download_rate;
-  if (shortfall <= 0.0) return kInf;
-  return slack_blocks / shortfall;
+  const BlockRate shortfall = rates.substream_rate() - download_rate;
+  if (shortfall <= BlockRate::zero()) return Duration::infinity();
+  return Duration(slack_blocks /
+                  shortfall.value());  // lint:allow(value-escape)
 }
 
-double competition_rate(int parent_degree,
-                        const StreamRates& rates) noexcept {
+units::BlockRate competition_rate(int parent_degree,
+                                  const StreamRates& rates) noexcept {
   assert(parent_degree >= 1);
-  return static_cast<double>(parent_degree) /
-         static_cast<double>(parent_degree + 1) * rates.substream_rate();
+  return rates.substream_rate() *
+         (static_cast<double>(parent_degree) /
+          static_cast<double>(parent_degree + 1));
 }
 
-double lose_time(int parent_degree, double ts_blocks, double t_delta_blocks,
-                 const StreamRates& rates) noexcept {
+units::Duration lose_time(int parent_degree, double ts_blocks,
+                          double t_delta_blocks,
+                          const StreamRates& rates) noexcept {
   assert(ts_blocks >= t_delta_blocks);
   // (T_s - t_delta) = R/K * t - D/(D+1) * R/K * t  =>
   // t = (D+1)(T_s - t_delta) / (R/K).
-  return static_cast<double>(parent_degree + 1) *
-         (ts_blocks - t_delta_blocks) / rates.substream_rate();
+  return Duration(
+      static_cast<double>(parent_degree + 1) * (ts_blocks - t_delta_blocks) /
+      rates.substream_rate().value());  // lint:allow(value-escape)
 }
 
 double lose_slack_threshold(int parent_degree, double ts_blocks,
-                            double ta_seconds,
+                            units::Duration ta,
                             const StreamRates& rates) noexcept {
-  return ts_blocks - ta_seconds * rates.substream_rate() /
+  // BlockRate * Duration is a (fractional) block count.
+  return ts_blocks - rates.substream_rate() * ta /
                          static_cast<double>(parent_degree + 1);
 }
 
 double lose_probability_uniform_slack(int parent_degree, double ts_blocks,
-                                      double ta_seconds,
+                                      units::Duration ta,
                                       const StreamRates& rates) noexcept {
   assert(ts_blocks > 0.0);
   const double threshold =
-      lose_slack_threshold(parent_degree, ts_blocks, ta_seconds, rates);
+      lose_slack_threshold(parent_degree, ts_blocks, ta, rates);
   // P(t_delta >= threshold) with initial lag t_delta ~ U[0, T_s].
   if (threshold <= 0.0) return 1.0;
   if (threshold >= ts_blocks) return 0.0;

@@ -9,57 +9,68 @@
 // where l is the initial block deficit, D_p the parent's sub-stream degree
 // and t_delta the child's initial lag (sequence-number deviation) in blocks.
 //
-// Rates here are expressed in blocks/second and thresholds in blocks, so
-// the formulas can be compared 1:1 against the simulator's fluid data
-// plane (bench_model_validation does exactly that).
+// Rates are strong units::BlockRate values (blocks/s) and the derived times
+// are units::Duration, so the formulas compare 1:1 against the simulator's
+// fluid data plane (bench_model_validation does exactly that) and a
+// bits-vs-blocks or seconds-vs-blocks mix-up cannot typecheck.  Deficits,
+// slacks and thresholds stay plain doubles measured in blocks: the fluid
+// model trades in fractional blocks, which BlockCount (whole blocks)
+// deliberately cannot represent.
 #pragma once
+
+#include "core/units.h"
 
 namespace coolstream::model {
 
 /// Inputs shared by the §IV-C formulas.
 struct StreamRates {
-  double stream_block_rate = 8.0;  ///< R in blocks/s (global)
-  int substream_count = 4;         ///< K
+  units::BlockRate stream_rate{8.0};  ///< R in blocks/s (global)
+  int substream_count = 4;            ///< K
 
-  /// R/K in blocks/s: the rate one sub-stream must sustain.
-  double substream_rate() const noexcept {
-    return stream_block_rate / substream_count;
+  /// R/K: the rate one sub-stream must sustain.
+  units::BlockRate substream_rate() const noexcept {
+    return stream_rate / static_cast<double>(substream_count);
   }
 };
 
 /// Eq. (3): time for a child `l` blocks behind to catch up when receiving
-/// at `upload_rate` blocks/s (> R/K).  Returns +inf when the rate cannot
-/// support catch-up.
-double catch_up_time(double deficit_blocks, double upload_rate,
-                     const StreamRates& rates) noexcept;
+/// at `upload_rate` (> R/K).  Returns Duration::infinity() when the rate
+/// cannot support catch-up (including exactly R/K: the deficit persists).
+units::Duration catch_up_time(double deficit_blocks,
+                              units::BlockRate upload_rate,
+                              const StreamRates& rates) noexcept;
 
-/// Eq. (4): time until a child with `slack_blocks` of remaining slack (T_s minus current lag) falls
-/// T_s behind, when receiving at `download_rate` blocks/s (< R/K).
-/// `slack_blocks` is l in the paper.  Returns +inf when the rate keeps up.
-double abandon_time(double slack_blocks, double download_rate,
-                    const StreamRates& rates) noexcept;
+/// Eq. (4): time until a child with `slack_blocks` of remaining slack (T_s
+/// minus current lag) falls T_s behind, when receiving at `download_rate`
+/// (< R/K).  `slack_blocks` is l in the paper.  Returns
+/// Duration::infinity() when the rate keeps up.
+units::Duration abandon_time(double slack_blocks,
+                             units::BlockRate download_rate,
+                             const StreamRates& rates) noexcept;
 
 /// Eq. (5): per-connection rate after a (D_p+1)-th child subscribes to a
 /// parent whose capacity exactly covered D_p sub-streams.
-double competition_rate(int parent_degree, const StreamRates& rates) noexcept;
+units::BlockRate competition_rate(int parent_degree,
+                                  const StreamRates& rates) noexcept;
 
-/// t_lose of §IV-C: time for a child whose sub-stream already lags by `t_delta_blocks`
-/// to violate Inequality (1) (threshold `ts_blocks`) under Eq.-(5)
-/// competition at a parent of degree D_p.
-double lose_time(int parent_degree, double ts_blocks, double t_delta_blocks,
-                 const StreamRates& rates) noexcept;
+/// t_lose of §IV-C: time for a child whose sub-stream already lags by
+/// `t_delta_blocks` to violate Inequality (1) (threshold `ts_blocks`) under
+/// Eq.-(5) competition at a parent of degree D_p.
+units::Duration lose_time(int parent_degree, double ts_blocks,
+                          double t_delta_blocks,
+                          const StreamRates& rates) noexcept;
 
 /// Eq. (6) under the natural assumption that the initial lag t_delta is
 /// uniform on [0, T_s]: probability that the child loses the competition
 /// within the cool-down period T_a.
 double lose_probability_uniform_slack(int parent_degree, double ts_blocks,
-                                      double ta_seconds,
+                                      units::Duration ta,
                                       const StreamRates& rates) noexcept;
 
 /// The lag threshold inside Eq. (6): T_s - T_a * (R/K) / (D_p + 1), in
 /// blocks.  A child lagging at least this much loses within the cool-down.
 double lose_slack_threshold(int parent_degree, double ts_blocks,
-                            double ta_seconds,
+                            units::Duration ta,
                             const StreamRates& rates) noexcept;
 
 }  // namespace coolstream::model

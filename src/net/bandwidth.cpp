@@ -6,11 +6,11 @@
 
 namespace coolstream::net {
 
-std::vector<double> max_min_fair(double capacity,
-                                 std::span<const double> demands) {
-  assert(capacity >= 0.0);
+std::vector<BlockRate> max_min_fair(BlockRate capacity,
+                                    std::span<const BlockRate> demands) {
+  assert(capacity >= BlockRate::zero());
   const std::size_t n = demands.size();
-  std::vector<double> rates(n, 0.0);
+  std::vector<BlockRate> rates(n, BlockRate::zero());
   if (n == 0) return rates;
 
   // Progressive filling: repeatedly grant unsatisfied connections an equal
@@ -18,20 +18,20 @@ std::vector<double> max_min_fair(double capacity,
   std::vector<std::size_t> active;
   active.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    assert(demands[i] >= 0.0);
-    if (demands[i] > 0.0) active.push_back(i);
+    assert(demands[i] >= BlockRate::zero());
+    if (demands[i] > BlockRate::zero()) active.push_back(i);
   }
-  double remaining = capacity;
-  while (!active.empty() && remaining > 0.0) {
-    const double share = remaining / static_cast<double>(active.size());
+  BlockRate remaining = capacity;
+  while (!active.empty() && remaining > BlockRate::zero()) {
+    const BlockRate share = remaining / static_cast<double>(active.size());
     bool any_capped = false;
     std::vector<std::size_t> still_active;
     still_active.reserve(active.size());
     for (std::size_t i : active) {
-      const double want = demands[i] - rates[i];
+      const BlockRate want = demands[i] - rates[i];
       if (want <= share) {
         rates[i] = demands[i];
-        remaining -= want;
+        remaining = remaining - want;
         any_capped = true;
       } else {
         still_active.push_back(i);
@@ -39,8 +39,8 @@ std::vector<double> max_min_fair(double capacity,
     }
     if (!any_capped) {
       // Nobody saturated: split the remainder equally and finish.
-      for (std::size_t i : still_active) rates[i] += share;
-      remaining = 0.0;
+      for (std::size_t i : still_active) rates[i] = rates[i] + share;
+      remaining = BlockRate::zero();
       break;
     }
     active = std::move(still_active);
@@ -48,20 +48,20 @@ std::vector<double> max_min_fair(double capacity,
   return rates;
 }
 
-std::vector<double> equal_share(double capacity,
-                                std::span<const double> demands) {
-  assert(capacity >= 0.0);
+std::vector<BlockRate> equal_share(BlockRate capacity,
+                                   std::span<const BlockRate> demands) {
+  assert(capacity >= BlockRate::zero());
   const std::size_t n = demands.size();
-  std::vector<double> rates(n, 0.0);
+  std::vector<BlockRate> rates(n, BlockRate::zero());
   std::size_t positive = 0;
-  for (double d : demands) {
-    assert(d >= 0.0);
-    if (d > 0.0) ++positive;
+  for (BlockRate d : demands) {
+    assert(d >= BlockRate::zero());
+    if (d > BlockRate::zero()) ++positive;
   }
   if (positive == 0) return rates;
-  const double share = capacity / static_cast<double>(positive);
+  const BlockRate share = capacity / static_cast<double>(positive);
   for (std::size_t i = 0; i < n; ++i) {
-    if (demands[i] > 0.0) rates[i] = std::min(demands[i], share);
+    if (demands[i] > BlockRate::zero()) rates[i] = std::min(demands[i], share);
   }
   return rates;
 }

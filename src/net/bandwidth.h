@@ -8,6 +8,9 @@
 // sub-stream connections: each connection demands at most the sub-stream
 // rate R/K while the child is caught up, and more (catch-up) when behind.
 //
+// Capacity and demands are block rates (blocks/s) — the fluid data plane's
+// currency — so a bits-vs-blocks mix-up cannot typecheck.
+//
 // With equal demands this degenerates to the paper's Eq. (5):
 // r = D/(D+1) * R/K after a (D+1)-th child subscribes to a parent whose
 // capacity was exactly D * R/K.
@@ -16,20 +19,24 @@
 #include <span>
 #include <vector>
 
+#include "core/units.h"
+
 namespace coolstream::net {
+
+using units::BlockRate;
 
 /// Max-min fair allocation of `capacity` across positive `demands`.
 /// Returns one rate per demand; rates sum to min(capacity, sum(demands)).
 /// Zero-demand entries receive zero.  All inputs must be non-negative.
-std::vector<double> max_min_fair(double capacity,
-                                 std::span<const double> demands);
+std::vector<BlockRate> max_min_fair(BlockRate capacity,
+                                    std::span<const BlockRate> demands);
 
 /// Equal-share allocation with per-connection caps: every connection gets
 /// capacity/n, except connections whose demand is lower keep only their
 /// demand, with the surplus left unused.  This models a simple TCP-like
 /// split without the iterative redistribution of max-min fairness; the
 /// difference between the two policies is an ablation bench.
-std::vector<double> equal_share(double capacity,
-                                std::span<const double> demands);
+std::vector<BlockRate> equal_share(BlockRate capacity,
+                                   std::span<const BlockRate> demands);
 
 }  // namespace coolstream::net

@@ -8,7 +8,7 @@
 
 namespace coolstream::net {
 
-double LatencyModel::delay(NodeId a, NodeId b) const noexcept {
+units::Duration LatencyModel::delay(NodeId a, NodeId b) const noexcept {
   const NodeId lo = std::min(a, b);
   const NodeId hi = std::max(a, b);
   // Hash (seed, lo, hi) into two independent uniforms via splitmix64, then
@@ -23,7 +23,7 @@ double LatencyModel::delay(NodeId a, NodeId b) const noexcept {
   const double z = std::sqrt(-2.0 * std::log(u1)) *
                    std::cos(2.0 * std::numbers::pi * u2);
   const double d = std::exp(params_.mu + params_.sigma * z);
-  return std::clamp(d, params_.min_delay, params_.max_delay);
+  return units::Duration(std::clamp(d, params_.min_delay, params_.max_delay));
 }
 
 }  // namespace coolstream::net

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "core/units.h"
 #include "net/types.h"
 
 namespace coolstream::net {
@@ -28,8 +29,8 @@ class LatencyModel {
   explicit LatencyModel(std::uint64_t seed, LatencyParams params = {})
       : seed_(seed), params_(params) {}
 
-  /// One-way delay between `a` and `b` in seconds.  Symmetric.
-  double delay(NodeId a, NodeId b) const noexcept;
+  /// One-way delay between `a` and `b`.  Symmetric.
+  units::Duration delay(NodeId a, NodeId b) const noexcept;
 
   const LatencyParams& params() const noexcept { return params_; }
 

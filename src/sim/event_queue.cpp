@@ -8,7 +8,7 @@ namespace coolstream::sim {
 
 EventQueue::EventQueue() {
   buckets_.assign(kMinBuckets, kNil);
-  year_span_ = bucket_width_ * static_cast<Time>(buckets_.size());
+  year_span_ = bucket_width_ * static_cast<double>(buckets_.size());
   geometry_events_ = kMinBuckets;
 }
 
@@ -55,7 +55,7 @@ void EventQueue::free_slot(std::uint32_t slot) noexcept {
 // --------------------------------------------------------------------------
 
 EventHandle EventQueue::arm(std::uint32_t slot, Time at, bool periodic,
-                            Time period) {
+                            Duration period) {
   Record& r = record(slot);
   r.time = at;
   r.seq = next_seq_++;
@@ -87,9 +87,9 @@ void EventQueue::link(std::uint32_t slot) {
 
 void EventQueue::place(std::uint32_t slot) {
   Record& r = record(slot);
-  const Time t = r.time;
+  const double t = r.time.value();
   if (t >= year_start_ && t < year_start_ + year_span_) {
-    const std::size_t b = bucket_index(t);
+    const std::size_t b = bucket_index(r.time);
     r.where = Where::kBucket;
     r.pos = static_cast<std::uint32_t>(b);
     r.prev = kNil;
@@ -130,16 +130,16 @@ std::size_t EventQueue::bucket_index(Time t) const noexcept {
   // bucket in the last ulp, which is harmless — correctness only needs the
   // mapping to be monotone in t (it is: multiply and truncate both are),
   // since find_min() orders by the exact (time, seq) within a bucket.
-  const auto b =
-      static_cast<std::size_t>((t - year_start_) * inv_bucket_width_);
+  const auto b = static_cast<std::size_t>((t.value() - year_start_) *
+                                          inv_bucket_width_);
   // Clamp: floating-point rounding at the year's edge must not escape the
   // array.
   return b < buckets_.size() ? b : buckets_.size() - 1;
 }
 
 void EventQueue::advance_year(Time t) noexcept {
-  if (!std::isfinite(t)) return;  // leave non-finite times to the heap
-  year_start_ = std::floor(t / year_span_) * year_span_;
+  if (!std::isfinite(t.value())) return;  // leave non-finite times to the heap
+  year_start_ = std::floor(t.value() / year_span_) * year_span_;
   cursor_ = bucket_index(t);
   if (heap_.empty()) return;
   // Migrate every heap event that now falls inside the calendar window.
@@ -150,11 +150,11 @@ void EventQueue::advance_year(Time t) noexcept {
   // an event place() would bounce back onto heap_ while we iterate over it
   // would loop forever.  Such events stay in the heap and are served from
   // there (find_min() always considers the heap top).
-  const Time year_end = year_start_ + year_span_;
+  const double year_end = year_start_ + year_span_;
   std::size_t keep = 0;
   for (std::size_t i = 0; i < heap_.size(); ++i) {
     const std::uint32_t s = heap_[i];
-    const Time tt = record(s).time;
+    const double tt = record(s).time.value();
     if (tt >= year_start_ && tt < year_end) {
       place(s);
     } else {
@@ -230,7 +230,7 @@ void EventQueue::fire_periodic(std::uint32_t slot) {
   ++r2.fires;
   // Absolute arithmetic: occurrence n fires at base + n*period, so rounding
   // error stays bounded instead of accumulating one addition per period.
-  r2.time = r2.base + static_cast<Time>(r2.fires) * r2.period;
+  r2.time = r2.base + static_cast<double>(r2.fires) * r2.period;
   r2.seq = next_seq_++;
   link(slot);
   maybe_rebuild();
@@ -275,7 +275,7 @@ void EventQueue::rebuild() {
     buckets_.assign(kMinBuckets, kNil);
     bucket_width_ = 1e-3;
     inv_bucket_width_ = 1.0 / bucket_width_;
-    year_span_ = bucket_width_ * static_cast<Time>(buckets_.size());
+    year_span_ = bucket_width_ * static_cast<double>(buckets_.size());
     year_start_ = 0.0;
     cursor_ = 0;
     bucketed_ = 0;
@@ -305,9 +305,9 @@ void EventQueue::rebuild() {
                      return record(a).time < record(b).time;
                    });
   const Time t_med = record(times_by[n / 2]).time;
-  const Time near_span = t_med - t_min;
+  const double near_span = (t_med - t_min).value();
   const std::size_t near_count = std::max<std::size_t>(1, n / 2);
-  Time width = near_span / static_cast<Time>(near_count);
+  double width = near_span / static_cast<double>(near_count);
   if (!(width > kMinBucketWidth)) width = kMinBucketWidth;
 
   std::size_t want = kMinBuckets;
@@ -318,11 +318,11 @@ void EventQueue::rebuild() {
   buckets_.assign(want, kNil);
   bucket_width_ = width;
   inv_bucket_width_ = 1.0 / width;
-  year_span_ = bucket_width_ * static_cast<Time>(buckets_.size());
-  year_start_ = std::isfinite(t_min)
-                    ? std::floor(t_min / year_span_) * year_span_
+  year_span_ = bucket_width_ * static_cast<double>(buckets_.size());
+  year_start_ = std::isfinite(t_min.value())
+                    ? std::floor(t_min.value() / year_span_) * year_span_
                     : 0.0;
-  cursor_ = std::isfinite(t_min) ? bucket_index(t_min) : 0;
+  cursor_ = std::isfinite(t_min.value()) ? bucket_index(t_min) : 0;
   bucketed_ = 0;
   heap_.clear();
   for (const std::uint32_t s : scratch_) place(s);
@@ -434,7 +434,8 @@ std::string EventQueue::self_check() const {
       }
       if (r.pos != b) return fail("slot ", s, " pos ", r.pos, " != bucket ", b);
       if (r.prev != prev) return fail("slot ", s, " broken prev link");
-      if (r.time < year_start_ || r.time >= year_start_ + year_span_) {
+      if (r.time.value() < year_start_ ||
+          r.time.value() >= year_start_ + year_span_) {
         return fail("slot ", s, " time ", r.time, " outside calendar year [",
                     year_start_, ", ", year_start_ + year_span_, ")");
       }

@@ -40,10 +40,17 @@
 #include <utility>
 #include <vector>
 
+#include "core/units.h"
+
 namespace coolstream::sim {
 
-/// Simulation time in seconds.
-using Time = double;
+/// Absolute simulation time.  A strong type (units::Tick): points in time
+/// and spans (units::Duration) do not mix, and raw doubles do not convert
+/// implicitly — see core/units.h.
+using Time = units::Tick;
+
+/// A span of simulated time, in seconds.
+using Duration = units::Duration;
 
 /// Convenience alias for type-erased callbacks at API boundaries that are
 /// not performance sensitive.  The queue itself stores callables without
@@ -196,7 +203,7 @@ class EventQueue {
   EventHandle schedule(Time at, F&& fn) {
     const std::uint32_t slot = alloc_slot();
     record(slot).fn.emplace(std::forward<F>(fn));
-    return arm(slot, at, /*periodic=*/false, 0.0);
+    return arm(slot, at, /*periodic=*/false, Duration::zero());
   }
 
   /// Schedules `fn` to fire at `first`, then every `period` seconds after
@@ -205,8 +212,8 @@ class EventQueue {
   /// before the next occurrence is linked, and cancelling from inside the
   /// callback stops the series.
   template <typename F>
-  EventHandle schedule_every(Time first, Time period, F&& fn) {
-    assert(period > 0.0);
+  EventHandle schedule_every(Time first, Duration period, F&& fn) {
+    assert(period > Duration::zero());
     const std::uint32_t slot = alloc_slot();
     record(slot).fn.emplace(std::forward<F>(fn));
     return arm(slot, first, /*periodic=*/true, period);
@@ -278,7 +285,9 @@ class EventQueue {
   static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
   static constexpr std::size_t kMinBuckets = 64;
   static constexpr std::size_t kMaxBuckets = std::size_t{1} << 20;
-  static constexpr Time kMinBucketWidth = 1e-9;
+  // Calendar geometry is raw seconds: this file is a whitelisted value()
+  // boundary — the bucket math is where time legitimately is a number.
+  static constexpr double kMinBucketWidth = 1e-9;
 
   enum class Where : std::uint8_t {
     kFree,       ///< on the free list
@@ -288,7 +297,7 @@ class EventQueue {
   };
 
   struct Record {
-    Time time = 0.0;
+    Time time{};
     std::uint64_t seq = 0;
     std::uint32_t generation = 0;
     std::uint32_t prev = kNil;  ///< bucket list link (kBucket only)
@@ -296,8 +305,8 @@ class EventQueue {
     std::uint32_t pos = 0;      ///< bucket index (kBucket) or heap index (kHeap)
     Where where = Where::kFree;
     bool periodic = false;
-    Time period = 0.0;
-    Time base = 0.0;            ///< time of the first occurrence
+    Duration period{};
+    Time base{};                ///< time of the first occurrence
     std::uint64_t fires = 0;    ///< completed occurrences of the series
     detail::InlineFn fn;
   };
@@ -320,7 +329,8 @@ class EventQueue {
   void grow_slab();
 
   // Scheduling internals.
-  EventHandle arm(std::uint32_t slot, Time at, bool periodic, Time period);
+  EventHandle arm(std::uint32_t slot, Time at, bool periodic,
+                  Duration period);
   void link(std::uint32_t slot);
   void place(std::uint32_t slot);
   void unlink(std::uint32_t slot) noexcept;
@@ -351,10 +361,10 @@ class EventQueue {
   std::vector<std::uint32_t> heap_;
   std::vector<std::uint32_t> scratch_;  ///< reused by rebuild()
 
-  Time bucket_width_ = 1e-3;
-  Time inv_bucket_width_ = 1e3;  ///< 1 / bucket_width_ (avoids div on place)
-  Time year_span_ = 0.0;   ///< bucket_width_ * buckets_.size()
-  Time year_start_ = 0.0;  ///< calendar covers [year_start_, year_start_+span)
+  double bucket_width_ = 1e-3;
+  double inv_bucket_width_ = 1e3;  ///< 1 / bucket_width_ (avoids div on place)
+  double year_span_ = 0.0;   ///< bucket_width_ * buckets_.size()
+  double year_start_ = 0.0;  ///< calendar covers [year_start_, year_start_+span)
   std::size_t cursor_ = 0;  ///< no bucketed event lives before this bucket
 
   std::size_t live_ = 0;      ///< scheduled events (buckets + heap)

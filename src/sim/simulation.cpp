@@ -16,7 +16,7 @@ bool Simulation::step(Time until) {
 void Simulation::run_until(Time until) {
   while (step(until)) {
   }
-  if (until != std::numeric_limits<Time>::infinity() && now_ < until) {
+  if (until != Time::max() && now_ < until) {
     now_ = until;
   }
 }

@@ -28,7 +28,7 @@ class Simulation {
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
-  /// Current simulation time in seconds.
+  /// Current simulation time.
   Time now() const noexcept { return now_; }
 
   /// Root random generator for this run.
@@ -41,10 +41,10 @@ class Simulation {
     return queue_.schedule(when, std::forward<F>(fn));
   }
 
-  /// Schedules `fn` to fire `delay` seconds from now (delay >= 0).
+  /// Schedules `fn` to fire `delay` after now (delay >= 0).
   template <typename F>
-  EventHandle after(Time delay, F&& fn) {
-    assert(delay >= 0.0);
+  EventHandle after(Duration delay, F&& fn) {
+    assert(delay >= Duration::zero());
     return queue_.schedule(now_ + delay, std::forward<F>(fn));
   }
 
@@ -58,8 +58,8 @@ class Simulation {
   /// Periodic events are the backbone of the protocol loops (buffer-map
   /// exchange, gossip, adaptation checks, 5-minute status reports).
   template <typename F>
-  EventHandle every(Time first_delay, Time period, F&& fn) {
-    assert(first_delay >= 0.0 && period > 0.0);
+  EventHandle every(Duration first_delay, Duration period, F&& fn) {
+    assert(first_delay >= Duration::zero() && period > Duration::zero());
     return queue_.schedule_every(now_ + first_delay, period,
                                  std::forward<F>(fn));
   }
@@ -71,12 +71,12 @@ class Simulation {
   void run_until(Time until);
 
   /// Runs until the event queue is empty.
-  void run() { run_until(std::numeric_limits<Time>::infinity()); }
+  void run() { run_until(Time::max()); }
 
   /// Executes at most one pending event (if any is due before `until`).
   /// Returns true if an event ran.  Useful for test harnesses that need to
   /// single-step the simulation.
-  bool step(Time until = std::numeric_limits<Time>::infinity());
+  bool step(Time until = Time::max());
 
   /// Number of events executed since construction.
   std::uint64_t events_executed() const noexcept { return executed_; }
@@ -85,7 +85,7 @@ class Simulation {
   EventQueue& queue() noexcept { return queue_; }
 
  private:
-  Time now_ = 0.0;
+  Time now_{};
   EventQueue queue_;
   Rng rng_;
   std::uint64_t executed_ = 0;

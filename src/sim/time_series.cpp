@@ -38,9 +38,9 @@ double TimeSeries::max_value() const {
       ->value;
 }
 
-BucketSeries::BucketSeries(Time width, Time origin)
+BucketSeries::BucketSeries(Duration width, Time origin)
     : width_(width), origin_(origin) {
-  assert(width > 0.0);
+  assert(width > Duration::zero());
 }
 
 void BucketSeries::record(Time t, double value) {
@@ -50,7 +50,7 @@ void BucketSeries::record(Time t, double value) {
   }
   while (buckets_.size() <= index) {
     buckets_.push_back(
-        Bucket{origin_ + width_ * static_cast<Time>(buckets_.size()), 0, 0.0,
+        Bucket{origin_ + width_ * static_cast<double>(buckets_.size()), 0, 0.0,
                std::numeric_limits<double>::infinity(),
                -std::numeric_limits<double>::infinity()});
   }
@@ -67,8 +67,9 @@ void StepCounter::add(Time t, int delta) {
   steps_.emplace_back(t, value_);
 }
 
-std::vector<Sample> StepCounter::sample_grid(Time t0, Time t1, Time dt) const {
-  assert(dt > 0.0 && t1 >= t0);
+std::vector<Sample> StepCounter::sample_grid(Time t0, Time t1,
+                                             Duration dt) const {
+  assert(dt > Duration::zero() && t1 >= t0);
   std::vector<Sample> out;
   std::size_t i = 0;
   long long current = 0;
@@ -93,12 +94,12 @@ double StepCounter::time_average(Time t0, Time t1) const {
       continue;
     }
     if (t >= t1) break;
-    integral += static_cast<double>(current) * (t - prev);
+    integral += static_cast<double>(current) * (t - prev).value();
     prev = t;
     current = v;
   }
-  integral += static_cast<double>(current) * (t1 - prev);
-  return integral / (t1 - t0);
+  integral += static_cast<double>(current) * (t1 - prev).value();
+  return integral / (t1 - t0).value();
 }
 
 long long StepCounter::peak(Time t1) const {

@@ -17,7 +17,7 @@ namespace coolstream::sim {
 
 /// A single (time, value) observation.
 struct Sample {
-  Time time = 0.0;
+  Time time{};
   double value = 0.0;
 };
 
@@ -45,7 +45,7 @@ class TimeSeries {
 
 /// One aggregated bucket of a BucketSeries.
 struct Bucket {
-  Time start = 0.0;              ///< inclusive bucket start time
+  Time start{};                  ///< inclusive bucket start time
   std::size_t count = 0;         ///< samples that fell in the bucket
   double sum = 0.0;              ///< sum of sample values
   double min = std::numeric_limits<double>::infinity();
@@ -57,8 +57,8 @@ struct Bucket {
 /// Aggregates samples into fixed-width time buckets starting at `origin`.
 class BucketSeries {
  public:
-  /// `width` is the bucket width in seconds (must be > 0).
-  explicit BucketSeries(Time width, Time origin = 0.0);
+  /// `width` is the bucket width (must be > 0).
+  explicit BucketSeries(Duration width, Time origin = Time::zero());
 
   /// Adds an observation.  Samples before `origin` are clamped into the
   /// first bucket.
@@ -68,11 +68,11 @@ class BucketSeries {
   /// no samples are present with count == 0.
   const std::vector<Bucket>& buckets() const noexcept { return buckets_; }
 
-  Time width() const noexcept { return width_; }
+  Duration width() const noexcept { return width_; }
   Time origin() const noexcept { return origin_; }
 
  private:
-  Time width_;
+  Duration width_;
   Time origin_;
   std::vector<Bucket> buckets_;
 };
@@ -92,14 +92,14 @@ class StepCounter {
     return steps_;
   }
 
-  /// Samples the step function every `dt` seconds over [t0, t1].
-  std::vector<Sample> sample_grid(Time t0, Time t1, Time dt) const;
+  /// Samples the step function every `dt` over [t0, t1].
+  std::vector<Sample> sample_grid(Time t0, Time t1, Duration dt) const;
 
   /// Time-average of the counter over [t0, t1].
   double time_average(Time t0, Time t1) const;
 
   /// Maximum value attained at or before `t1`.
-  long long peak(Time t1 = std::numeric_limits<Time>::infinity()) const;
+  long long peak(Time t1 = Time::max()) const;
 
  private:
   long long value_ = 0;

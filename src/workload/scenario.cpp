@@ -88,16 +88,17 @@ void ScenarioRunner::run_until(double until) {
     system_.start();
     schedule_next_arrival();
   }
-  sim_.run_until(std::min(until, scenario_.end_time));
+  sim_.run_until(sim::Time(std::min(until, scenario_.end_time)));
 }
 
 void ScenarioRunner::run() { run_until(scenario_.end_time); }
 
 void ScenarioRunner::schedule_next_arrival() {
-  const double t =
-      arrivals_.next_arrival(sim_.now(), scenario_.end_time, sim_.rng());
+  const double t = arrivals_.next_arrival(
+      sim_.now().value(),  // lint:allow(value-escape)
+      scenario_.end_time, sim_.rng());
   if (t > scenario_.end_time) return;
-  sim_.at(t, [this] {
+  sim_.at(sim::Time(t), [this] {
     const std::uint64_t user = next_user_++;
     const core::PeerSpec spec = scenario_.users.make_spec(user, sim_.rng());
     start_session(spec, scenario_.sessions.max_retries);
@@ -112,7 +113,8 @@ void ScenarioRunner::start_session(const core::PeerSpec& spec,
   ctl.user_id = spec.user_id;
   ctl.spec = spec;
   ctl.retries_left = retries_left;
-  const double patience = scenario_.sessions.draw_patience(sim_.rng());
+  const auto patience =
+      units::Duration(scenario_.sessions.draw_patience(sim_.rng()));
   ctl.patience =
       sim_.after(patience, [this, node] { on_patience_expired(node); });
   active_.emplace(node, std::move(ctl));
@@ -138,7 +140,11 @@ void ScenarioRunner::on_event(net::NodeId node, core::SessionEvent event) {
 void ScenarioRunner::on_ready(net::NodeId node, SessionCtl& ctl) {
   ctl.patience.cancel();
   const SessionModel& m = scenario_.sessions;
-  double leave_at = sim_.now() + m.draw_duration(sim_.rng());
+  // Session durations come from the scenario config in raw seconds; this
+  // is the conversion boundary into simulation time.
+  double leave_at =
+      sim_.now().value() +  // lint:allow(value-escape)
+      m.draw_duration(sim_.rng());
   if (std::isfinite(scenario_.program_end)) {
     const double end_spread = std::abs(
         sim_.rng().normal(0.0, scenario_.program_end_jitter));
@@ -150,7 +156,7 @@ void ScenarioRunner::on_ready(net::NodeId node, SessionCtl& ctl) {
     return;
   }
   const bool crash = sim_.rng().chance(m.crash_fraction);
-  sim_.at(std::max(leave_at, sim_.now()), [this, node, crash] {
+  sim_.at(std::max(sim::Time(leave_at), sim_.now()), [this, node, crash] {
     system_.leave(node, /*graceful=*/!crash);
   });
 }
@@ -170,9 +176,9 @@ void ScenarioRunner::on_patience_expired(net::NodeId node) {
   // …and maybe retries (Fig. 10b).
   const SessionModel& m = scenario_.sessions;
   if (retries_left > 0 && sim_.rng().chance(m.retry_prob)) {
-    const double delay = m.draw_retry_delay(sim_.rng());
+    const auto delay = units::Duration(m.draw_retry_delay(sim_.rng()));
     sim_.after(delay, [this, spec, retries_left] {
-      if (sim_.now() < scenario_.end_time) {
+      if (sim_.now() < sim::Time(scenario_.end_time)) {
         start_session(spec, retries_left - 1);
       }
     });

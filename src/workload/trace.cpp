@@ -46,7 +46,8 @@ std::vector<TraceRow> generate_trace(const Scenario& scenario,
     const core::PeerSpec spec = scenario.users.make_spec(user, rng);
     row.type = spec.type;
     row.address = spec.address;
-    row.upload_bps = spec.upload_capacity_bps;
+    // Trace rows are the CSV wire format: raw bps.
+    row.upload_bps = spec.upload_capacity.value();  // lint:allow(value-escape)
     row.duration_s = scenario.sessions.draw_duration(rng);
     row.patience_s = scenario.sessions.draw_patience(rng);
     rows.push_back(row);
@@ -124,14 +125,14 @@ TraceRunner::TraceRunner(sim::Simulation& simulation, Scenario scenario,
 void TraceRunner::run() {
   system_.start();
   schedule_next_row();
-  sim_.run_until(scenario_.end_time);
+  sim_.run_until(sim::Time(scenario_.end_time));
 }
 
 void TraceRunner::schedule_next_row() {
   if (next_row_ >= rows_.size()) return;
   const TraceRow& row = rows_[next_row_];
   if (row.join_time > scenario_.end_time) return;
-  sim_.at(std::max(row.join_time, sim_.now()), [this] {
+  sim_.at(std::max(sim::Time(row.join_time), sim_.now()), [this] {
     const TraceRow row_now = rows_[next_row_];
     ++next_row_;
     start_session(row_now, scenario_.sessions.max_retries);
@@ -145,12 +146,12 @@ void TraceRunner::start_session(const TraceRow& row, int retries_left) {
   spec.kind = core::PeerKind::kViewer;
   spec.type = row.type;
   spec.address = row.address;
-  spec.upload_capacity_bps = row.upload_bps;
+  spec.upload_capacity = units::BitRate(row.upload_bps);
   const net::NodeId node = system_.join(spec);
   SessionCtl ctl;
   ctl.row = row;
   ctl.retries_left = retries_left;
-  ctl.patience = sim_.after(row.patience_s, [this, node] {
+  ctl.patience = sim_.after(units::Duration(row.patience_s), [this, node] {
     auto it = active_.find(node);
     if (it == active_.end()) return;
     const core::Peer* p = system_.peer(node);
@@ -162,9 +163,10 @@ void TraceRunner::start_session(const TraceRow& row, int retries_left) {
     const int left = it->second.retries_left;
     system_.leave(node, /*graceful=*/true);
     if (left > 0 && sim_.rng().chance(scenario_.sessions.retry_prob)) {
-      const double delay = scenario_.sessions.draw_retry_delay(sim_.rng());
+      const auto delay =
+          units::Duration(scenario_.sessions.draw_retry_delay(sim_.rng()));
       sim_.after(delay, [this, row_copy, left] {
-        if (sim_.now() < scenario_.end_time) {
+        if (sim_.now() < sim::Time(scenario_.end_time)) {
           start_session(row_copy, left - 1);
         }
       });
@@ -179,7 +181,10 @@ void TraceRunner::on_event(net::NodeId node, core::SessionEvent event) {
   switch (event) {
     case core::SessionEvent::kMediaReady: {
       it->second.patience.cancel();
-      double leave_at = sim_.now() + it->second.row.duration_s;
+      // Trace durations are raw seconds (CSV boundary); convert once.
+      double leave_at =
+          sim_.now().value() +  // lint:allow(value-escape)
+          it->second.row.duration_s;
       if (std::isfinite(scenario_.program_end)) {
         leave_at = std::min(
             leave_at, scenario_.program_end +
@@ -189,9 +194,10 @@ void TraceRunner::on_event(net::NodeId node, core::SessionEvent event) {
       if (std::isfinite(leave_at)) {
         const bool crash =
             sim_.rng().chance(scenario_.sessions.crash_fraction);
-        sim_.at(std::max(leave_at, sim_.now()), [this, node, crash] {
-          system_.leave(node, /*graceful=*/!crash);
-        });
+        sim_.at(std::max(sim::Time(leave_at), sim_.now()),
+                [this, node, crash] {
+                  system_.leave(node, /*graceful=*/!crash);
+                });
       }
       break;
     }

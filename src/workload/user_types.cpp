@@ -64,7 +64,7 @@ core::PeerSpec UserTypeModel::make_spec(std::uint64_t user_id,
   spec.address = net::uses_private_address(spec.type)
                      ? net::random_private_address(rng)
                      : net::random_public_address(rng);
-  spec.upload_capacity_bps = draw_capacity(spec.type, rng);
+  spec.upload_capacity = units::BitRate(draw_capacity(spec.type, rng));
   return spec;
 }
 

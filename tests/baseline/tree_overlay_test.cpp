@@ -16,7 +16,7 @@ TEST(TreeOverlayTest, RootComesUp) {
   TreeOverlay tree(simulation, fast_params());
   tree.start();
   EXPECT_EQ(tree.live_count(), 1u);
-  simulation.run_until(10.0);
+  simulation.run_until(sim::Time(10.0));
 }
 
 TEST(TreeOverlayTest, JoinAttachesNearRoot) {
@@ -24,7 +24,7 @@ TEST(TreeOverlayTest, JoinAttachesNearRoot) {
   TreeOverlay tree(simulation, fast_params());
   tree.start();
   const auto a = tree.join(2 * 768e3, true);
-  simulation.run_until(5.0);
+  simulation.run_until(sim::Time(5.0));
   EXPECT_EQ(tree.depth(a), 1);
   EXPECT_TRUE(tree.is_live(a));
 }
@@ -38,7 +38,7 @@ TEST(TreeOverlayTest, DegreeConstraintForcesDeeperAttachment) {
   std::vector<net::NodeId> ids;
   for (int i = 0; i < 6; ++i) {
     ids.push_back(tree.join(2 * 768e3, true));
-    simulation.run_until(simulation.now() + 3.0);
+    simulation.run_until(simulation.now() + units::Duration(3.0));
   }
   int max_depth = 0;
   for (auto id : ids) max_depth = std::max(max_depth, tree.depth(id));
@@ -52,12 +52,12 @@ TEST(TreeOverlayTest, UnreachableNodesStayLeaves) {
   TreeOverlay tree(simulation, p);
   tree.start();
   const auto nat = tree.join(10e6, /*reachable=*/false);
-  simulation.run_until(3.0);
+  simulation.run_until(sim::Time(3.0));
   EXPECT_EQ(tree.depth(nat), 1);
   // Big capacity but unreachable: cannot father the next join, which
   // therefore stays detached (tree is full).
   const auto second = tree.join(1e6, true);
-  simulation.run_until(30.0);
+  simulation.run_until(sim::Time(30.0));
   EXPECT_EQ(tree.depth(second), -1);
 }
 
@@ -67,7 +67,7 @@ TEST(TreeOverlayTest, StableTreeDeliversEverything) {
   tree.start();
   std::vector<net::NodeId> ids;
   for (int i = 0; i < 8; ++i) ids.push_back(tree.join(3 * 768e3, true));
-  simulation.run_until(300.0);
+  simulation.run_until(sim::Time(300.0));
   EXPECT_GT(tree.average_continuity(), 0.999);
   EXPECT_DOUBLE_EQ(tree.attached_fraction(), 1.0);
   for (auto id : ids) EXPECT_GT(tree.stats(id).blocks_due, 0u);
@@ -81,16 +81,16 @@ TEST(TreeOverlayTest, DepartureOrphansSubtree) {
   TreeOverlay tree(simulation, p);
   tree.start();
   const auto a = tree.join(1 * 768e3 + 1, true);
-  simulation.run_until(3.0);
+  simulation.run_until(sim::Time(3.0));
   const auto b = tree.join(1 * 768e3 + 1, true);
-  simulation.run_until(6.0);
+  simulation.run_until(sim::Time(6.0));
   ASSERT_EQ(tree.depth(a), 1);
   ASSERT_EQ(tree.depth(b), 2);
 
   tree.leave(a);
   EXPECT_FALSE(tree.is_live(a));
   EXPECT_EQ(tree.depth(b), -1);  // orphaned
-  simulation.run_until(20.0);
+  simulation.run_until(sim::Time(20.0));
   EXPECT_EQ(tree.depth(b), 1);   // re-attached under the root
   EXPECT_EQ(tree.stats(b).reattachments, 1u);
 }
@@ -105,13 +105,13 @@ TEST(TreeOverlayTest, ChurnHurtsContinuity) {
     tree.start();
     std::vector<net::NodeId> ids;
     for (int i = 0; i < 24; ++i) ids.push_back(tree.join(2 * 768e3, true));
-    simulation.run_until(60.0);
+    simulation.run_until(sim::Time(60.0));
     // Periodically kill an interior node and replace it.
     double t = 60.0;
     std::size_t victim = 0;
     while (t < 600.0) {
       t = std::min(t + churn_interval, 600.0);
-      simulation.run_until(t);
+      simulation.run_until(sim::Time(t));
       if (t >= 600.0) break;
       // Kill the oldest live non-root node (likely interior).
       while (victim < ids.size() && !tree.is_live(ids[victim])) ++victim;
@@ -121,7 +121,7 @@ TEST(TreeOverlayTest, ChurnHurtsContinuity) {
         ++victim;
       }
     }
-    simulation.run_until(700.0);
+    simulation.run_until(sim::Time(700.0));
     return tree.average_continuity();
   };
   const double calm = run(1e9);   // no churn
@@ -135,7 +135,7 @@ TEST(TreeOverlayTest, LeaveIsIdempotent) {
   TreeOverlay tree(simulation, fast_params());
   tree.start();
   const auto a = tree.join(1e6, true);
-  simulation.run_until(3.0);
+  simulation.run_until(sim::Time(3.0));
   tree.leave(a);
   tree.leave(a);
   EXPECT_EQ(tree.live_count(), 1u);

@@ -10,8 +10,8 @@ namespace {
 TEST(BootstrapTest, AddRemoveContains) {
   BootstrapServer b;
   EXPECT_EQ(b.active_count(), 0u);
-  b.add(5, 1.0);
-  b.add(9, 2.0);
+  b.add(5, Tick(1.0));
+  b.add(9, Tick(2.0));
   EXPECT_TRUE(b.contains(5));
   EXPECT_TRUE(b.contains(9));
   EXPECT_EQ(b.active_count(), 2u);
@@ -22,15 +22,15 @@ TEST(BootstrapTest, AddRemoveContains) {
 
 TEST(BootstrapTest, AddIsIdempotent) {
   BootstrapServer b;
-  b.add(3, 1.0);
-  b.add(3, 2.0);
+  b.add(3, Tick(1.0));
+  b.add(3, Tick(2.0));
   EXPECT_EQ(b.active_count(), 1u);
-  EXPECT_DOUBLE_EQ(b.joined_at(3), 1.0);
+  EXPECT_EQ(b.joined_at(3), Tick(1.0));
 }
 
 TEST(BootstrapTest, RemoveAbsentIsNoop) {
   BootstrapServer b;
-  b.add(1, 1.0);
+  b.add(1, Tick(1.0));
   b.remove(99);
   b.remove(1);
   b.remove(1);
@@ -39,17 +39,17 @@ TEST(BootstrapTest, RemoveAbsentIsNoop) {
 
 TEST(BootstrapTest, JoinedAt) {
   BootstrapServer b;
-  b.add(4, 7.5);
-  EXPECT_DOUBLE_EQ(b.joined_at(4), 7.5);
-  EXPECT_DOUBLE_EQ(b.joined_at(5), -1.0);
+  b.add(4, Tick(7.5));
+  EXPECT_EQ(b.joined_at(4), Tick(7.5));
+  EXPECT_EQ(b.joined_at(5), Tick(-1.0));
   b.remove(4);
-  EXPECT_DOUBLE_EQ(b.joined_at(4), -1.0);
+  EXPECT_EQ(b.joined_at(4), Tick(-1.0));
 }
 
 TEST(BootstrapTest, RandomListExcludesRequester) {
   BootstrapServer b;
   sim::Rng rng(1);
-  for (net::NodeId id = 0; id < 10; ++id) b.add(id, 0.0);
+  for (net::NodeId id = 0; id < 10; ++id) b.add(id, Tick(0.0));
   for (int trial = 0; trial < 200; ++trial) {
     const auto list = b.random_list(5, 3, rng);
     ASSERT_EQ(list.size(), 5u);
@@ -68,8 +68,8 @@ TEST(BootstrapTest, RandomListExcludesRequester) {
 TEST(BootstrapTest, RandomListSmallPopulation) {
   BootstrapServer b;
   sim::Rng rng(2);
-  b.add(1, 0.0);
-  b.add(2, 0.0);
+  b.add(1, Tick(0.0));
+  b.add(2, Tick(0.0));
   const auto list = b.random_list(8, 1, rng);
   ASSERT_EQ(list.size(), 1u);
   EXPECT_EQ(list[0], 2u);
@@ -84,7 +84,7 @@ TEST(BootstrapTest, RandomListEmptyRegistry) {
 TEST(BootstrapTest, RandomListCoversAllNodes) {
   BootstrapServer b;
   sim::Rng rng(4);
-  for (net::NodeId id = 0; id < 20; ++id) b.add(id, 0.0);
+  for (net::NodeId id = 0; id < 20; ++id) b.add(id, Tick(0.0));
   std::vector<int> seen(20, 0);
   for (int trial = 0; trial < 2000; ++trial) {
     for (net::NodeId id : b.random_list(4, 999, rng)) ++seen[id];
@@ -96,7 +96,7 @@ TEST(BootstrapTest, RandomListCoversAllNodes) {
 TEST(BootstrapTest, SwapRemoveKeepsRegistryConsistent) {
   BootstrapServer b;
   sim::Rng rng(5);
-  for (net::NodeId id = 0; id < 50; ++id) b.add(id, id);
+  for (net::NodeId id = 0; id < 50; ++id) b.add(id, Tick(id));
   for (net::NodeId id = 0; id < 50; id += 2) b.remove(id);
   EXPECT_EQ(b.active_count(), 25u);
   for (net::NodeId id = 0; id < 50; ++id) {

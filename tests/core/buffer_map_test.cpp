@@ -8,35 +8,35 @@ namespace {
 TEST(BufferMapTest, FreshMapIsEmpty) {
   BufferMap bm(4);
   EXPECT_EQ(bm.substream_count(), 4);
-  for (int i = 0; i < 4; ++i) {
-    EXPECT_EQ(bm.latest(i), -1);
+  for (const SubstreamId i : substreams(4)) {
+    EXPECT_EQ(bm.latest(i), kNoSeq);
     EXPECT_FALSE(bm.subscribed(i));
   }
-  EXPECT_EQ(bm.max_latest(), -1);
-  EXPECT_EQ(bm.spread(), 0);
+  EXPECT_EQ(bm.max_latest(), kNoSeq);
+  EXPECT_EQ(bm.spread(), BlockCount(0));
 }
 
 TEST(BufferMapTest, SetAndGet) {
   BufferMap bm(3);
-  bm.set_latest(0, 10);
-  bm.set_latest(1, 7);
-  bm.set_latest(2, 12);
-  bm.set_subscribed(1, true);
-  EXPECT_EQ(bm.latest(1), 7);
-  EXPECT_TRUE(bm.subscribed(1));
-  EXPECT_FALSE(bm.subscribed(0));
-  EXPECT_EQ(bm.max_latest(), 12);
-  EXPECT_EQ(bm.min_latest(), 7);
-  EXPECT_EQ(bm.spread(), 5);
+  bm.set_latest(SubstreamId(0), SeqNum(10));
+  bm.set_latest(SubstreamId(1), SeqNum(7));
+  bm.set_latest(SubstreamId(2), SeqNum(12));
+  bm.set_subscribed(SubstreamId(1), true);
+  EXPECT_EQ(bm.latest(SubstreamId(1)), SeqNum(7));
+  EXPECT_TRUE(bm.subscribed(SubstreamId(1)));
+  EXPECT_FALSE(bm.subscribed(SubstreamId(0)));
+  EXPECT_EQ(bm.max_latest(), SeqNum(12));
+  EXPECT_EQ(bm.min_latest(), SeqNum(7));
+  EXPECT_EQ(bm.spread(), BlockCount(5));
 }
 
 TEST(BufferMapTest, TwoKTupleSemantics) {
   // §III-C: first K components = latest sequence numbers; second K =
   // subscriptions.  Verify both halves survive the wire format.
   BufferMap bm(2);
-  bm.set_latest(0, 100);
-  bm.set_latest(1, 99);
-  bm.set_subscribed(0, true);
+  bm.set_latest(SubstreamId(0), SeqNum(100));
+  bm.set_latest(SubstreamId(1), SeqNum(99));
+  bm.set_subscribed(SubstreamId(0), true);
   const auto decoded = BufferMap::decode(bm.encode());
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(*decoded, bm);
@@ -44,10 +44,10 @@ TEST(BufferMapTest, TwoKTupleSemantics) {
 
 TEST(BufferMapTest, EncodeFormat) {
   BufferMap bm(3);
-  bm.set_latest(0, 5);
-  bm.set_latest(1, -1);
-  bm.set_latest(2, 42);
-  bm.set_subscribed(2, true);
+  bm.set_latest(SubstreamId(0), SeqNum(5));
+  bm.set_latest(SubstreamId(1), kNoSeq);
+  bm.set_latest(SubstreamId(2), SeqNum(42));
+  bm.set_subscribed(SubstreamId(2), true);
   EXPECT_EQ(bm.encode(), "5,-1,42|001");
 }
 
@@ -64,8 +64,8 @@ TEST(BufferMapTest, RoundTripSweep) {
   for (int k = 1; k <= 8; ++k) {
     BufferMap bm(k);
     for (int i = 0; i < k; ++i) {
-      bm.set_latest(i, i * 1000 - 1);
-      bm.set_subscribed(i, i % 2 == 0);
+      bm.set_latest(SubstreamId(i), SeqNum(i * 1000 - 1));
+      bm.set_subscribed(SubstreamId(i), i % 2 == 0);
     }
     const auto decoded = BufferMap::decode(bm.encode());
     ASSERT_TRUE(decoded.has_value()) << "k=" << k;

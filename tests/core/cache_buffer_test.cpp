@@ -1,57 +1,62 @@
 #include "core/cache_buffer.h"
 
+#include <algorithm>
 #include <gtest/gtest.h>
 
 namespace coolstream::core {
 namespace {
 
 TEST(CacheBufferTest, OldestFollowsHead) {
-  CacheBuffer cb(10);
-  EXPECT_EQ(cb.oldest(5), 0);    // window not yet full
-  EXPECT_EQ(cb.oldest(9), 0);
-  EXPECT_EQ(cb.oldest(10), 1);
-  EXPECT_EQ(cb.oldest(100), 91);
+  CacheBuffer cb(BlockCount(10));
+  EXPECT_EQ(cb.oldest(SeqNum(5)), SeqNum(0));  // window not yet full
+  EXPECT_EQ(cb.oldest(SeqNum(9)), SeqNum(0));
+  EXPECT_EQ(cb.oldest(SeqNum(10)), SeqNum(1));
+  EXPECT_EQ(cb.oldest(SeqNum(100)), SeqNum(91));
 }
 
 TEST(CacheBufferTest, AvailabilityWindow) {
-  CacheBuffer cb(10);
+  CacheBuffer cb(BlockCount(10));
   // head = 100: window is [91, 100].
-  EXPECT_TRUE(cb.available(100, 100));
-  EXPECT_TRUE(cb.available(100, 91));
-  EXPECT_FALSE(cb.available(100, 90));   // pushed out by playout
-  EXPECT_FALSE(cb.available(100, 101));  // not yet received
-  EXPECT_FALSE(cb.available(100, -1));
+  EXPECT_TRUE(cb.available(SeqNum(100), SeqNum(100)));
+  EXPECT_TRUE(cb.available(SeqNum(100), SeqNum(91)));
+  EXPECT_FALSE(cb.available(SeqNum(100), SeqNum(90)));   // pushed out
+  EXPECT_FALSE(cb.available(SeqNum(100), SeqNum(101)));  // not yet received
+  EXPECT_FALSE(cb.available(SeqNum(100), kNoSeq));
 }
 
 TEST(CacheBufferTest, EmptyBufferHasNothing) {
-  CacheBuffer cb(10);
-  EXPECT_FALSE(cb.available(-1, 0));
+  CacheBuffer cb(BlockCount(10));
+  EXPECT_FALSE(cb.available(kNoSeq, SeqNum(0)));
 }
 
 TEST(CacheBufferTest, ClampStart) {
-  CacheBuffer cb(10);
+  CacheBuffer cb(BlockCount(10));
   // head = 100: serveable start range is [91, 101].
-  EXPECT_EQ(cb.clamp_start(100, 95), 95);
-  EXPECT_EQ(cb.clamp_start(100, 50), 91);   // too old -> window edge
-  EXPECT_EQ(cb.clamp_start(100, 200), 101); // future -> next block
+  EXPECT_EQ(cb.clamp_start(SeqNum(100), SeqNum(95)), SeqNum(95));
+  // Too old -> window edge.
+  EXPECT_EQ(cb.clamp_start(SeqNum(100), SeqNum(50)), SeqNum(91));
+  // Future -> next block.
+  EXPECT_EQ(cb.clamp_start(SeqNum(100), SeqNum(200)), SeqNum(101));
 }
 
 TEST(CacheBufferTest, WindowOfOneBlock) {
-  CacheBuffer cb(1);
-  EXPECT_TRUE(cb.available(5, 5));
-  EXPECT_FALSE(cb.available(5, 4));
+  CacheBuffer cb(BlockCount(1));
+  EXPECT_TRUE(cb.available(SeqNum(5), SeqNum(5)));
+  EXPECT_FALSE(cb.available(SeqNum(5), SeqNum(4)));
 }
 
 TEST(CacheBufferTest, ParameterSweepInvariants) {
-  for (SeqNum window = 1; window <= 64; window *= 2) {
-    CacheBuffer cb(window);
-    for (SeqNum head = 0; head < 200; head += 7) {
-      ASSERT_GE(cb.oldest(head), 0);
-      ASSERT_LE(cb.oldest(head), head + 1);
+  for (std::int64_t window = 1; window <= 64; window *= 2) {
+    CacheBuffer cb{BlockCount(window)};
+    for (std::int64_t head = 0; head < 200; head += 7) {
+      const SeqNum h(head);
+      ASSERT_GE(cb.oldest(h), SeqNum(0));
+      ASSERT_LE(cb.oldest(h), SeqNum(head + 1));
       // Exactly min(window, head+1) blocks available.
-      ASSERT_EQ(head - cb.oldest(head) + 1, std::min(window, head + 1));
-      ASSERT_TRUE(cb.available(head, head));
-      ASSERT_FALSE(cb.available(head, head + 1));
+      ASSERT_EQ(h - cb.oldest(h) + BlockCount(1),
+                BlockCount(std::min(window, head + 1)));
+      ASSERT_TRUE(cb.available(h, h));
+      ASSERT_FALSE(cb.available(h, SeqNum(head + 1)));
     }
   }
 }

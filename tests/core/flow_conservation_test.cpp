@@ -28,8 +28,8 @@ TEST_P(FlowConservationTest, BytesBalance) {
   for (net::NodeId id = 0;; ++id) {
     const Peer* p = sys.peer(id);
     if (p == nullptr) break;
-    up += p->stats().bytes_up;
-    down += p->stats().bytes_down;
+    up += p->stats().bytes_up.value();
+    down += p->stats().bytes_down.value();
     if (p->kind() == PeerKind::kViewer) {
       viewer_blocks_received += p->sync().blocks_received();
     }
@@ -64,8 +64,8 @@ TEST(FlowConservationTest2, ServersOnlyUpload) {
   for (net::NodeId id = 0; id < 2; ++id) {
     const Peer* server = sys.peer(id);
     ASSERT_EQ(server->kind(), PeerKind::kServer);
-    EXPECT_EQ(server->stats().bytes_down, 0u);
-    EXPECT_GT(server->stats().bytes_up, 0u);
+    EXPECT_EQ(server->stats().bytes_down, units::Bytes::zero());
+    EXPECT_GT(server->stats().bytes_up, units::Bytes::zero());
   }
 }
 

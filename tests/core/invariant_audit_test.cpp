@@ -41,17 +41,17 @@ class SeededCorruptionTest : public ::testing::Test {
     cfg_.server_max_partners = 8;
     sys_ = std::make_unique<System>(simulation_, params_, cfg_, nullptr);
     sys_->start();
-    simulation_.run_until(5.0);
+    simulation_.run_until(sim::Time(5.0));
     for (int i = 0; i < 4; ++i) {
       PeerSpec spec;
       spec.user_id = static_cast<std::uint64_t>(100 + i);
       spec.kind = PeerKind::kViewer;
       spec.type = net::ConnectionType::kDirect;
       spec.address = net::random_public_address(simulation_.rng());
-      spec.upload_capacity_bps = 1e6;
+      spec.upload_capacity = units::BitRate(1e6);
       viewers_.push_back(sys_->join(spec));
     }
-    simulation_.run_until(60.0);
+    simulation_.run_until(sim::Time(60.0));
   }
 
   /// A live node guaranteed not to be partnered with anyone yet: a viewer
@@ -62,7 +62,7 @@ class SeededCorruptionTest : public ::testing::Test {
     spec.kind = PeerKind::kViewer;
     spec.type = net::ConnectionType::kDirect;
     spec.address = net::random_public_address(simulation_.rng());
-    spec.upload_capacity_bps = 1e6;
+    spec.upload_capacity = units::BitRate(1e6);
     return sys_->join(spec);
   }
 
@@ -100,7 +100,7 @@ TEST_F(SeededCorruptionTest, AsymmetricPartnershipDetected) {
 
   PartnerState fake;
   fake.id = stranger;
-  fake.established = 0.0;  // long past the in-flight grace window
+  fake.established = Tick(0.0);  // long past the in-flight grace window
   InvariantTestAccess::partners(p).push_back(fake);
 
   InvariantAuditor auditor(*sys_);
@@ -126,14 +126,14 @@ TEST_F(SeededCorruptionTest, AsymmetryWithinGraceIsTolerated) {
 
 TEST_F(SeededCorruptionTest, DoubleParentSubstreamDetected) {
   Peer& p = playing_viewer();
-  SubstreamId j = -1;
-  for (int s = 0; s < params_.substream_count; ++s) {
+  SubstreamId j(-1);
+  for (const SubstreamId s : substreams(params_.substream_count)) {
     if (p.parent_of(s) != net::kInvalidNode) {
       j = s;
       break;
     }
   }
-  ASSERT_GE(j, 0) << "viewer has no subscribed sub-stream";
+  ASSERT_GE(j, SubstreamId(0)) << "viewer has no subscribed sub-stream";
   Peer* parent = sys_->peer(p.parent_of(j));
   ASSERT_NE(parent, nullptr);
   // The parent now carries two push connections for the same (child,
@@ -150,7 +150,7 @@ TEST_F(SeededCorruptionTest, StaleBufferMapBitDetected) {
   Peer& p = playing_viewer();
   PartnerState* view = nullptr;
   for (auto& ps : InvariantTestAccess::partners(p)) {
-    if (ps.bm_time >= 0.0) {
+    if (ps.bm_time.has_value()) {
       view = &ps;
       break;
     }
@@ -158,7 +158,9 @@ TEST_F(SeededCorruptionTest, StaleBufferMapBitDetected) {
   ASSERT_NE(view, nullptr) << "viewer never received a buffer map";
   // The stored view now advertises a block far beyond anything the
   // encoder has produced.
-  view->bm.set_latest(0, sys_->source_head(0, sys_->now()) + 100);
+  view->bm.set_latest(
+      SubstreamId(0),
+      sys_->source_head(SubstreamId(0), sys_->now()) + BlockCount(100));
 
   InvariantAuditor auditor(*sys_);
   const auto violations = auditor.audit();
@@ -168,13 +170,15 @@ TEST_F(SeededCorruptionTest, StaleBufferMapBitDetected) {
 
 TEST_F(SeededCorruptionTest, RewoundHeadDetected) {
   Peer& p = playing_viewer();
-  ASSERT_GE(p.head(0), 3) << "head too low to rewind meaningfully";
+  ASSERT_GE(p.head(SubstreamId(0)), SeqNum(3))
+      << "head too low to rewind meaningfully";
 
   InvariantAuditor auditor(*sys_);
   const auto before = auditor.audit();  // takes the monotonicity snapshot
   ASSERT_TRUE(before.empty()) << describe(before);
 
-  InvariantTestAccess::rewind_head(p, 0, p.head(0) - 3);
+  InvariantTestAccess::rewind_head(
+      p, SubstreamId(0), p.head(SubstreamId(0)) - BlockCount(3));
 
   const auto after = auditor.audit();
   EXPECT_TRUE(has_rule(after, InvariantRule::kSyncMonotonic))
@@ -195,7 +199,7 @@ TEST_F(SeededCorruptionTest, LeakedBlockAccountingDetected) {
 TEST_F(SeededCorruptionTest, ZombieBootstrapEntryDetected) {
   const net::NodeId id = viewers_.front();
   sys_->leave(id, /*graceful=*/true);
-  simulation_.run_until(simulation_.now() + 10.0);
+  simulation_.run_until(simulation_.now() + units::Duration(10.0));
 
   InvariantAuditor auditor(*sys_);
   const auto clean = auditor.audit();
@@ -228,7 +232,7 @@ TEST(InvariantAuditorTest, PeriodicAuditStaysCleanThroughChurn) {
                               const std::vector<InvariantViolation>& v) {
     collected.insert(collected.end(), v.begin(), v.end());
   };
-  auditor.start(20.0);
+  auditor.start(units::Duration(20.0));
   runner.run();
 
   EXPECT_GT(auditor.audits_run(), 10u);
@@ -268,7 +272,7 @@ TEST(InvariantAuditorTest, AuditingDoesNotPerturbTheRun) {
     if (with_audit) {
       auditor = std::make_unique<InvariantAuditor>(runner.system());
       // Deliberately not a multiple of any protocol period.
-      auditor->start(13.7);
+      auditor->start(units::Duration(13.7));
     }
     runner.run();
 
@@ -279,10 +283,10 @@ TEST(InvariantAuditorTest, AuditingDoesNotPerturbTheRun) {
     for (net::NodeId id = 0;; ++id) {
       const Peer* p = sys.peer(id);
       if (p == nullptr) break;
-      fp.bytes_up += p->stats().bytes_up;
-      fp.bytes_down += p->stats().bytes_down;
-      for (int j = 0; j < sys.params().substream_count; ++j) {
-        fp.heads += p->head(j);
+      fp.bytes_up += p->stats().bytes_up.value();
+      fp.bytes_down += p->stats().bytes_down.value();
+      for (const SubstreamId j : substreams(sys.params().substream_count)) {
+        fp.heads += p->head(j).value();
       }
     }
     return fp;
@@ -304,7 +308,7 @@ TEST(InvariantAuditorTest, SystemHookAttachesAuditor) {
   System sys(simulation, params, cfg, nullptr);
   sys.start();
   ASSERT_NE(sys.auditor(), nullptr);
-  simulation.run_until(30.0);
+  simulation.run_until(sim::Time(30.0));
   EXPECT_GT(sys.auditor()->audits_run(), 0u);
   EXPECT_EQ(sys.auditor()->violations_seen(), 0u);
 }

@@ -22,7 +22,7 @@ TEST_P(InvariantsTest, HoldAfterChurnyRun) {
   runner.run();
   System& sys = runner.system();
 
-  const auto live_edge = sys.source_head(0, simulation.now());
+  const auto live_edge = sys.source_head(SubstreamId(0), simulation.now());
   std::size_t live_seen = 0;
 
   for (net::NodeId id = 0;; ++id) {
@@ -52,7 +52,7 @@ TEST_P(InvariantsTest, HoldAfterChurnyRun) {
               static_cast<std::size_t>(sys.max_partners_of(*p)) + 2);
 
     // Parents are live partners; the parent serves us.
-    for (int j = 0; j < sys.params().substream_count; ++j) {
+    for (const SubstreamId j : substreams(sys.params().substream_count)) {
       const net::NodeId parent = p->parent_of(j);
       if (parent == net::kInvalidNode) continue;
       const Peer* q = sys.peer(parent);
@@ -68,16 +68,17 @@ TEST_P(InvariantsTest, HoldAfterChurnyRun) {
     }
 
     // Heads never exceed the encoder position (with server-lag slack).
-    for (int j = 0; j < sys.params().substream_count; ++j) {
-      EXPECT_LE(p->head(j), live_edge + 1) << id;
+    for (const SubstreamId j : substreams(sys.params().substream_count)) {
+      EXPECT_LE(p->head(j), live_edge + BlockCount(1)) << id;
     }
 
     // Playout accounting is consistent.
     EXPECT_LE(p->stats().blocks_on_time, p->stats().blocks_due);
     if (p->phase() == PeerPhase::kPlaying) {
       EXPECT_LE(p->playhead(),
-                global_of(0, live_edge, sys.params().substream_count) +
-                    sys.params().substream_count);
+                global_of(SubstreamId(0), live_edge,
+                          sys.params().substream_count) +
+                    BlockCount(sys.params().substream_count));
     }
   }
   EXPECT_EQ(live_seen, sys.live_viewer_count() +
@@ -112,7 +113,7 @@ TEST(GossipTest, MembershipKnowledgeSpreads) {
     if (p == nullptr) break;
     if (!p->alive() || p->kind() != PeerKind::kViewer) continue;
     // Only count peers that have been in the system for a while.
-    if (simulation.now() - p->joined_at() < 120.0) continue;
+    if (simulation.now() - p->joined_at() < units::Duration(120.0)) continue;
     ++viewers;
     if (p->mcache().size() >
         static_cast<std::size_t>(scenario.params.bootstrap_list_size)) {
@@ -137,25 +138,25 @@ TEST(BmSubscriptionBitsTest, AdvertisedToTheServingPartner) {
   cfg.server_max_partners = 6;
   System sys(simulation, params, cfg, nullptr);
   sys.start();
-  simulation.run_until(10.0);
+  simulation.run_until(sim::Time(10.0));
   PeerSpec spec;
   spec.user_id = 5;
   spec.kind = PeerKind::kViewer;
   spec.type = net::ConnectionType::kNat;
   spec.address = net::random_private_address(simulation.rng());
-  spec.upload_capacity_bps = 0.0;
+  spec.upload_capacity = units::BitRate(0.0);
   const net::NodeId id = sys.join(spec);
-  simulation.run_until(60.0);
+  simulation.run_until(sim::Time(60.0));
 
   const Peer* viewer = sys.peer(id);
   ASSERT_EQ(viewer->phase(), PeerPhase::kPlaying);
   const Peer* server = sys.peer(0);
   const PartnerState* view = server->find_partner(id);
   ASSERT_NE(view, nullptr);
-  ASSERT_GE(view->bm_time, 0.0);
-  for (int j = 0; j < params.substream_count; ++j) {
+  ASSERT_TRUE(view->bm_time.has_value());
+  for (const SubstreamId j : substreams(params.substream_count)) {
     EXPECT_EQ(view->bm.subscribed(j), viewer->parent_of(j) == 0u)
-        << "sub-stream " << j;
+        << "sub-stream " << j.value();
   }
 }
 

@@ -21,7 +21,7 @@ PeerSpec nat_viewer(std::uint64_t user, sim::Rng& rng) {
   s.kind = PeerKind::kViewer;
   s.type = net::ConnectionType::kNat;
   s.address = net::random_private_address(rng);
-  s.upload_capacity_bps = 0.0;
+  s.upload_capacity = units::BitRate(0.0);
   return s;
 }
 
@@ -35,28 +35,28 @@ TEST(JoinProcessTest, InitialOffsetIsTpBehindPartnerMax) {
   System sys(simulation, params, cfg, nullptr);
   sys.start();
   // Join late so the stream has plenty of history.
-  simulation.run_until(200.0);
+  simulation.run_until(sim::Time(200.0));
   const net::NodeId id = sys.join(nat_viewer(1, simulation.rng()));
 
   // Capture the moment start-subscription happens.
-  double start_sub = -1.0;
+  sim::Time start_sub(-1.0);
   sys.observer = [&](net::NodeId, SessionEvent e) {
-    if (e == SessionEvent::kStartSubscription && start_sub < 0.0) {
+    if (e == SessionEvent::kStartSubscription && start_sub < sim::Time(0.0)) {
       start_sub = simulation.now();
     }
   };
-  simulation.run_until(230.0);
-  ASSERT_GT(start_sub, 0.0);
+  simulation.run_until(sim::Time(230.0));
+  ASSERT_GT(start_sub, sim::Time(0.0));
 
   const Peer* p = sys.peer(id);
   // play_start_seq = (m - T_p) * K with m ~ the live edge at decision
   // time.  Allow generous slack for latency and aggregation delay.
-  const SeqNum live_at_start = sys.source_head(0, start_sub);
+  const SeqNum live_at_start = sys.source_head(SubstreamId(0), start_sub);
   const auto expected =
-      global_of(0, live_at_start - static_cast<SeqNum>(params.tp_blocks()),
+      global_of(SubstreamId(0), live_at_start - params.tp_block_count(),
                 params.substream_count);
-  EXPECT_NEAR(static_cast<double>(p->play_start_seq()),
-              static_cast<double>(expected),
+  EXPECT_NEAR(static_cast<double>(p->play_start_seq().value()),
+              static_cast<double>(expected.value()),
               4.0 * params.block_rate);  // within ~4 s of stream
 }
 
@@ -73,26 +73,27 @@ TEST(JoinProcessTest, MediaReadyRequiresBufferedSpan) {
   cfg.server_max_partners = 4;
   System sys(simulation, params, cfg, nullptr);
 
-  double start_sub = -1.0;
-  double ready = -1.0;
+  sim::Time start_sub(-1.0);
+  sim::Time ready(-1.0);
   sys.observer = [&](net::NodeId, SessionEvent e) {
-    if (e == SessionEvent::kStartSubscription && start_sub < 0.0) {
+    if (e == SessionEvent::kStartSubscription && start_sub < sim::Time(0.0)) {
       start_sub = simulation.now();
     }
-    if (e == SessionEvent::kMediaReady && ready < 0.0) {
+    if (e == SessionEvent::kMediaReady && ready < sim::Time(0.0)) {
       ready = simulation.now();
     }
   };
   sys.start();
-  simulation.run_until(100.0);
+  simulation.run_until(sim::Time(100.0));
   sys.join(nat_viewer(2, simulation.rng()));
-  simulation.run_until(200.0);
-  ASSERT_GT(start_sub, 0.0);
-  ASSERT_GT(ready, 0.0);
+  simulation.run_until(sim::Time(200.0));
+  ASSERT_GT(start_sub, sim::Time(0.0));
+  ASSERT_GT(ready, sim::Time(0.0));
   // At 2x catch-up, filling media_ready_buffer_seconds of video takes at
   // least media_ready/2 of wall clock.
-  EXPECT_GE(ready - start_sub, params.media_ready_buffer_seconds / 2.0 - 1.0);
-  EXPECT_LE(ready - start_sub, 60.0);
+  EXPECT_GE(ready - start_sub,
+            units::Duration(params.media_ready_buffer_seconds / 2.0 - 1.0));
+  EXPECT_LE(ready - start_sub, units::Duration(60.0));
 }
 
 TEST(JoinProcessTest, JoinWithNoActivePeersRetriesViaBootstrap) {
@@ -107,7 +108,7 @@ TEST(JoinProcessTest, JoinWithNoActivePeersRetriesViaBootstrap) {
   System sys(simulation, params, cfg, &log);
   sys.start();
   const net::NodeId id = sys.join(nat_viewer(3, simulation.rng()));
-  simulation.run_until(60.0);
+  simulation.run_until(sim::Time(60.0));
   const Peer* p = sys.peer(id);
   EXPECT_TRUE(p->alive());
   EXPECT_NE(p->phase(), PeerPhase::kPlaying);
@@ -128,12 +129,12 @@ TEST(AdaptationTest, CooldownLimitsAdaptationRate) {
   cfg.server_max_partners = 4;
   System sys(simulation, params, cfg, nullptr);
   sys.start();
-  simulation.run_until(30.0);
+  simulation.run_until(sim::Time(30.0));
   const net::NodeId id = sys.join(nat_viewer(4, simulation.rng()));
-  const double t0 = simulation.now();
-  simulation.run_until(t0 + 300.0);
+  const sim::Time t0 = simulation.now();
+  simulation.run_until(t0 + units::Duration(300.0));
   const Peer* p = sys.peer(id);
-  const double elapsed = simulation.now() - t0;
+  const double elapsed = (simulation.now() - t0).value();
   EXPECT_GT(p->stats().adaptations, 0u);
   EXPECT_LE(p->stats().adaptations,
             static_cast<std::uint32_t>(elapsed / params.ta_seconds) + 2);
@@ -151,17 +152,17 @@ TEST(AdaptationTest, SwitchesToFresherParentViaInequality2) {
   cfg.server_max_partners = 2;  // tight: viewer may only get one at first
   System sys(simulation, params, cfg, nullptr);
   sys.start();
-  simulation.run_until(30.0);
+  simulation.run_until(sim::Time(30.0));
   const net::NodeId id = sys.join(nat_viewer(5, simulation.rng()));
-  simulation.run_until(300.0);
+  simulation.run_until(sim::Time(300.0));
   const Peer* p = sys.peer(id);
   ASSERT_EQ(p->phase(), PeerPhase::kPlaying);
   // With ample server capacity the viewer must end up fully served and
   // fresh regardless of which server it found first.
-  const SeqNum live = sys.source_head(0, simulation.now());
-  for (int j = 0; j < params.substream_count; ++j) {
+  const SeqNum live = sys.source_head(SubstreamId(0), simulation.now());
+  for (const SubstreamId j : substreams(params.substream_count)) {
     EXPECT_NE(p->parent_of(j), net::kInvalidNode);
-    EXPECT_GT(p->head(j), live - static_cast<SeqNum>(params.tp_blocks()));
+    EXPECT_GT(p->head(j), live - params.tp_block_count());
   }
 }
 

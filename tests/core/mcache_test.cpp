@@ -8,7 +8,7 @@ namespace coolstream::core {
 namespace {
 
 McacheEntry entry(net::NodeId id, double first_seen = 0.0) {
-  return McacheEntry{id, first_seen, first_seen};
+  return McacheEntry{id, Tick(first_seen), Tick(first_seen)};
 }
 
 TEST(McacheTest, InsertUntilCapacity) {
@@ -26,11 +26,11 @@ TEST(McacheTest, InsertUntilCapacity) {
 TEST(McacheTest, UpsertRefreshesExisting) {
   sim::Rng rng(2);
   Mcache m(2, McachePolicy::kRandomReplace);
-  m.upsert(McacheEntry{7, 10.0, 10.0}, rng);
-  m.upsert(McacheEntry{7, 12.0, 20.0}, rng);
+  m.upsert(McacheEntry{7, Tick(10.0), Tick(10.0)}, rng);
+  m.upsert(McacheEntry{7, Tick(12.0), Tick(20.0)}, rng);
   EXPECT_EQ(m.size(), 1u);
-  EXPECT_DOUBLE_EQ(m.entries()[0].updated, 20.0);
-  EXPECT_DOUBLE_EQ(m.entries()[0].first_seen, 10.0);  // keeps the earliest
+  EXPECT_EQ(m.entries()[0].updated, Tick(20.0));
+  EXPECT_EQ(m.entries()[0].first_seen, Tick(10.0));  // keeps the earliest
 }
 
 TEST(McacheTest, RandomReplaceEvictsWhenFull) {

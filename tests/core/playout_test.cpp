@@ -20,7 +20,7 @@ PeerSpec nat_viewer(std::uint64_t user, sim::Rng& rng) {
   s.kind = PeerKind::kViewer;
   s.type = net::ConnectionType::kNat;
   s.address = net::random_private_address(rng);
-  s.upload_capacity_bps = 0.0;
+  s.upload_capacity = units::BitRate(0.0);
   return s;
 }
 
@@ -42,20 +42,20 @@ struct Rig {
             }(),
             nullptr) {
     sys.start();
-    simulation.run_until(30.0);
+    simulation.run_until(sim::Time(30.0));
     viewer = sys.join(nat_viewer(1, simulation.rng()));
   }
 };
 
 TEST(PlayoutTest, AmpleParentNeverStalls) {
   Rig rig(4 * 768e3, 3);
-  rig.simulation.run_until(300.0);
+  rig.simulation.run_until(sim::Time(300.0));
   const Peer* p = rig.sys.peer(rig.viewer);
   ASSERT_EQ(p->phase(), PeerPhase::kPlaying);
   EXPECT_GT(p->stats().blocks_due, 1000u);
   EXPECT_EQ(p->stats().blocks_due, p->stats().blocks_on_time);
   EXPECT_EQ(p->stats().stalls, 0u);
-  EXPECT_DOUBLE_EQ(p->stats().stall_seconds, 0.0);
+  EXPECT_EQ(p->stats().stall_seconds, units::Duration::zero());
 }
 
 TEST(PlayoutTest, UnderProvisionedParentStallsButBoundsMisses) {
@@ -65,12 +65,12 @@ TEST(PlayoutTest, UnderProvisionedParentStallsButBoundsMisses) {
   // are gone before they can be fetched and misses appear — at a bounded
   // rate, not wholesale.
   Rig rig(0.8 * 768e3, 5);
-  rig.simulation.run_until(1200.0);
+  rig.simulation.run_until(sim::Time(1200.0));
   const Peer* p = rig.sys.peer(rig.viewer);
   ASSERT_EQ(p->phase(), PeerPhase::kPlaying);
   const auto& st = p->stats();
   EXPECT_GT(st.stalls, 0u);
-  EXPECT_GT(st.stall_seconds, 0.0);
+  EXPECT_GT(st.stall_seconds, units::Duration::zero());
   EXPECT_GT(st.blocks_due, 0u);
   // 20% shortfall: the viewer cannot play in real time.  Its lone parent
   // is the only source, so the deficit surfaces as stalls and forward
@@ -79,14 +79,14 @@ TEST(PlayoutTest, UnderProvisionedParentStallsButBoundsMisses) {
   EXPECT_GT(st.resyncs, 0u);
   const double played_seconds =
       static_cast<double>(st.blocks_due) / 8.0;
-  EXPECT_LT(played_seconds, 0.9 * rig.simulation.now());
+  EXPECT_LT(played_seconds, 0.9 * rig.simulation.now().value());
 }
 
 TEST(PlayoutTest, StallSecondsGrowWithShortfall) {
   Rig mild(0.95 * 768e3, 7);
   Rig severe(0.6 * 768e3, 7);
-  mild.simulation.run_until(400.0);
-  severe.simulation.run_until(400.0);
+  mild.simulation.run_until(sim::Time(400.0));
+  severe.simulation.run_until(sim::Time(400.0));
   const auto& m = mild.sys.peer(mild.viewer)->stats();
   const auto& s = severe.sys.peer(severe.viewer)->stats();
   EXPECT_GT(s.stall_seconds, m.stall_seconds);
@@ -102,9 +102,9 @@ TEST(PlayoutTest, ContinuityFromLogMatchesPeerStats) {
   Params params = fast_params();
   System sys(simulation, params, cfg, &log);
   sys.start();
-  simulation.run_until(10.0);
+  simulation.run_until(sim::Time(10.0));
   const net::NodeId id = sys.join(nat_viewer(9, simulation.rng()));
-  simulation.run_until(400.0);
+  simulation.run_until(sim::Time(400.0));
 
   const Peer* p = sys.peer(id);
   std::uint64_t due = 0;
@@ -126,9 +126,9 @@ TEST(PlayoutTest, ContinuityFromLogMatchesPeerStats) {
 TEST(McacheReachabilityTest, SampleCanFilterOnEntries) {
   sim::Rng rng(1);
   Mcache m(8, McachePolicy::kRandomReplace);
-  m.upsert(McacheEntry{1, 0.0, 0.0, true}, rng);
-  m.upsert(McacheEntry{2, 0.0, 0.0, false}, rng);
-  m.upsert(McacheEntry{3, 0.0, 0.0, true}, rng);
+  m.upsert(McacheEntry{1, Tick(0.0), Tick(0.0), true}, rng);
+  m.upsert(McacheEntry{2, Tick(0.0), Tick(0.0), false}, rng);
+  m.upsert(McacheEntry{3, Tick(0.0), Tick(0.0), true}, rng);
   const auto sample = m.sample(
       8, rng, [](const McacheEntry& e) { return !e.reachable; });
   ASSERT_EQ(sample.size(), 2u);
@@ -138,8 +138,8 @@ TEST(McacheReachabilityTest, SampleCanFilterOnEntries) {
 TEST(McacheReachabilityTest, UpsertRefreshesReachability) {
   sim::Rng rng(2);
   Mcache m(4, McachePolicy::kRandomReplace);
-  m.upsert(McacheEntry{7, 0.0, 0.0, false}, rng);
-  m.upsert(McacheEntry{7, 0.0, 1.0, true}, rng);
+  m.upsert(McacheEntry{7, Tick(0.0), Tick(0.0), false}, rng);
+  m.upsert(McacheEntry{7, Tick(0.0), Tick(1.0), true}, rng);
   EXPECT_TRUE(m.entries()[0].reachable);
 }
 
@@ -154,12 +154,12 @@ TEST(ReachabilityFilterTest, NoAttemptsWastedOnNatPeers) {
   cfg.server_max_partners = 40;
   System sys(simulation, fast_params(), cfg, nullptr);
   sys.start();
-  simulation.run_until(5.0);
+  simulation.run_until(sim::Time(5.0));
   for (int i = 0; i < 12; ++i) {
     sys.join(nat_viewer(static_cast<std::uint64_t>(100 + i),
                         simulation.rng()));
   }
-  simulation.run_until(200.0);
+  simulation.run_until(sim::Time(200.0));
   EXPECT_EQ(sys.stats().partnership_rejects, 0u);
   EXPECT_GT(sys.stats().partnership_accepts, 0u);
 }

@@ -19,14 +19,15 @@ PeerSpec nat_viewer(std::uint64_t user, sim::Rng& rng) {
   s.kind = PeerKind::kViewer;
   s.type = net::ConnectionType::kNat;
   s.address = net::random_private_address(rng);
-  s.upload_capacity_bps = 0.0;
+  s.upload_capacity = units::BitRate(0.0);
   return s;
 }
 
-double playback_lag_seconds(const System& sys, const Peer& p, double now) {
-  const auto live = global_of(
-      0, sys.source_head(0, now), sys.params().substream_count);
-  return static_cast<double>(live - p.playhead()) / sys.params().block_rate;
+double playback_lag_seconds(const System& sys, const Peer& p, Tick now) {
+  const auto live = global_of(SubstreamId(0), sys.source_head(SubstreamId(0), now),
+                              sys.params().substream_count);
+  return static_cast<double>((live - p.playhead()).value()) /
+         sys.params().block_rate;
 }
 
 TEST(ResyncTest, PlaybackLagStaysBounded) {
@@ -40,9 +41,9 @@ TEST(ResyncTest, PlaybackLagStaysBounded) {
   cfg.server_max_partners = 4;
   System sys(simulation, fast_params(), cfg, nullptr);
   sys.start();
-  simulation.run_until(30.0);
+  simulation.run_until(sim::Time(30.0));
   const net::NodeId id = sys.join(nat_viewer(1, simulation.rng()));
-  simulation.run_until(1800.0);
+  simulation.run_until(sim::Time(1800.0));
 
   const Peer* p = sys.peer(id);
   ASSERT_EQ(p->phase(), PeerPhase::kPlaying);
@@ -62,9 +63,9 @@ TEST(ResyncTest, HealthyViewerNeverResyncs) {
   cfg.server_max_partners = 4;
   System sys(simulation, fast_params(), cfg, nullptr);
   sys.start();
-  simulation.run_until(30.0);
+  simulation.run_until(sim::Time(30.0));
   const net::NodeId id = sys.join(nat_viewer(2, simulation.rng()));
-  simulation.run_until(900.0);
+  simulation.run_until(sim::Time(900.0));
   const Peer* p = sys.peer(id);
   EXPECT_EQ(p->stats().resyncs, 0u);
   // And its lag is small: roughly T_p plus the startup buffering.
@@ -80,8 +81,8 @@ TEST(ResyncTest, CapacityScaledPartnerBudget) {
     PeerSpec spec;
     spec.kind = PeerKind::kViewer;
     spec.type = net::ConnectionType::kDirect;
-    spec.upload_capacity_bps = upload_bps;
-    Peer p(sys, 999, spec, 1, 0.0);
+    spec.upload_capacity = units::BitRate(upload_bps);
+    Peer p(sys, 999, spec, units::SessionId(1), Tick(0.0));
     return sys.max_partners_of(p);
   };
   const Params& params = sys.params();

@@ -7,34 +7,35 @@ namespace {
 
 TEST(StreamTypesTest, GlobalToSubstreamMapping) {
   // K = 4: global 0,1,2,3 -> substreams 0..3 seq 0; global 4 -> (0, 1)...
-  EXPECT_EQ(substream_of(0, 4), 0);
-  EXPECT_EQ(substream_of(3, 4), 3);
-  EXPECT_EQ(substream_of(4, 4), 0);
-  EXPECT_EQ(substream_seq_of(0, 4), 0);
-  EXPECT_EQ(substream_seq_of(3, 4), 0);
-  EXPECT_EQ(substream_seq_of(4, 4), 1);
-  EXPECT_EQ(substream_seq_of(11, 4), 2);
+  EXPECT_EQ(substream_of(GlobalSeq(0), 4), SubstreamId(0));
+  EXPECT_EQ(substream_of(GlobalSeq(3), 4), SubstreamId(3));
+  EXPECT_EQ(substream_of(GlobalSeq(4), 4), SubstreamId(0));
+  EXPECT_EQ(substream_seq_of(GlobalSeq(0), 4), SeqNum(0));
+  EXPECT_EQ(substream_seq_of(GlobalSeq(3), 4), SeqNum(0));
+  EXPECT_EQ(substream_seq_of(GlobalSeq(4), 4), SeqNum(1));
+  EXPECT_EQ(substream_seq_of(GlobalSeq(11), 4), SeqNum(2));
 }
 
 TEST(StreamTypesTest, RoundTripMapping) {
   for (int k = 1; k <= 6; ++k) {
-    for (GlobalSeq g = 0; g < 100; ++g) {
+    for (int raw = 0; raw < 100; ++raw) {
+      const GlobalSeq g(raw);
       const SubstreamId i = substream_of(g, k);
       const SeqNum n = substream_seq_of(g, k);
-      ASSERT_EQ(global_of(i, n, k), g) << "k=" << k << " g=" << g;
+      ASSERT_EQ(global_of(i, n, k), g) << "k=" << k << " g=" << raw;
     }
   }
 }
 
 TEST(StreamTypesTest, CombinedPrefixAllEmpty) {
-  const SeqNum heads[4] = {-1, -1, -1, -1};
-  EXPECT_EQ(combined_prefix(heads, 4), -1);
+  const SeqNum heads[4] = {kNoSeq, kNoSeq, kNoSeq, kNoSeq};
+  EXPECT_EQ(combined_prefix(heads, 4), kNoSeq);
 }
 
 TEST(StreamTypesTest, CombinedPrefixBalanced) {
   // Every sub-stream has blocks 0..2: global prefix is 0..11 complete.
-  const SeqNum heads[4] = {2, 2, 2, 2};
-  EXPECT_EQ(combined_prefix(heads, 4), 11);
+  const SeqNum heads[4] = {SeqNum(2), SeqNum(2), SeqNum(2), SeqNum(2)};
+  EXPECT_EQ(combined_prefix(heads, 4), GlobalSeq(11));
 }
 
 TEST(StreamTypesTest, CombinedPrefixFig2bExample) {
@@ -42,26 +43,26 @@ TEST(StreamTypesTest, CombinedPrefixFig2bExample) {
   // sub-stream: with K=4, sub-streams 0..2 have sequence number 1 but
   // sub-stream 3 only 0, the global prefix ends at global block 6
   // (= sub-stream 2, seq 1); global 7 (sub-stream 3, seq 1) is missing.
-  const SeqNum heads[4] = {1, 1, 1, 0};
-  EXPECT_EQ(combined_prefix(heads, 4), 6);
+  const SeqNum heads[4] = {SeqNum(1), SeqNum(1), SeqNum(1), SeqNum(0)};
+  EXPECT_EQ(combined_prefix(heads, 4), GlobalSeq(6));
 }
 
 TEST(StreamTypesTest, CombinedPrefixFirstStreamMissing) {
-  const SeqNum heads[4] = {-1, 5, 5, 5};
-  EXPECT_EQ(combined_prefix(heads, 4), -1);
+  const SeqNum heads[4] = {kNoSeq, SeqNum(5), SeqNum(5), SeqNum(5)};
+  EXPECT_EQ(combined_prefix(heads, 4), kNoSeq);
 }
 
 TEST(StreamTypesTest, CombinedPrefixHintResumes) {
-  const SeqNum heads[2] = {10, 9};
+  const SeqNum heads[2] = {SeqNum(10), SeqNum(9)};
   const GlobalSeq full = combined_prefix(heads, 2);
-  EXPECT_EQ(full, 20);  // sub-stream 0 ahead by one: prefix ends on (0,10)
-  EXPECT_EQ(combined_prefix(heads, 2, 15), full);
+  EXPECT_EQ(full, GlobalSeq(20));  // stream 0 ahead: prefix ends on (0,10)
+  EXPECT_EQ(combined_prefix(heads, 2, GlobalSeq(15)), full);
   EXPECT_EQ(combined_prefix(heads, 2, full), full);
 }
 
 TEST(StreamTypesTest, CombinedPrefixSingleSubstream) {
-  const SeqNum heads[1] = {7};
-  EXPECT_EQ(combined_prefix(heads, 1), 7);
+  const SeqNum heads[1] = {SeqNum(7)};
+  EXPECT_EQ(combined_prefix(heads, 1), GlobalSeq(7));
 }
 
 }  // namespace

@@ -53,12 +53,11 @@ TEST_P(SubstreamSweepTest, SmallBroadcastStaysHealthy) {
     if (p->phase() != PeerPhase::kPlaying) continue;
     ++playing;
     int subscribed = 0;
-    for (int j = 0; j < k; ++j) {
+    for (const SubstreamId j : substreams(k)) {
       if (p->parent_of(j) != net::kInvalidNode) ++subscribed;
     }
     if (subscribed == 0) ++orphaned;
-    EXPECT_LE(p->sync().spread(),
-              static_cast<SeqNum>(s.params.buffer_blocks()) + 1);
+    EXPECT_LE(p->sync().spread(), s.params.buffer_block_count() + BlockCount(1));
   }
   ASSERT_GT(playing, 0u);
   EXPECT_LE(static_cast<double>(orphaned) / static_cast<double>(playing),

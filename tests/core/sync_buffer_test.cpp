@@ -7,41 +7,44 @@
 namespace coolstream::core {
 namespace {
 
+constexpr SubstreamId j0{0};
+constexpr SubstreamId j1{1};
+
 TEST(SyncBufferTest, Fresh) {
   SyncBuffer sb(4);
   EXPECT_EQ(sb.substream_count(), 4);
-  EXPECT_EQ(sb.head(0), -1);
-  EXPECT_EQ(sb.combined(), -1);
+  EXPECT_EQ(sb.head(j0), kNoSeq);
+  EXPECT_EQ(sb.combined(), kNoSeq);
   EXPECT_EQ(sb.blocks_received(), 0u);
 }
 
 TEST(SyncBufferTest, InOrderInsertAdvancesHead) {
   SyncBuffer sb(2);
-  EXPECT_TRUE(sb.insert(0, 0));
-  EXPECT_TRUE(sb.insert(0, 1));
-  EXPECT_EQ(sb.head(0), 1);
-  EXPECT_EQ(sb.head(1), -1);
+  EXPECT_TRUE(sb.insert(j0, SeqNum(0)));
+  EXPECT_TRUE(sb.insert(j0, SeqNum(1)));
+  EXPECT_EQ(sb.head(j0), SeqNum(1));
+  EXPECT_EQ(sb.head(j1), kNoSeq);
   EXPECT_EQ(sb.blocks_received(), 2u);
 }
 
 TEST(SyncBufferTest, OutOfOrderQueuedThenAbsorbed) {
   SyncBuffer sb(1);
-  EXPECT_TRUE(sb.insert(0, 2));
-  EXPECT_EQ(sb.head(0), -1);
-  EXPECT_EQ(sb.pending(0), 1u);
-  EXPECT_TRUE(sb.insert(0, 0));
-  EXPECT_EQ(sb.head(0), 0);
-  EXPECT_TRUE(sb.insert(0, 1));  // bridges the gap; 2 is absorbed
-  EXPECT_EQ(sb.head(0), 2);
-  EXPECT_EQ(sb.pending(0), 0u);
+  EXPECT_TRUE(sb.insert(j0, SeqNum(2)));
+  EXPECT_EQ(sb.head(j0), kNoSeq);
+  EXPECT_EQ(sb.pending(j0), 1u);
+  EXPECT_TRUE(sb.insert(j0, SeqNum(0)));
+  EXPECT_EQ(sb.head(j0), SeqNum(0));
+  EXPECT_TRUE(sb.insert(j0, SeqNum(1)));  // bridges the gap; 2 is absorbed
+  EXPECT_EQ(sb.head(j0), SeqNum(2));
+  EXPECT_EQ(sb.pending(j0), 0u);
 }
 
 TEST(SyncBufferTest, DuplicatesRejected) {
   SyncBuffer sb(1);
-  EXPECT_TRUE(sb.insert(0, 0));
-  EXPECT_FALSE(sb.insert(0, 0));  // below head
-  EXPECT_TRUE(sb.insert(0, 5));
-  EXPECT_FALSE(sb.insert(0, 5));  // duplicate ahead block
+  EXPECT_TRUE(sb.insert(j0, SeqNum(0)));
+  EXPECT_FALSE(sb.insert(j0, SeqNum(0)));  // below head
+  EXPECT_TRUE(sb.insert(j0, SeqNum(5)));
+  EXPECT_FALSE(sb.insert(j0, SeqNum(5)));  // duplicate ahead block
   EXPECT_EQ(sb.blocks_received(), 2u);
 }
 
@@ -49,52 +52,52 @@ TEST(SyncBufferTest, CombinedFollowsFig2bRule) {
   // K=4: insert seq 0 for streams 0..3 -> combined global 3; then seq 1
   // for streams 0..2 only: combined stops at global 6 awaiting stream 3.
   SyncBuffer sb(4);
-  for (int i = 0; i < 4; ++i) sb.insert(i, 0);
-  EXPECT_EQ(sb.combined(), 3);
-  for (int i = 0; i < 3; ++i) sb.insert(i, 1);
-  EXPECT_EQ(sb.combined(), 6);
-  sb.insert(3, 1);
-  EXPECT_EQ(sb.combined(), 7);
+  for (const SubstreamId i : substreams(4)) sb.insert(i, SeqNum(0));
+  EXPECT_EQ(sb.combined(), GlobalSeq(3));
+  for (const SubstreamId i : substreams(3)) sb.insert(i, SeqNum(1));
+  EXPECT_EQ(sb.combined(), GlobalSeq(6));
+  sb.insert(SubstreamId(3), SeqNum(1));
+  EXPECT_EQ(sb.combined(), GlobalSeq(7));
 }
 
 TEST(SyncBufferTest, StartAtSkipsHistory) {
   SyncBuffer sb(2);
-  sb.start_at(0, 100);
-  sb.start_at(1, 100);
-  EXPECT_EQ(sb.head(0), 99);
-  sb.set_combined_floor(global_of(0, 100, 2) - 1);
-  EXPECT_EQ(sb.combined(), 199);
-  EXPECT_TRUE(sb.insert(0, 100));
-  EXPECT_EQ(sb.combined(), 200);
+  sb.start_at(j0, SeqNum(100));
+  sb.start_at(j1, SeqNum(100));
+  EXPECT_EQ(sb.head(j0), SeqNum(99));
+  sb.set_combined_floor(global_of(j0, SeqNum(100), 2) - BlockCount(1));
+  EXPECT_EQ(sb.combined(), GlobalSeq(199));
+  EXPECT_TRUE(sb.insert(j0, SeqNum(100)));
+  EXPECT_EQ(sb.combined(), GlobalSeq(200));
 }
 
 TEST(SyncBufferTest, StartAtNeverMovesHeadBackwards) {
   SyncBuffer sb(1);
-  for (SeqNum s = 0; s <= 10; ++s) sb.insert(0, s);
-  sb.start_at(0, 5);
-  EXPECT_EQ(sb.head(0), 10);
+  for (int s = 0; s <= 10; ++s) sb.insert(j0, SeqNum(s));
+  sb.start_at(j0, SeqNum(5));
+  EXPECT_EQ(sb.head(j0), SeqNum(10));
 }
 
 TEST(SyncBufferTest, StartAtDropsStaleAheadBlocks) {
   SyncBuffer sb(1);
-  sb.insert(0, 3);
-  sb.insert(0, 7);
-  EXPECT_EQ(sb.pending(0), 2u);
-  sb.start_at(0, 5);
-  EXPECT_EQ(sb.head(0), 4);
-  EXPECT_EQ(sb.pending(0), 1u);  // only 7 remains
-  sb.insert(0, 5);
-  sb.insert(0, 6);
-  EXPECT_EQ(sb.head(0), 7);
+  sb.insert(j0, SeqNum(3));
+  sb.insert(j0, SeqNum(7));
+  EXPECT_EQ(sb.pending(j0), 2u);
+  sb.start_at(j0, SeqNum(5));
+  EXPECT_EQ(sb.head(j0), SeqNum(4));
+  EXPECT_EQ(sb.pending(j0), 1u);  // only 7 remains
+  sb.insert(j0, SeqNum(5));
+  sb.insert(j0, SeqNum(6));
+  EXPECT_EQ(sb.head(j0), SeqNum(7));
 }
 
 TEST(SyncBufferTest, Spread) {
   SyncBuffer sb(3);
-  sb.insert(0, 0);
-  sb.insert(0, 1);
-  sb.insert(1, 0);
+  sb.insert(j0, SeqNum(0));
+  sb.insert(j0, SeqNum(1));
+  sb.insert(j1, SeqNum(0));
   // heads: {1, 0, -1} -> spread 2.
-  EXPECT_EQ(sb.spread(), 2);
+  EXPECT_EQ(sb.spread(), BlockCount(2));
 }
 
 TEST(SyncBufferTest, RandomizedDeliveryConvergesToCompletePrefix) {
@@ -103,20 +106,23 @@ TEST(SyncBufferTest, RandomizedDeliveryConvergesToCompletePrefix) {
   sim::Rng rng(17);
   for (int trial = 0; trial < 20; ++trial) {
     const int k = 1 + static_cast<int>(rng.below(4));
-    const SeqNum n = 30;
+    const int n = 30;
     SyncBuffer sb(k);
-    std::vector<std::pair<int, SeqNum>> blocks;
+    std::vector<std::pair<int, int>> blocks;
     for (int i = 0; i < k; ++i) {
-      for (SeqNum s = 0; s < n; ++s) blocks.emplace_back(i, s);
+      for (int s = 0; s < n; ++s) blocks.emplace_back(i, s);
     }
     rng.shuffle(blocks);
-    for (auto [i, s] : blocks) ASSERT_TRUE(sb.insert(i, s));
-    for (int i = 0; i < k; ++i) {
-      ASSERT_EQ(sb.head(i), n - 1);
+    for (auto [i, s] : blocks) {
+      ASSERT_TRUE(sb.insert(SubstreamId(i), SeqNum(s)));
+    }
+    for (const SubstreamId i : substreams(k)) {
+      ASSERT_EQ(sb.head(i), SeqNum(n - 1));
       ASSERT_EQ(sb.pending(i), 0u);
     }
-    ASSERT_EQ(sb.combined(), static_cast<GlobalSeq>(n) * k - 1);
-    ASSERT_EQ(sb.blocks_received(), static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(k));
+    ASSERT_EQ(sb.combined(), GlobalSeq(n * k - 1));
+    ASSERT_EQ(sb.blocks_received(),
+              static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(k));
   }
 }
 

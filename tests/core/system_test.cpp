@@ -34,7 +34,7 @@ PeerSpec viewer(std::uint64_t user, net::ConnectionType type,
   s.address = net::uses_private_address(type)
                   ? net::random_private_address(rng)
                   : net::random_public_address(rng);
-  s.upload_capacity_bps = upload_bps;
+  s.upload_capacity = units::BitRate(upload_bps);
   return s;
 }
 
@@ -42,15 +42,15 @@ TEST(SystemTest, ServersComeUpAndFollowTheSource) {
   sim::Simulation simulation(1);
   System sys(simulation, fast_params(), small_config(3), nullptr);
   sys.start();
-  simulation.run_until(30.0);
+  simulation.run_until(sim::Time(30.0));
   for (net::NodeId id = 0; id < 3; ++id) {
     const Peer* server = sys.peer(id);
     ASSERT_NE(server, nullptr);
     EXPECT_EQ(server->kind(), PeerKind::kServer);
     EXPECT_TRUE(server->alive());
-    for (int j = 0; j < sys.params().substream_count; ++j) {
+    for (const SubstreamId j : substreams(sys.params().substream_count)) {
       // ~30 s * 2 blocks/s minus the server lag.
-      EXPECT_NEAR(static_cast<double>(server->head(j)), 59.0, 3.0);
+      EXPECT_NEAR(static_cast<double>(server->head(j).value()), 59.0, 3.0);
     }
   }
 }
@@ -59,14 +59,16 @@ TEST(SystemTest, SourceHeadMatchesBlockClock) {
   sim::Simulation simulation(1);
   System sys(simulation, fast_params(), small_config(), nullptr);
   // At t: floor(t * 8) global blocks exist, split round-robin over 4.
-  EXPECT_EQ(sys.source_head(0, 0.0), -1);
-  EXPECT_EQ(sys.source_head(0, 0.124), -1);  // one block would need t>=1/8
-  EXPECT_EQ(sys.source_head(0, 0.125), 0);
-  EXPECT_EQ(sys.source_head(1, 0.125), -1);
-  EXPECT_EQ(sys.source_head(0, 1.0), 1);  // globals 0,4 on sub-stream 0
-  EXPECT_EQ(sys.source_head(3, 1.0), 1);  // globals 3,7 on sub-stream 3
-  EXPECT_EQ(sys.source_head(3, 0.99), 0); // only global 3 so far
-  EXPECT_EQ(sys.source_head(0, 10.0), 19);
+  EXPECT_EQ(sys.source_head(SubstreamId(0), Tick(0.0)), kNoSeq);
+  // One block would need t >= 1/8.
+  EXPECT_EQ(sys.source_head(SubstreamId(0), Tick(0.124)), kNoSeq);
+  EXPECT_EQ(sys.source_head(SubstreamId(0), Tick(0.125)), SeqNum(0));
+  EXPECT_EQ(sys.source_head(SubstreamId(1), Tick(0.125)), kNoSeq);
+  // Globals 0,4 on sub-stream 0; globals 3,7 on sub-stream 3.
+  EXPECT_EQ(sys.source_head(SubstreamId(0), Tick(1.0)), SeqNum(1));
+  EXPECT_EQ(sys.source_head(SubstreamId(3), Tick(1.0)), SeqNum(1));
+  EXPECT_EQ(sys.source_head(SubstreamId(3), Tick(0.99)), SeqNum(0));
+  EXPECT_EQ(sys.source_head(SubstreamId(0), Tick(10.0)), SeqNum(19));
 }
 
 TEST(SystemTest, SingleViewerReachesPlayback) {
@@ -76,11 +78,11 @@ TEST(SystemTest, SingleViewerReachesPlayback) {
   std::vector<SessionEvent> events;
   sys.observer = [&](net::NodeId, SessionEvent e) { events.push_back(e); };
   sys.start();
-  simulation.run_until(10.0);
+  simulation.run_until(sim::Time(10.0));
 
   const net::NodeId id = sys.join(
       viewer(1, net::ConnectionType::kDirect, 2e6, simulation.rng()));
-  simulation.run_until(120.0);
+  simulation.run_until(sim::Time(120.0));
 
   const Peer* p = sys.peer(id);
   ASSERT_NE(p, nullptr);
@@ -94,7 +96,7 @@ TEST(SystemTest, SingleViewerReachesPlayback) {
   EXPECT_GT(p->stats().blocks_due, 100u);
   EXPECT_EQ(p->stats().blocks_due, p->stats().blocks_on_time);
   // It subscribed every sub-stream.
-  for (int j = 0; j < sys.params().substream_count; ++j) {
+  for (const SubstreamId j : substreams(sys.params().substream_count)) {
     EXPECT_NE(p->parent_of(j), net::kInvalidNode);
   }
 }
@@ -104,9 +106,9 @@ TEST(SystemTest, JoinEmitsActivityReportsInOrder) {
   logging::LogServer log;
   System sys(simulation, fast_params(), small_config(), &log);
   sys.start();
-  simulation.run_until(5.0);
+  simulation.run_until(sim::Time(5.0));
   sys.join(viewer(42, net::ConnectionType::kNat, 500e3, simulation.rng()));
-  simulation.run_until(100.0);
+  simulation.run_until(sim::Time(100.0));
 
   const auto reports = log.parse_all();
   const auto sessions = logging::reconstruct_sessions(reports);
@@ -128,10 +130,10 @@ TEST(SystemTest, GracefulLeaveReportsAndCleansUp) {
   logging::LogServer log;
   System sys(simulation, fast_params(), small_config(), &log);
   sys.start();
-  simulation.run_until(5.0);
+  simulation.run_until(sim::Time(5.0));
   const net::NodeId id = sys.join(
       viewer(2, net::ConnectionType::kDirect, 2e6, simulation.rng()));
-  simulation.run_until(60.0);
+  simulation.run_until(sim::Time(60.0));
   ASSERT_TRUE(sys.is_live(id));
   EXPECT_EQ(sys.live_viewer_count(), 1u);
 
@@ -152,10 +154,10 @@ TEST(SystemTest, CrashLeavesSessionOpenInLog) {
   logging::LogServer log;
   System sys(simulation, fast_params(), small_config(), &log);
   sys.start();
-  simulation.run_until(5.0);
+  simulation.run_until(sim::Time(5.0));
   const net::NodeId id = sys.join(
       viewer(3, net::ConnectionType::kUpnp, 1e6, simulation.rng()));
-  simulation.run_until(60.0);
+  simulation.run_until(sim::Time(60.0));
   sys.leave(id, /*graceful=*/false);
 
   const auto sessions = logging::reconstruct_sessions(log.parse_all());
@@ -168,7 +170,7 @@ TEST(SystemTest, NatViewersNeverAcceptInbound) {
   sim::Simulation simulation(19);
   System sys(simulation, fast_params(), small_config(), nullptr);
   sys.start();
-  simulation.run_until(5.0);
+  simulation.run_until(sim::Time(5.0));
   std::vector<net::NodeId> nat_ids;
   sim::Rng& rng = simulation.rng();
   for (int i = 0; i < 6; ++i) {
@@ -178,7 +180,7 @@ TEST(SystemTest, NatViewersNeverAcceptInbound) {
   for (int i = 0; i < 6; ++i) {
     sys.join(viewer(static_cast<std::uint64_t>(200 + i), net::ConnectionType::kDirect, 3e6, rng));
   }
-  simulation.run_until(180.0);
+  simulation.run_until(sim::Time(180.0));
   for (net::NodeId id : nat_ids) {
     const Peer* p = sys.peer(id);
     if (!p->alive()) continue;
@@ -193,7 +195,7 @@ TEST(SystemTest, ParentDepartureTriggersReselection) {
   sim::Simulation simulation(23);
   System sys(simulation, fast_params(), small_config(1), nullptr);
   sys.start();
-  simulation.run_until(5.0);
+  simulation.run_until(sim::Time(5.0));
   sim::Rng& rng = simulation.rng();
   // A capable relay and several children that will mostly hang off it
   // (the single server has few partner slots).
@@ -204,7 +206,7 @@ TEST(SystemTest, ParentDepartureTriggersReselection) {
         i == 0 ? net::ConnectionType::kDirect : net::ConnectionType::kNat,
         i == 0 ? 8e6 : 400e3, rng)));
   }
-  simulation.run_until(120.0);
+  simulation.run_until(sim::Time(120.0));
 
   // Find a viewer whose parent is another viewer, then kill that parent.
   net::NodeId child = net::kInvalidNode;
@@ -212,7 +214,7 @@ TEST(SystemTest, ParentDepartureTriggersReselection) {
   for (net::NodeId id : ids) {
     const Peer* p = sys.peer(id);
     if (!p->alive()) continue;
-    for (int j = 0; j < sys.params().substream_count; ++j) {
+    for (const SubstreamId j : substreams(sys.params().substream_count)) {
       const net::NodeId par = p->parent_of(j);
       if (par != net::kInvalidNode && sys.peer(par) != nullptr &&
           sys.peer(par)->kind() == PeerKind::kViewer) {
@@ -227,11 +229,11 @@ TEST(SystemTest, ParentDepartureTriggersReselection) {
   sys.leave(parent, /*graceful=*/true);
 
   // The child must not keep the dead parent.
-  for (int j = 0; j < sys.params().substream_count; ++j) {
+  for (const SubstreamId j : substreams(sys.params().substream_count)) {
     EXPECT_NE(sys.peer(child)->parent_of(j), parent);
   }
   // And it keeps streaming: give it a minute and check it is not starving.
-  simulation.run_until(simulation.now() + 60.0);
+  simulation.run_until(simulation.now() + units::Duration(60.0));
   const Peer* c = sys.peer(child);
   if (c->alive() && c->phase() == PeerPhase::kPlaying) {
     const auto& st = c->stats();
@@ -243,12 +245,12 @@ TEST(SystemTest, SnapshotIsConsistent) {
   sim::Simulation simulation(29);
   System sys(simulation, fast_params(), small_config(), nullptr);
   sys.start();
-  simulation.run_until(5.0);
+  simulation.run_until(sim::Time(5.0));
   sim::Rng& rng = simulation.rng();
   for (int i = 0; i < 12; ++i) {
     sys.join(viewer(static_cast<std::uint64_t>(400 + i), net::ConnectionType::kDirect, 2e6, rng));
   }
-  simulation.run_until(120.0);
+  simulation.run_until(sim::Time(120.0));
 
   const auto snap = sys.snapshot();
   EXPECT_EQ(snap.peer_count(), sys.live_viewer_count());
@@ -271,7 +273,7 @@ TEST(SystemTest, DeterministicGivenSeed) {
     logging::LogServer log;
     System sys(simulation, fast_params(), small_config(), &log);
     sys.start();
-    simulation.run_until(5.0);
+    simulation.run_until(sim::Time(5.0));
     sim::Rng& rng = simulation.rng();
     for (int i = 0; i < 8; ++i) {
       const auto type = i % 2 == 0 ? net::ConnectionType::kDirect
@@ -279,7 +281,7 @@ TEST(SystemTest, DeterministicGivenSeed) {
       sys.join(viewer(static_cast<std::uint64_t>(500 + i), type,
                       i % 2 == 0 ? 3e6 : 400e3, rng));
     }
-    simulation.run_until(300.0);
+    simulation.run_until(sim::Time(300.0));
     return std::make_tuple(log.lines(), sys.stats().blocks_transferred,
                            sys.transport().total_sent());
   };
@@ -303,13 +305,13 @@ TEST(SystemTest, PeerCompetitionTriggersAdaptation) {
   cfg.server_max_partners = 30;
   System sys(simulation, fast_params(), cfg, nullptr);
   sys.start();
-  simulation.run_until(5.0);
+  simulation.run_until(sim::Time(5.0));
   sim::Rng& rng = simulation.rng();
   for (int i = 0; i < 12; ++i) {
     sys.join(viewer(600 + static_cast<std::uint64_t>(i),
                     net::ConnectionType::kNat, 200e3, rng));
   }
-  simulation.run_until(400.0);
+  simulation.run_until(sim::Time(400.0));
 
   std::uint32_t adaptations = 0;
   std::uint64_t due = 0;
@@ -320,7 +322,7 @@ TEST(SystemTest, PeerCompetitionTriggersAdaptation) {
     if (p == nullptr || p->kind() != PeerKind::kViewer) continue;
     adaptations += p->stats().adaptations;
     due += p->stats().blocks_due;
-    stall_seconds += p->stats().stall_seconds;
+    stall_seconds += p->stats().stall_seconds.value();
     resyncs += p->stats().resyncs;
   }
   EXPECT_GT(adaptations, 0u);
@@ -339,9 +341,9 @@ TEST(SystemTest, StatusReportsArrivePeriodically) {
   p.status_report_period = 20.0;
   System sys(simulation, p, small_config(), &log);
   sys.start();
-  simulation.run_until(2.0);
+  simulation.run_until(sim::Time(2.0));
   sys.join(viewer(7, net::ConnectionType::kDirect, 2e6, simulation.rng()));
-  simulation.run_until(130.0);
+  simulation.run_until(sim::Time(130.0));
 
   int qos = 0;
   int traffic = 0;
@@ -367,7 +369,7 @@ TEST(SystemTest, UploadBytesFlowToTheLog) {
   cfg.server_max_partners = 2;  // force the NAT peers onto the relay
   System sys(simulation, p, cfg, &log);
   sys.start();
-  simulation.run_until(2.0);
+  simulation.run_until(sim::Time(2.0));
   sim::Rng& rng = simulation.rng();
   // A capable relay plus NAT peers: the relay should upload.
   sys.join(viewer(1, net::ConnectionType::kDirect, 8e6, rng));
@@ -375,7 +377,7 @@ TEST(SystemTest, UploadBytesFlowToTheLog) {
     sys.join(viewer(10 + static_cast<std::uint64_t>(i),
                     net::ConnectionType::kNat, 300e3, rng));
   }
-  simulation.run_until(300.0);
+  simulation.run_until(sim::Time(300.0));
 
   const auto sessions = logging::reconstruct_sessions(log.parse_all());
   std::uint64_t total_up = 0;

@@ -1,0 +1,13 @@
+// include-layering fixtures: this file sits under a core/ directory, so
+// it may include core, logging, model, net, sim, and core/units.h — but
+// never workload (above it) or analysis (log-reading side layer).  The
+// targets need not exist; the rule is purely textual.
+//
+// This file is lint-test data only — it is never compiled.
+#include "workload/scenario.h"       // lint:expect(include-layering)
+#include "analysis/session_analysis.h"  // lint:expect(include-layering)
+#include "core/units.h"        // the one header importable from every layer
+#include "sim/simulation.h"    // core -> sim is a sanctioned edge
+#include "model/adaptation_model.h"  // core -> model is a sanctioned edge
+#include "some_local_util.h"   // unknown module: out of scope
+// #include "workload/arrivals.h" -- commented out: must not fire

@@ -1,0 +1,38 @@
+// odr-header-def fixtures: a function *defined* at namespace scope in a
+// header must be inline (or constexpr / a template / static) — otherwise
+// two including TUs each emit a strong definition and the program is
+// ill-formed.  Class-scope member definitions are implicitly inline.
+//
+// This file is lint-test data only — it is never included.
+#pragma once
+
+namespace coolstream::core {
+
+inline int ok_inline() { return 1; }
+constexpr int ok_constexpr() { return 2; }
+static int ok_static_internal() { return 3; }
+
+template <class T>
+T ok_template(T v) {
+  return v;
+}
+
+int bad_definition() {  // lint:expect(odr-header-def)
+  return 4;
+}
+
+double also_bad() noexcept {  // lint:expect(odr-header-def)
+  return 5.0;
+}
+
+int tolerated_definition() {  // lint:allow(odr-header-def)
+  return 6;
+}
+
+struct Widget {
+  int method() const { return 7; }  // member: implicitly inline
+};
+
+int declared_only();  // declaration, not a definition: not flagged
+
+}  // namespace coolstream::core

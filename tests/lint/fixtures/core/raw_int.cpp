@@ -1,0 +1,23 @@
+// raw-protocol-int fixtures: an integer whose name says it carries a
+// sequence number, tick, or sub-stream index must use the strong types in
+// core/units.h.  Counts are exempt (BlockCount exists, but `int k` loop
+// bounds and `substream_count` config fields stay raw by design).
+//
+// This file is lint-test data only — it is never compiled.
+#include <cstdint>
+
+namespace coolstream::core {
+
+struct Bad {
+  std::int64_t head_seq = -1;  // lint:expect(raw-protocol-int)
+  int substream_index = 0;     // lint:expect(raw-protocol-int)
+  long long start_tick = 0;    // lint:expect(raw-protocol-int)
+};
+
+struct Ok {
+  int substream_count = 4;     // a count: exempt
+  std::int64_t generation = 0; // no protocol name: not flagged
+  std::int64_t wire_seq = 0;   // lint:allow(raw-protocol-int)
+};
+
+}  // namespace coolstream::core

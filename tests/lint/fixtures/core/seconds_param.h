@@ -1,0 +1,22 @@
+// double-seconds-param fixtures: a `double` function parameter named like
+// a time span must be units::Duration so the compiler checks the
+// dimension.  Stored fields (the config boundary) end in `;`/`=` and are
+// exempt.
+//
+// This file is lint-test data only — it is never included.
+#pragma once
+
+namespace coolstream::core {
+
+class Timer {
+ public:
+  void start(double period_seconds);  // lint:expect(double-seconds-param)
+  void arm(double delay, int n);      // lint:expect(double-seconds-param)
+  void tune(double gain);             // unitless: not flagged
+  void legacy(double timeout_s);      // lint:allow(double-seconds-param)
+
+ private:
+  double period_ = 0.0;  // config-boundary field: not flagged
+};
+
+}  // namespace coolstream::core

@@ -1,0 +1,22 @@
+// value-escape fixtures: .value() unwraps a domain type, and protocol
+// code (this file sits under a core/ directory) must either stay typed or
+// mark the serialization boundary with an explicit allow.
+//
+// This file is lint-test data only — it is never compiled.
+
+namespace coolstream::core {
+
+struct Wrapped {
+  double value() const { return v; }
+  double v = 0.0;
+};
+
+double leaks_into_protocol_math(Wrapped t) {
+  return t.value() * 2.0;  // lint:expect(value-escape)
+}
+
+double sanctioned_boundary(Wrapped t) {
+  return t.value();  // lint:allow(value-escape)
+}
+
+}  // namespace coolstream::core

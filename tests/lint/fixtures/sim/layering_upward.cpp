@@ -1,0 +1,8 @@
+// include-layering fixtures, scope check: sim is the bottom layer and may
+// include only sim/ itself plus core/units.h.  Reaching up into core is
+// the canonical layering inversion.
+//
+// This file is lint-test data only — it is never compiled.
+#include "core/system.h"  // lint:expect(include-layering)
+#include "core/units.h"   // units pseudo-module: allowed everywhere
+#include "sim/rng.h"      // own module: allowed

@@ -7,48 +7,79 @@
 namespace coolstream::model {
 namespace {
 
+using units::BlockRate;
+using units::Duration;
+
 StreamRates default_rates() {
   StreamRates r;
-  r.stream_block_rate = 8.0;
+  r.stream_rate = BlockRate(8.0);
   r.substream_count = 4;
   return r;
 }
 
 TEST(AdaptationModelTest, SubstreamRate) {
-  EXPECT_DOUBLE_EQ(default_rates().substream_rate(), 2.0);
+  EXPECT_EQ(default_rates().substream_rate(), BlockRate(2.0));
 }
 
 TEST(AdaptationModelTest, CatchUpTimeEq3) {
   const auto r = default_rates();
   // l = 30 blocks, upload 3 blocks/s, R/K = 2: t = 30 / 1 = 30 s.
-  EXPECT_DOUBLE_EQ(catch_up_time(30.0, 3.0, r), 30.0);
+  EXPECT_EQ(catch_up_time(30.0, BlockRate(3.0), r), Duration(30.0));
   // Faster upload catches up sooner.
-  EXPECT_LT(catch_up_time(30.0, 6.0, r), 30.0);
-  // No margin: never catches up.
-  EXPECT_TRUE(std::isinf(catch_up_time(30.0, 2.0, r)));
-  EXPECT_TRUE(std::isinf(catch_up_time(30.0, 1.0, r)));
-  // Zero deficit: immediate.
-  EXPECT_DOUBLE_EQ(catch_up_time(0.0, 3.0, r), 0.0);
+  EXPECT_LT(catch_up_time(30.0, BlockRate(6.0), r), Duration(30.0));
+  // Below the sub-stream rate: never catches up.
+  EXPECT_EQ(catch_up_time(30.0, BlockRate(1.0), r), Duration::infinity());
+}
+
+TEST(AdaptationModelTest, CatchUpTimeZeroDeficitIsImmediate) {
+  // Boundary: a child already level with its parent needs no catch-up
+  // time at any viable upload rate.
+  const auto r = default_rates();
+  EXPECT_EQ(catch_up_time(0.0, BlockRate(3.0), r), Duration::zero());
+  EXPECT_EQ(catch_up_time(0.0, BlockRate(100.0), r), Duration::zero());
+}
+
+TEST(AdaptationModelTest, CatchUpTimeParentExactlyAtCapacity) {
+  // Boundary: upload rate exactly R/K means the deficit is frozen — it
+  // neither grows nor drains, so a non-zero deficit never clears.
+  const auto r = default_rates();
+  EXPECT_EQ(catch_up_time(30.0, r.substream_rate(), r),
+            Duration::infinity());
+  EXPECT_EQ(catch_up_time(1e-9, r.substream_rate(), r),
+            Duration::infinity());
 }
 
 TEST(AdaptationModelTest, AbandonTimeEq4) {
   const auto r = default_rates();
   // l = 10 blocks of slack, receiving 1.5 blk/s vs needed 2: t = 10/0.5.
-  EXPECT_DOUBLE_EQ(abandon_time(10.0, 1.5, r), 20.0);
-  // Receiving at full rate: never abandons.
-  EXPECT_TRUE(std::isinf(abandon_time(10.0, 2.0, r)));
-  EXPECT_TRUE(std::isinf(abandon_time(10.0, 5.0, r)));
+  EXPECT_EQ(abandon_time(10.0, BlockRate(1.5), r), Duration(20.0));
+  EXPECT_EQ(abandon_time(10.0, BlockRate(5.0), r), Duration::infinity());
+}
+
+TEST(AdaptationModelTest, AbandonTimeParentExactlyAtCapacity) {
+  // Boundary: download rate exactly R/K holds the lag constant, so the
+  // slack never drains and the child never abandons.
+  const auto r = default_rates();
+  EXPECT_EQ(abandon_time(10.0, r.substream_rate(), r),
+            Duration::infinity());
+}
+
+TEST(AdaptationModelTest, AbandonTimeZeroSlackIsImmediate) {
+  // Boundary: a child already at the T_s threshold abandons immediately
+  // once it is starving at all.
+  const auto r = default_rates();
+  EXPECT_EQ(abandon_time(0.0, BlockRate(1.5), r), Duration::zero());
 }
 
 TEST(AdaptationModelTest, CompetitionRateEq5) {
   const auto r = default_rates();
-  EXPECT_DOUBLE_EQ(competition_rate(1, r), 1.0);     // 1/2 * 2
-  EXPECT_DOUBLE_EQ(competition_rate(4, r), 1.6);     // 4/5 * 2
-  EXPECT_DOUBLE_EQ(competition_rate(9, r), 1.8);     // 9/10 * 2
+  EXPECT_EQ(competition_rate(1, r), BlockRate(1.0));  // 1/2 * 2
+  EXPECT_EQ(competition_rate(4, r), BlockRate(1.6));  // 4/5 * 2
+  EXPECT_EQ(competition_rate(9, r), BlockRate(1.8));  // 9/10 * 2
   // Monotone increasing in D_p, approaching R/K.
-  double prev = 0.0;
+  BlockRate prev = BlockRate(0.0);
   for (int d = 1; d <= 100; ++d) {
-    const double rate = competition_rate(d, r);
+    const BlockRate rate = competition_rate(d, r);
     ASSERT_GT(rate, prev);
     ASSERT_LT(rate, r.substream_rate());
     prev = rate;
@@ -58,16 +89,16 @@ TEST(AdaptationModelTest, CompetitionRateEq5) {
 TEST(AdaptationModelTest, LoseTimeFormula) {
   const auto r = default_rates();
   // t_lose = (D+1)(T_s - t_delta)/(R/K).
-  EXPECT_DOUBLE_EQ(lose_time(4, 20.0, 0.0, r), 5.0 * 20.0 / 2.0);
-  EXPECT_DOUBLE_EQ(lose_time(4, 20.0, 10.0, r), 25.0);
+  EXPECT_EQ(lose_time(4, 20.0, 0.0, r), Duration(5.0 * 20.0 / 2.0));
+  EXPECT_EQ(lose_time(4, 20.0, 10.0, r), Duration(25.0));
   // Consistency with Eq. (4): the loss happens exactly when the remaining
   // slack (T_s - t_delta) drains at rate R/K - r_down with r_down from
   // Eq. (5).
   const int d_p = 3;
   const double slack = 12.0;
-  const double r_down = competition_rate(d_p, r);
-  EXPECT_NEAR(lose_time(d_p, 20.0, 20.0 - slack, r),
-              abandon_time(slack, r_down, r), 1e-9);
+  const BlockRate r_down = competition_rate(d_p, r);
+  EXPECT_NEAR(lose_time(d_p, 20.0, 20.0 - slack, r).value(),
+              abandon_time(slack, r_down, r).value(), 1e-9);
 }
 
 TEST(AdaptationModelTest, LargerDegreeSurvivesLonger) {
@@ -76,7 +107,8 @@ TEST(AdaptationModelTest, LargerDegreeSurvivesLonger) {
   const auto r = default_rates();
   double prev = 2.0;
   for (int d = 1; d <= 30; ++d) {
-    const double p = lose_probability_uniform_slack(d, 20.0, 10.0, r);
+    const double p =
+        lose_probability_uniform_slack(d, 20.0, Duration(10.0), r);
     ASSERT_LE(p, prev + 1e-12) << "D_p=" << d;
     prev = p;
   }
@@ -85,31 +117,35 @@ TEST(AdaptationModelTest, LargerDegreeSurvivesLonger) {
 TEST(AdaptationModelTest, LoseProbabilityEdges) {
   const auto r = default_rates();
   // Huge cool-down: any slack drains -> probability 1.
-  EXPECT_DOUBLE_EQ(lose_probability_uniform_slack(1, 20.0, 1000.0, r), 1.0);
+  EXPECT_DOUBLE_EQ(
+      lose_probability_uniform_slack(1, 20.0, Duration(1000.0), r), 1.0);
   // Zero cool-down: threshold = T_s -> probability 0.
-  EXPECT_DOUBLE_EQ(lose_probability_uniform_slack(1, 20.0, 0.0, r), 0.0);
+  EXPECT_DOUBLE_EQ(
+      lose_probability_uniform_slack(1, 20.0, Duration::zero(), r), 0.0);
 }
 
 TEST(AdaptationModelTest, LoseProbabilityMatchesThreshold) {
   const auto r = default_rates();
   // Threshold = T_s - T_a*(R/K)/(D+1) = 20 - 10*2/5 = 16; P = 1-16/20.
-  EXPECT_DOUBLE_EQ(lose_slack_threshold(4, 20.0, 10.0, r), 16.0);
-  EXPECT_DOUBLE_EQ(lose_probability_uniform_slack(4, 20.0, 10.0, r), 0.2);
+  EXPECT_DOUBLE_EQ(lose_slack_threshold(4, 20.0, Duration(10.0), r), 16.0);
+  EXPECT_DOUBLE_EQ(
+      lose_probability_uniform_slack(4, 20.0, Duration(10.0), r), 0.2);
 }
 
 TEST(AdaptationModelTest, Eq3MatchesFluidSimulation) {
   // Integrate the fluid model numerically and compare with Eq. (3).
   const auto r = default_rates();
-  const double upload = 3.5;        // blocks/s toward one child
+  const BlockRate upload(3.5);      // blocks/s toward one child
   const double deficit0 = 24.0;     // blocks behind
   double deficit = deficit0;
   double t = 0.0;
   const double dt = 0.001;
   while (deficit > 0.0 && t < 1000.0) {
-    deficit += (r.substream_rate() - upload) * dt;  // parent produces R/K
+    // The parent produces R/K while the child drains at `upload`.
+    deficit += (r.substream_rate() - upload).value() * dt;
     t += dt;
   }
-  EXPECT_NEAR(t, catch_up_time(deficit0, upload, r), 0.01);
+  EXPECT_NEAR(t, catch_up_time(deficit0, upload, r).value(), 0.01);
 }
 
 }  // namespace

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include <numeric>
+#include <algorithm>
 #include <vector>
 
 #include "sim/rng.h"
@@ -10,46 +10,55 @@
 namespace coolstream::net {
 namespace {
 
-double total(const std::vector<double>& v) {
-  return std::accumulate(v.begin(), v.end(), 0.0);
+std::vector<BlockRate> rates_of(const std::vector<double>& v) {
+  std::vector<BlockRate> out;
+  out.reserve(v.size());
+  for (double d : v) out.emplace_back(d);
+  return out;
+}
+
+double total(const std::vector<BlockRate>& v) {
+  double sum = 0.0;
+  for (BlockRate r : v) sum += r.value();
+  return sum;
 }
 
 TEST(MaxMinFairTest, EmptyDemands) {
-  EXPECT_TRUE(max_min_fair(10.0, {}).empty());
+  EXPECT_TRUE(max_min_fair(BlockRate(10.0), {}).empty());
 }
 
 TEST(MaxMinFairTest, AmpleCapacityMeetsAllDemands) {
-  const std::vector<double> d = {1.0, 2.0, 3.0};
-  const auto r = max_min_fair(100.0, d);
-  for (std::size_t i = 0; i < d.size(); ++i) EXPECT_DOUBLE_EQ(r[i], d[i]);
+  const auto d = rates_of({1.0, 2.0, 3.0});
+  const auto r = max_min_fair(BlockRate(100.0), d);
+  for (std::size_t i = 0; i < d.size(); ++i) EXPECT_EQ(r[i], d[i]);
 }
 
 TEST(MaxMinFairTest, EqualSplitWhenDemandsExceed) {
-  const std::vector<double> d = {10.0, 10.0, 10.0};
-  const auto r = max_min_fair(9.0, d);
-  for (double v : r) EXPECT_DOUBLE_EQ(v, 3.0);
+  const auto d = rates_of({10.0, 10.0, 10.0});
+  const auto r = max_min_fair(BlockRate(9.0), d);
+  for (BlockRate v : r) EXPECT_EQ(v, BlockRate(3.0));
 }
 
 TEST(MaxMinFairTest, SmallDemandSatisfiedSurplusRedistributed) {
   // Classic max-min example: capacity 10, demands {2, 8, 8}.
   // Round 1: share 3.33 -> first capped at 2; remaining 8 split -> 4 each.
-  const std::vector<double> d = {2.0, 8.0, 8.0};
-  const auto r = max_min_fair(10.0, d);
-  EXPECT_DOUBLE_EQ(r[0], 2.0);
-  EXPECT_DOUBLE_EQ(r[1], 4.0);
-  EXPECT_DOUBLE_EQ(r[2], 4.0);
+  const auto d = rates_of({2.0, 8.0, 8.0});
+  const auto r = max_min_fair(BlockRate(10.0), d);
+  EXPECT_EQ(r[0], BlockRate(2.0));
+  EXPECT_EQ(r[1], BlockRate(4.0));
+  EXPECT_EQ(r[2], BlockRate(4.0));
 }
 
 TEST(MaxMinFairTest, ZeroDemandGetsZero) {
-  const std::vector<double> d = {0.0, 5.0};
-  const auto r = max_min_fair(3.0, d);
-  EXPECT_DOUBLE_EQ(r[0], 0.0);
-  EXPECT_DOUBLE_EQ(r[1], 3.0);
+  const auto d = rates_of({0.0, 5.0});
+  const auto r = max_min_fair(BlockRate(3.0), d);
+  EXPECT_EQ(r[0], BlockRate::zero());
+  EXPECT_EQ(r[1], BlockRate(3.0));
 }
 
 TEST(MaxMinFairTest, ZeroCapacity) {
-  const std::vector<double> d = {1.0, 2.0};
-  const auto r = max_min_fair(0.0, d);
+  const auto d = rates_of({1.0, 2.0});
+  const auto r = max_min_fair(BlockRate::zero(), d);
   EXPECT_DOUBLE_EQ(total(r), 0.0);
 }
 
@@ -58,11 +67,13 @@ TEST(MaxMinFairTest, Eq5CompetitionRate) {
   // rate R/K accepts a (D+1)-th; every connection now gets D/(D+1) * R/K.
   constexpr double kSubRate = 2.0;  // blocks/s
   for (int d_p = 1; d_p <= 8; ++d_p) {
-    const double capacity = d_p * kSubRate;
-    std::vector<double> demands(static_cast<std::size_t>(d_p) + 1, kSubRate);
+    const BlockRate capacity(d_p * kSubRate);
+    const std::vector<BlockRate> demands(static_cast<std::size_t>(d_p) + 1,
+                                         BlockRate(kSubRate));
     const auto r = max_min_fair(capacity, demands);
-    for (double v : r) {
-      EXPECT_NEAR(v, d_p / (d_p + 1.0) * kSubRate, 1e-12) << "D_p=" << d_p;
+    for (BlockRate v : r) {
+      EXPECT_NEAR(v.value(), d_p / (d_p + 1.0) * kSubRate, 1e-12)
+          << "D_p=" << d_p;
     }
   }
 }
@@ -74,31 +85,33 @@ TEST_P(MaxMinPropertyTest, Invariants) {
   sim::Rng rng(GetParam());
   for (int trial = 0; trial < 200; ++trial) {
     const auto n = static_cast<std::size_t>(rng.uniform_int(1, 12));
-    std::vector<double> demands(n);
+    std::vector<BlockRate> demands(n);
     for (auto& d : demands) {
-      d = rng.chance(0.2) ? 0.0 : rng.uniform(0.0, 10.0);
+      d = rng.chance(0.2) ? BlockRate::zero()
+                          : BlockRate(rng.uniform(0.0, 10.0));
     }
-    const double capacity = rng.uniform(0.0, 30.0);
+    const BlockRate capacity(rng.uniform(0.0, 30.0));
     const auto rates = max_min_fair(capacity, demands);
     ASSERT_EQ(rates.size(), n);
 
     double sum = 0.0;
     double demand_sum = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      ASSERT_GE(rates[i], -1e-12);
-      ASSERT_LE(rates[i], demands[i] + 1e-9);  // never exceed demand
-      sum += rates[i];
-      demand_sum += demands[i];
+      ASSERT_GE(rates[i].value(), -1e-12);
+      // Never exceed demand.
+      ASSERT_LE(rates[i].value(), demands[i].value() + 1e-9);
+      sum += rates[i].value();
+      demand_sum += demands[i].value();
     }
     // Conservation: everything allocatable is allocated.
-    ASSERT_NEAR(sum, std::min(capacity, demand_sum), 1e-6);
+    ASSERT_NEAR(sum, std::min(capacity.value(), demand_sum), 1e-6);
 
     // Fairness: an unsatisfied connection's rate must be >= any other
     // connection's rate (no one gets more while someone starves).
     for (std::size_t i = 0; i < n; ++i) {
-      if (rates[i] < demands[i] - 1e-9) {
+      if (rates[i].value() < demands[i].value() - 1e-9) {
         for (std::size_t j = 0; j < n; ++j) {
-          ASSERT_LE(rates[j], rates[i] + 1e-6)
+          ASSERT_LE(rates[j].value(), rates[i].value() + 1e-6)
               << "connection " << j << " got more than unsatisfied " << i;
         }
       }
@@ -110,27 +123,27 @@ INSTANTIATE_TEST_SUITE_P(Seeds, MaxMinPropertyTest,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u));
 
 TEST(EqualShareTest, CapsAtDemand) {
-  const std::vector<double> d = {1.0, 10.0};
-  const auto r = equal_share(10.0, d);
-  EXPECT_DOUBLE_EQ(r[0], 1.0);
-  EXPECT_DOUBLE_EQ(r[1], 5.0);  // surplus NOT redistributed
+  const auto d = rates_of({1.0, 10.0});
+  const auto r = equal_share(BlockRate(10.0), d);
+  EXPECT_EQ(r[0], BlockRate(1.0));
+  EXPECT_EQ(r[1], BlockRate(5.0));  // surplus NOT redistributed
 }
 
 TEST(EqualShareTest, ZeroDemandExcludedFromSplit) {
-  const std::vector<double> d = {0.0, 10.0, 10.0};
-  const auto r = equal_share(8.0, d);
-  EXPECT_DOUBLE_EQ(r[0], 0.0);
-  EXPECT_DOUBLE_EQ(r[1], 4.0);
-  EXPECT_DOUBLE_EQ(r[2], 4.0);
+  const auto d = rates_of({0.0, 10.0, 10.0});
+  const auto r = equal_share(BlockRate(8.0), d);
+  EXPECT_EQ(r[0], BlockRate::zero());
+  EXPECT_EQ(r[1], BlockRate(4.0));
+  EXPECT_EQ(r[2], BlockRate(4.0));
 }
 
 TEST(EqualShareTest, NeverExceedsMaxMinTotal) {
   sim::Rng rng(99);
   for (int trial = 0; trial < 100; ++trial) {
     const auto n = static_cast<std::size_t>(rng.uniform_int(1, 8));
-    std::vector<double> demands(n);
-    for (auto& d : demands) d = rng.uniform(0.0, 5.0);
-    const double capacity = rng.uniform(0.0, 12.0);
+    std::vector<BlockRate> demands(n);
+    for (auto& d : demands) d = BlockRate(rng.uniform(0.0, 5.0));
+    const BlockRate capacity(rng.uniform(0.0, 12.0));
     const double eq = total(equal_share(capacity, demands));
     const double mm = total(max_min_fair(capacity, demands));
     ASSERT_LE(eq, mm + 1e-9);  // max-min wastes nothing; equal share may

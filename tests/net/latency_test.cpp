@@ -13,7 +13,7 @@ TEST(LatencyTest, Symmetric) {
   LatencyModel m(42);
   for (NodeId a = 0; a < 50; ++a) {
     for (NodeId b = 0; b < 50; ++b) {
-      ASSERT_DOUBLE_EQ(m.delay(a, b), m.delay(b, a));
+      ASSERT_EQ(m.delay(a, b), m.delay(b, a));
     }
   }
 }
@@ -22,7 +22,7 @@ TEST(LatencyTest, DeterministicAcrossInstances) {
   LatencyModel m1(7);
   LatencyModel m2(7);
   for (NodeId a = 0; a < 20; ++a) {
-    ASSERT_DOUBLE_EQ(m1.delay(a, a + 1), m2.delay(a, a + 1));
+    ASSERT_EQ(m1.delay(a, a + 1), m2.delay(a, a + 1));
   }
 }
 
@@ -39,7 +39,7 @@ TEST(LatencyTest, DifferentSeedsDiffer) {
 TEST(LatencyTest, WithinBounds) {
   LatencyModel m(3);
   for (NodeId a = 0; a < 500; ++a) {
-    const double d = m.delay(a, a * 31 + 7);
+    const double d = m.delay(a, a * 31 + 7).value();
     ASSERT_GE(d, m.params().min_delay);
     ASSERT_LE(d, m.params().max_delay);
   }
@@ -48,7 +48,7 @@ TEST(LatencyTest, WithinBounds) {
 TEST(LatencyTest, MedianRoughlyMatchesMu) {
   LatencyModel m(5);
   std::vector<double> delays;
-  for (NodeId a = 0; a < 4000; ++a) delays.push_back(m.delay(a, 100000 + a));
+  for (NodeId a = 0; a < 4000; ++a) delays.push_back(m.delay(a, 100000 + a).value());
   std::sort(delays.begin(), delays.end());
   // exp(mu) = exp(-2.6) ~ 74 ms.
   EXPECT_NEAR(delays[delays.size() / 2], std::exp(m.params().mu), 0.01);
@@ -60,7 +60,7 @@ TEST(LatencyTest, CustomParamsRespected) {
   p.max_delay = 0.25;
   LatencyModel m(9, p);
   for (NodeId a = 0; a < 200; ++a) {
-    const double d = m.delay(a, a + 1);
+    const double d = m.delay(a, a + 1).value();
     ASSERT_GE(d, 0.2);
     ASSERT_LE(d, 0.25);
   }

@@ -13,11 +13,11 @@ class TransportTest : public ::testing::Test {
 };
 
 TEST_F(TransportTest, DeliversAfterLatency) {
-  double delivered_at = -1.0;
+  sim::Time delivered_at(-1.0);
   transport_.send(1, 2, MessageKind::kGossip,
                   [&] { delivered_at = sim_.now(); });
   sim_.run();
-  EXPECT_DOUBLE_EQ(delivered_at, latency_.delay(1, 2));
+  EXPECT_EQ(delivered_at, sim::Time::zero() + latency_.delay(1, 2));
 }
 
 TEST_F(TransportTest, CountsByKind) {

@@ -66,15 +66,15 @@ TEST(AllocationTest, PeriodicLoopIsAllocationFree) {
   // Several concurrent periodic series, like a peer's protocol loops
   // (buffer-map exchange, gossip, adaptation, status reports).
   EventHandle loops[4];
-  loops[0] = s.every(0.1, 1.0, [&] { ++fires; });
-  loops[1] = s.every(0.2, 1.5, [&] { ++fires; });
-  loops[2] = s.every(0.3, 5.0, [&] { ++fires; });
-  loops[3] = s.every(0.4, 300.0, [&] { ++fires; });
-  s.run_until(500.0);  // warm up: slab chunks, calendar geometry
+  loops[0] = s.every(Duration(0.1), Duration(1.0), [&] { ++fires; });
+  loops[1] = s.every(Duration(0.2), Duration(1.5), [&] { ++fires; });
+  loops[2] = s.every(Duration(0.3), Duration(5.0), [&] { ++fires; });
+  loops[3] = s.every(Duration(0.4), Duration(300.0), [&] { ++fires; });
+  s.run_until(Time(500.0));  // warm up: slab chunks, calendar geometry
 
   const std::uint64_t fires_before = fires;
   const std::uint64_t allocs_before = g_allocations;
-  s.run_until(10000.0);
+  s.run_until(Time(10000.0));
   const std::uint64_t allocs_after = g_allocations;
   const std::uint64_t fired = fires - fires_before;
 
@@ -95,14 +95,14 @@ TEST(AllocationTest, OneShotChurnIsAllocationFree) {
     std::uint64_t& count;
     void operator()() const {
       ++count;
-      sim.after(0.05, Chain{sim, count});
+      sim.after(Duration(0.05), Chain{sim, count});
     }
   };
-  s.after(0.0, Chain{s, fires});
-  s.run_until(100.0);  // warm up
+  s.after(Duration(0.0), Chain{s, fires});
+  s.run_until(Time(100.0));  // warm up
 
   const std::uint64_t allocs_before = g_allocations;
-  s.run_until(2000.0);
+  s.run_until(Time(2000.0));
   EXPECT_GT(fires, 10000u);
   EXPECT_EQ(g_allocations - allocs_before, 0u);
 }
@@ -114,7 +114,8 @@ TEST(AllocationTest, CancelPathIsAllocationFree) {
   for (int round = 0; round < 20; ++round) {
     for (std::size_t i = 0; i < 256; ++i) {
       handles[i] =
-          q.schedule(static_cast<Time>(round) + static_cast<Time>(i) * 1e-3,
+          q.schedule(Time(static_cast<double>(round) +
+                          static_cast<double>(i) * 1e-3),
                      [] {});
     }
     for (auto& h : handles) h.cancel();
@@ -124,7 +125,8 @@ TEST(AllocationTest, CancelPathIsAllocationFree) {
   for (int round = 0; round < 100; ++round) {
     for (std::size_t i = 0; i < 256; ++i) {
       handles[i] =
-          q.schedule(static_cast<Time>(round) + static_cast<Time>(i) * 1e-3,
+          q.schedule(Time(static_cast<double>(round) +
+                          static_cast<double>(i) * 1e-3),
                      [] {});
     }
     for (auto& h : handles) h.cancel();
@@ -145,12 +147,12 @@ TEST(AllocationTest, SmallCallbacksStayInline) {
   static_assert(sizeof(Capture) + sizeof(void*) <=
                 detail::InlineFn::kInlineSize);
 
-  q.schedule(1.0, [] {});  // warm the slab and the far-future spill heap
+  q.schedule(Time(1.0), [] {});  // warm the slab and the spill heap
   q.run_next();
   const std::uint64_t allocs_before = g_allocations;
   Capture c{};
   bool ran = false;
-  q.schedule(2.0, [c, &ran] {
+  q.schedule(Time(2.0), [c, &ran] {
     (void)c;
     ran = true;
   });

@@ -24,7 +24,8 @@ struct EventQueueTestAccess {
     q.record(slot).seq = q.next_seq_ + 1000;
   }
   static void corrupt_time(EventQueue& q, std::uint32_t slot) {
-    q.record(slot).time = q.year_start_ + 2.0 * q.year_span_ + 1.0;
+    q.record(slot).time =
+        Time(q.year_start_ + 2.0 * q.year_span_ + 1.0);
   }
   static void corrupt_live_counter(EventQueue& q) { q.live_ += 1; }
 };
@@ -43,12 +44,13 @@ TEST(EventQueueSelfCheckTest, BusyQueueIsConsistent) {
   std::vector<EventHandle> handles;
   int fired = 0;
   for (int i = 0; i < 200; ++i) {
-    handles.push_back(q.schedule(0.001 * i, [&fired] { ++fired; }));
+    handles.push_back(q.schedule(Time(0.001 * i), [&fired] { ++fired; }));
   }
   for (int i = 0; i < 50; ++i) {
-    handles.push_back(q.schedule(1e6 + i, [&fired] { ++fired; }));
+    handles.push_back(q.schedule(Time(1e6 + i), [&fired] { ++fired; }));
   }
-  handles.push_back(q.schedule_every(0.05, 0.05, [&fired] { ++fired; }));
+  handles.push_back(
+      q.schedule_every(Time(0.05), Duration(0.05), [&fired] { ++fired; }));
   EXPECT_EQ(q.self_check(), "");
 
   for (int i = 0; i < 100; i += 7) handles[static_cast<std::size_t>(i)].cancel();
@@ -61,7 +63,7 @@ TEST(EventQueueSelfCheckTest, BusyQueueIsConsistent) {
 
 TEST(EventQueueSelfCheckTest, DetectsWhereFlippedToFree) {
   EventQueue q;
-  q.schedule(1.0, [] {});  // first allocation -> slot 0
+  q.schedule(Time(1.0), [] {});  // first allocation -> slot 0
   ASSERT_EQ(q.self_check(), "");
   EventQueueTestAccess::corrupt_where_free(q, 0);
   EXPECT_NE(q.self_check(), "");
@@ -69,7 +71,7 @@ TEST(EventQueueSelfCheckTest, DetectsWhereFlippedToFree) {
 
 TEST(EventQueueSelfCheckTest, DetectsBucketPositionMismatch) {
   EventQueue q;
-  q.schedule(0.0001, [] {});  // lands in the calendar tier
+  q.schedule(Time(0.0001), [] {});  // lands in the calendar tier
   ASSERT_EQ(q.self_check(), "");
   EventQueueTestAccess::corrupt_pos(q, 0);
   EXPECT_NE(q.self_check(), "");
@@ -77,7 +79,7 @@ TEST(EventQueueSelfCheckTest, DetectsBucketPositionMismatch) {
 
 TEST(EventQueueSelfCheckTest, DetectsSequenceFromTheFuture) {
   EventQueue q;
-  q.schedule(0.0001, [] {});
+  q.schedule(Time(0.0001), [] {});
   ASSERT_EQ(q.self_check(), "");
   EventQueueTestAccess::corrupt_seq(q, 0);
   EXPECT_NE(q.self_check(), "");
@@ -85,7 +87,7 @@ TEST(EventQueueSelfCheckTest, DetectsSequenceFromTheFuture) {
 
 TEST(EventQueueSelfCheckTest, DetectsTimeOutsideTheCalendarYear) {
   EventQueue q;
-  q.schedule(0.0001, [] {});
+  q.schedule(Time(0.0001), [] {});
   ASSERT_EQ(q.self_check(), "");
   EventQueueTestAccess::corrupt_time(q, 0);
   EXPECT_NE(q.self_check(), "");
@@ -93,7 +95,7 @@ TEST(EventQueueSelfCheckTest, DetectsTimeOutsideTheCalendarYear) {
 
 TEST(EventQueueSelfCheckTest, DetectsLiveCounterDrift) {
   EventQueue q;
-  q.schedule(1.0, [] {});
+  q.schedule(Time(1.0), [] {});
   ASSERT_EQ(q.self_check(), "");
   EventQueueTestAccess::corrupt_live_counter(q);
   EXPECT_NE(q.self_check(), "");

@@ -28,9 +28,9 @@ TEST(EventQueueTest, EmptyInitially) {
 TEST(EventQueueTest, PopsInTimeOrder) {
   EventQueue q;
   std::vector<int> order;
-  q.schedule(3.0, [&] { order.push_back(3); });
-  q.schedule(1.0, [&] { order.push_back(1); });
-  q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(Time(3.0), [&] { order.push_back(3); });
+  q.schedule(Time(1.0), [&] { order.push_back(1); });
+  q.schedule(Time(2.0), [&] { order.push_back(2); });
   drain(q);
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
@@ -39,7 +39,7 @@ TEST(EventQueueTest, TiesBreakByInsertionOrder) {
   EventQueue q;
   std::vector<int> order;
   for (int i = 0; i < 50; ++i) {
-    q.schedule(1.0, [&order, i] { order.push_back(i); });
+    q.schedule(Time(1.0), [&order, i] { order.push_back(i); });
   }
   drain(q);
   for (int i = 0; i < 50; ++i) ASSERT_EQ(order[static_cast<std::size_t>(i)], i);
@@ -47,24 +47,24 @@ TEST(EventQueueTest, TiesBreakByInsertionOrder) {
 
 TEST(EventQueueTest, NextTimeReportsEarliest) {
   EventQueue q;
-  q.schedule(5.0, [] {});
-  q.schedule(2.5, [] {});
-  EXPECT_DOUBLE_EQ(q.next_time(), 2.5);
+  q.schedule(Time(5.0), [] {});
+  q.schedule(Time(2.5), [] {});
+  EXPECT_EQ(q.next_time(), Time(2.5));
 }
 
 TEST(EventQueueTest, RunNextReportsFireTime) {
   EventQueue q;
-  q.schedule(4.25, [] {});
-  Time seen = -1.0;
+  q.schedule(Time(4.25), [] {});
+  Time seen(-1.0);
   EXPECT_TRUE(q.run_next([&](Time t) { seen = t; }));
-  EXPECT_DOUBLE_EQ(seen, 4.25);
+  EXPECT_EQ(seen, Time(4.25));
   EXPECT_FALSE(q.run_next());
 }
 
 TEST(EventQueueTest, CancelPreventsExecution) {
   EventQueue q;
   bool ran = false;
-  EventHandle h = q.schedule(1.0, [&] { ran = true; });
+  EventHandle h = q.schedule(Time(1.0), [&] { ran = true; });
   EXPECT_TRUE(h.pending());
   h.cancel();
   EXPECT_FALSE(h.pending());
@@ -76,7 +76,7 @@ TEST(EventQueueTest, CancelIsEager) {
   EventQueue q;
   std::array<EventHandle, 100> handles;
   for (std::size_t i = 0; i < handles.size(); ++i) {
-    handles[i] = q.schedule(static_cast<Time>(i), [] {});
+    handles[i] = q.schedule(Time(static_cast<double>(i)), [] {});
   }
   EXPECT_EQ(q.size(), handles.size());
   for (auto& h : handles) h.cancel();
@@ -88,9 +88,9 @@ TEST(EventQueueTest, CancelIsEager) {
 TEST(EventQueueTest, CancelledEventSkippedAmongOthers) {
   EventQueue q;
   std::vector<int> order;
-  q.schedule(1.0, [&] { order.push_back(1); });
-  EventHandle h = q.schedule(2.0, [&] { order.push_back(2); });
-  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(Time(1.0), [&] { order.push_back(1); });
+  EventHandle h = q.schedule(Time(2.0), [&] { order.push_back(2); });
+  q.schedule(Time(3.0), [&] { order.push_back(3); });
   h.cancel();
   drain(q);
   EXPECT_EQ(order, (std::vector<int>{1, 3}));
@@ -98,7 +98,7 @@ TEST(EventQueueTest, CancelledEventSkippedAmongOthers) {
 
 TEST(EventQueueTest, CancelIsIdempotent) {
   EventQueue q;
-  EventHandle h = q.schedule(1.0, [] {});
+  EventHandle h = q.schedule(Time(1.0), [] {});
   h.cancel();
   h.cancel();
   EXPECT_FALSE(h.pending());
@@ -112,14 +112,14 @@ TEST(EventQueueTest, DefaultHandleInert) {
 
 TEST(EventQueueTest, FiredEventNoLongerPending) {
   EventQueue q;
-  EventHandle h = q.schedule(1.0, [] {});
+  EventHandle h = q.schedule(Time(1.0), [] {});
   EXPECT_TRUE(q.run_next());
   EXPECT_FALSE(h.pending());
 }
 
 TEST(EventQueueTest, HandleCopiesShareState) {
   EventQueue q;
-  EventHandle a = q.schedule(1.0, [] {});
+  EventHandle a = q.schedule(Time(1.0), [] {});
   EventHandle b = a;
   b.cancel();
   EXPECT_FALSE(a.pending());
@@ -129,11 +129,11 @@ TEST(EventQueueTest, HandleCopiesShareState) {
 TEST(EventQueueTest, StaleHandleAfterSlotReuseIsInert) {
   EventQueue q;
   bool second_ran = false;
-  EventHandle first = q.schedule(1.0, [] {});
+  EventHandle first = q.schedule(Time(1.0), [] {});
   first.cancel();
   // The freed slot is recycled for the next event; the generation counter
   // makes the old handle inert rather than aliasing the new event.
-  EventHandle second = q.schedule(2.0, [&] { second_ran = true; });
+  EventHandle second = q.schedule(Time(2.0), [&] { second_ran = true; });
   first.cancel();
   EXPECT_FALSE(first.pending());
   EXPECT_TRUE(second.pending());
@@ -143,10 +143,10 @@ TEST(EventQueueTest, StaleHandleAfterSlotReuseIsInert) {
 
 TEST(EventQueueTest, HandleOfFiredEventDoesNotCancelReusedSlot) {
   EventQueue q;
-  EventHandle first = q.schedule(1.0, [] {});
+  EventHandle first = q.schedule(Time(1.0), [] {});
   EXPECT_TRUE(q.run_next());
   bool ran = false;
-  EventHandle second = q.schedule(2.0, [&] { ran = true; });
+  EventHandle second = q.schedule(Time(2.0), [&] { ran = true; });
   first.cancel();  // stale: must not touch the recycled slot
   EXPECT_TRUE(second.pending());
   drain(q);
@@ -159,7 +159,7 @@ TEST(EventQueueTest, LargeCallbackFallsBackToHeapAndRuns) {
   std::array<std::uint64_t, 32> payload{};
   for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = i * 3 + 1;
   std::uint64_t sum = 0;
-  q.schedule(1.0, [payload, &sum] {
+  q.schedule(Time(1.0), [payload, &sum] {
     for (const auto v : payload) sum += v;
   });
   drain(q);
@@ -172,7 +172,7 @@ TEST(EventQueueTest, MoveOnlyCallback) {
   EventQueue q;
   auto owned = std::make_unique<int>(7);
   int seen = 0;
-  q.schedule(1.0, [p = std::move(owned), &seen] { seen = *p; });
+  q.schedule(Time(1.0), [p = std::move(owned), &seen] { seen = *p; });
   drain(q);
   EXPECT_EQ(seen, 7);
 }
@@ -180,9 +180,9 @@ TEST(EventQueueTest, MoveOnlyCallback) {
 TEST(EventQueueTest, ReentrantScheduleFromCallback) {
   EventQueue q;
   std::vector<int> order;
-  q.schedule(1.0, [&] {
+  q.schedule(Time(1.0), [&] {
     order.push_back(1);
-    q.schedule(1.5, [&] { order.push_back(2); });
+    q.schedule(Time(1.5), [&] { order.push_back(2); });
   });
   drain(q);
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
@@ -191,13 +191,13 @@ TEST(EventQueueTest, ReentrantScheduleFromCallback) {
 TEST(EventQueueTest, PeriodicFiresAtAbsoluteMultiples) {
   EventQueue q;
   std::vector<Time> times;
-  EventHandle h = q.schedule_every(1.0, 0.5, [] {});
+  EventHandle h = q.schedule_every(Time(1.0), Duration(0.5), [] {});
   for (int i = 0; i < 8; ++i) {
     q.run_next([&](Time t) { times.push_back(t); });
   }
   ASSERT_EQ(times.size(), 8u);
   for (int i = 0; i < 8; ++i) {
-    EXPECT_DOUBLE_EQ(times[static_cast<std::size_t>(i)], 1.0 + 0.5 * i);
+    EXPECT_EQ(times[static_cast<std::size_t>(i)], Time(1.0 + 0.5 * i));
   }
   EXPECT_TRUE(h.pending());
   h.cancel();
@@ -208,7 +208,7 @@ TEST(EventQueueTest, PeriodicCancelFromInsideCallbackStopsSeries) {
   EventQueue q;
   int count = 0;
   EventHandle h;
-  h = q.schedule_every(1.0, 1.0, [&] {
+  h = q.schedule_every(Time(1.0), Duration(1.0), [&] {
     ++count;
     if (count == 3) h.cancel();
   });
@@ -221,9 +221,9 @@ TEST(EventQueueTest, FarFutureEventsSpillAndReturn) {
   EventQueue q;
   std::vector<int> order;
   // A mix of near events and events far beyond any calendar window.
-  q.schedule(100000.0, [&] { order.push_back(3); });
-  q.schedule(0.001, [&] { order.push_back(1); });
-  q.schedule(50000.0, [&] { order.push_back(2); });
+  q.schedule(Time(100000.0), [&] { order.push_back(3); });
+  q.schedule(Time(0.001), [&] { order.push_back(1); });
+  q.schedule(Time(50000.0), [&] { order.push_back(2); });
   EXPECT_GT(q.spill_size(), 0u);
   drain(q);
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
@@ -235,9 +235,9 @@ TEST(EventQueueTest, ManyEventsStressOrder) {
   std::uint64_t state = 99;
   for (int i = 0; i < 5000; ++i) {
     const double t = static_cast<double>(splitmix64_next(state) % 10000u);
-    q.schedule(t, [] {});
+    q.schedule(Time(t), [] {});
   }
-  double prev = -1.0;
+  Time prev(-1.0);
   while (!q.empty()) {
     q.run_next([&](Time t) {
       ASSERT_GE(t, prev);
@@ -310,7 +310,7 @@ TEST(EventQueueTest, MatchesReferenceEngineUnderRandomWorkload) {
     Rng rng(seed);
     EventQueue q;
     ReferenceQueue ref;
-    Time now = 0.0;
+    Time now{};
 
     struct LivePair {
       EventHandle handle;
@@ -329,7 +329,7 @@ TEST(EventQueueTest, MatchesReferenceEngineUnderRandomWorkload) {
         double delay = rng.chance(0.1)  ? rng.uniform(0.0, 5000.0)
                        : rng.chance(0.2) ? 0.0
                                          : rng.uniform(0.0, 2.0);
-        const Time at = now + delay;
+        const Time at = now + Duration(delay);
         const std::uint64_t t = tag++;
         LivePair p;
         p.handle = q.schedule(at, [&fired_q, at, t] {
@@ -390,7 +390,7 @@ TEST(EventQueueTest, CalendarGeometryAdapts) {
   Rng rng(7);
   std::vector<EventHandle> handles;
   for (int i = 0; i < 5000; ++i) {
-    handles.push_back(q.schedule(rng.uniform(0.0, 10.0), [] {}));
+    handles.push_back(q.schedule(Time(rng.uniform(0.0, 10.0)), [] {}));
   }
   EXPECT_GT(q.bucket_count(), initial);  // grew with the population
   for (auto& h : handles) h.cancel();

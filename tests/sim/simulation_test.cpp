@@ -9,69 +9,69 @@ namespace {
 
 TEST(SimulationTest, ClockStartsAtZero) {
   Simulation s;
-  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+  EXPECT_EQ(s.now(), Time::zero());
 }
 
 TEST(SimulationTest, AfterAdvancesClockToEventTime) {
   Simulation s;
-  double fired_at = -1.0;
-  s.after(2.5, [&] { fired_at = s.now(); });
+  Time fired_at(-1.0);
+  s.after(Duration(2.5), [&] { fired_at = s.now(); });
   s.run();
-  EXPECT_DOUBLE_EQ(fired_at, 2.5);
-  EXPECT_DOUBLE_EQ(s.now(), 2.5);
+  EXPECT_EQ(fired_at, Time(2.5));
+  EXPECT_EQ(s.now(), Time(2.5));
 }
 
 TEST(SimulationTest, RunUntilStopsBeforeLaterEvents) {
   Simulation s;
   int fired = 0;
-  s.after(1.0, [&] { ++fired; });
-  s.after(5.0, [&] { ++fired; });
-  s.run_until(3.0);
+  s.after(Duration(1.0), [&] { ++fired; });
+  s.after(Duration(5.0), [&] { ++fired; });
+  s.run_until(Time(3.0));
   EXPECT_EQ(fired, 1);
-  EXPECT_DOUBLE_EQ(s.now(), 3.0);  // clock advanced to the horizon
-  s.run_until(10.0);
+  EXPECT_EQ(s.now(), Time(3.0));  // clock advanced to the horizon
+  s.run_until(Time(10.0));
   EXPECT_EQ(fired, 2);
 }
 
 TEST(SimulationTest, RunUntilAdvancesClockWhenQueueEmpty) {
   Simulation s;
-  s.run_until(7.0);
-  EXPECT_DOUBLE_EQ(s.now(), 7.0);
+  s.run_until(Time(7.0));
+  EXPECT_EQ(s.now(), Time(7.0));
 }
 
 TEST(SimulationTest, NestedScheduling) {
   Simulation s;
-  std::vector<double> times;
-  s.after(1.0, [&] {
+  std::vector<Time> times;
+  s.after(Duration(1.0), [&] {
     times.push_back(s.now());
-    s.after(1.0, [&] { times.push_back(s.now()); });
+    s.after(Duration(1.0), [&] { times.push_back(s.now()); });
   });
   s.run();
   ASSERT_EQ(times.size(), 2u);
-  EXPECT_DOUBLE_EQ(times[0], 1.0);
-  EXPECT_DOUBLE_EQ(times[1], 2.0);
+  EXPECT_EQ(times[0], Time(1.0));
+  EXPECT_EQ(times[1], Time(2.0));
 }
 
 TEST(SimulationTest, EveryFiresPeriodically) {
   Simulation s;
-  std::vector<double> times;
-  s.every(1.0, 2.0, [&] { times.push_back(s.now()); });
-  s.run_until(7.5);
+  std::vector<Time> times;
+  s.every(Duration(1.0), Duration(2.0), [&] { times.push_back(s.now()); });
+  s.run_until(Time(7.5));
   ASSERT_EQ(times.size(), 4u);
-  EXPECT_DOUBLE_EQ(times[0], 1.0);
-  EXPECT_DOUBLE_EQ(times[1], 3.0);
-  EXPECT_DOUBLE_EQ(times[2], 5.0);
-  EXPECT_DOUBLE_EQ(times[3], 7.0);
+  EXPECT_EQ(times[0], Time(1.0));
+  EXPECT_EQ(times[1], Time(3.0));
+  EXPECT_EQ(times[2], Time(5.0));
+  EXPECT_EQ(times[3], Time(7.0));
 }
 
 TEST(SimulationTest, EveryCancelStopsChain) {
   Simulation s;
   int count = 0;
-  EventHandle h = s.every(1.0, 1.0, [&] { ++count; });
-  s.run_until(3.5);
+  EventHandle h = s.every(Duration(1.0), Duration(1.0), [&] { ++count; });
+  s.run_until(Time(3.5));
   EXPECT_EQ(count, 3);
   h.cancel();
-  s.run_until(10.0);
+  s.run_until(Time(10.0));
   EXPECT_EQ(count, 3);
 }
 
@@ -79,11 +79,11 @@ TEST(SimulationTest, EveryCancelFromInsideCallback) {
   Simulation s;
   int count = 0;
   EventHandle h;
-  h = s.every(1.0, 1.0, [&] {
+  h = s.every(Duration(1.0), Duration(1.0), [&] {
     ++count;
     if (count == 2) h.cancel();
   });
-  s.run_until(10.0);
+  s.run_until(Time(10.0));
   EXPECT_EQ(count, 2);
 }
 
@@ -95,9 +95,10 @@ TEST(SimulationTest, EveryHasNoFloatingPointDriftOver10kPeriods) {
   const double first = 0.3;
   const double period = 0.1;
   std::vector<double> times;
-  EventHandle h = s.every(first, period, [&] { times.push_back(s.now()); });
+  EventHandle h = s.every(Duration(first), Duration(period),
+                          [&] { times.push_back(s.now().value()); });
   const int kPeriods = 10000;
-  s.run_until(first + period * static_cast<double>(kPeriods));
+  s.run_until(Time(first + period * static_cast<double>(kPeriods)));
   h.cancel();
   ASSERT_GE(times.size(), static_cast<std::size_t>(kPeriods));
   for (std::size_t n = 0; n < times.size(); ++n) {
@@ -113,8 +114,8 @@ TEST(SimulationTest, EveryHasNoFloatingPointDriftOver10kPeriods) {
 TEST(SimulationTest, StepExecutesOneEvent) {
   Simulation s;
   int fired = 0;
-  s.after(1.0, [&] { ++fired; });
-  s.after(2.0, [&] { ++fired; });
+  s.after(Duration(1.0), [&] { ++fired; });
+  s.after(Duration(2.0), [&] { ++fired; });
   EXPECT_TRUE(s.step());
   EXPECT_EQ(fired, 1);
   EXPECT_TRUE(s.step());
@@ -124,14 +125,14 @@ TEST(SimulationTest, StepExecutesOneEvent) {
 
 TEST(SimulationTest, StepRespectsHorizon) {
   Simulation s;
-  s.after(5.0, [] {});
-  EXPECT_FALSE(s.step(3.0));
-  EXPECT_TRUE(s.step(6.0));
+  s.after(Duration(5.0), [] {});
+  EXPECT_FALSE(s.step(Time(3.0)));
+  EXPECT_TRUE(s.step(Time(6.0)));
 }
 
 TEST(SimulationTest, EventsExecutedCounter) {
   Simulation s;
-  for (int i = 0; i < 10; ++i) s.after(i, [] {});
+  for (int i = 0; i < 10; ++i) s.after(Duration(i), [] {});
   s.run();
   EXPECT_EQ(s.events_executed(), 10u);
 }

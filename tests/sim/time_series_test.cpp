@@ -8,78 +8,78 @@ namespace {
 TEST(TimeSeriesTest, RecordsSamples) {
   TimeSeries ts;
   EXPECT_TRUE(ts.empty());
-  ts.record(1.0, 10.0);
-  ts.record(2.0, 20.0);
+  ts.record(Time(1.0), 10.0);
+  ts.record(Time(2.0), 20.0);
   EXPECT_EQ(ts.size(), 2u);
   EXPECT_DOUBLE_EQ(ts.samples()[1].value, 20.0);
 }
 
 TEST(TimeSeriesTest, ValueAtFindsLastSampleAtOrBefore) {
   TimeSeries ts;
-  ts.record(1.0, 10.0);
-  ts.record(3.0, 30.0);
-  EXPECT_FALSE(ts.value_at(0.5).has_value());
-  EXPECT_DOUBLE_EQ(*ts.value_at(1.0), 10.0);
-  EXPECT_DOUBLE_EQ(*ts.value_at(2.9), 10.0);
-  EXPECT_DOUBLE_EQ(*ts.value_at(3.0), 30.0);
-  EXPECT_DOUBLE_EQ(*ts.value_at(99.0), 30.0);
+  ts.record(Time(1.0), 10.0);
+  ts.record(Time(3.0), 30.0);
+  EXPECT_FALSE(ts.value_at(Time(0.5)).has_value());
+  EXPECT_DOUBLE_EQ(*ts.value_at(Time(1.0)), 10.0);
+  EXPECT_DOUBLE_EQ(*ts.value_at(Time(2.9)), 10.0);
+  EXPECT_DOUBLE_EQ(*ts.value_at(Time(3.0)), 30.0);
+  EXPECT_DOUBLE_EQ(*ts.value_at(Time(99.0)), 30.0);
 }
 
 TEST(TimeSeriesTest, MinMax) {
   TimeSeries ts;
-  ts.record(0.0, 5.0);
-  ts.record(1.0, -2.0);
-  ts.record(2.0, 9.0);
+  ts.record(Time(0.0), 5.0);
+  ts.record(Time(1.0), -2.0);
+  ts.record(Time(2.0), 9.0);
   EXPECT_DOUBLE_EQ(ts.min_value(), -2.0);
   EXPECT_DOUBLE_EQ(ts.max_value(), 9.0);
 }
 
 TEST(BucketSeriesTest, AggregatesIntoBuckets) {
-  BucketSeries bs(10.0);
-  bs.record(1.0, 2.0);
-  bs.record(9.0, 4.0);
-  bs.record(15.0, 10.0);
+  BucketSeries bs(Duration(10.0));
+  bs.record(Time(1.0), 2.0);
+  bs.record(Time(9.0), 4.0);
+  bs.record(Time(15.0), 10.0);
   ASSERT_EQ(bs.buckets().size(), 2u);
   EXPECT_EQ(bs.buckets()[0].count, 2u);
   EXPECT_DOUBLE_EQ(bs.buckets()[0].mean(), 3.0);
   EXPECT_DOUBLE_EQ(bs.buckets()[0].min, 2.0);
   EXPECT_DOUBLE_EQ(bs.buckets()[0].max, 4.0);
   EXPECT_EQ(bs.buckets()[1].count, 1u);
-  EXPECT_DOUBLE_EQ(bs.buckets()[1].start, 10.0);
+  EXPECT_EQ(bs.buckets()[1].start, Time(10.0));
 }
 
 TEST(BucketSeriesTest, GapsProduceEmptyBuckets) {
-  BucketSeries bs(1.0);
-  bs.record(0.5, 1.0);
-  bs.record(4.5, 1.0);
+  BucketSeries bs(Duration(1.0));
+  bs.record(Time(0.5), 1.0);
+  bs.record(Time(4.5), 1.0);
   ASSERT_EQ(bs.buckets().size(), 5u);
   EXPECT_EQ(bs.buckets()[2].count, 0u);
   EXPECT_DOUBLE_EQ(bs.buckets()[2].mean(), 0.0);
 }
 
 TEST(BucketSeriesTest, RespectsOrigin) {
-  BucketSeries bs(10.0, 100.0);
-  bs.record(105.0, 1.0);
-  bs.record(95.0, 2.0);  // before origin -> clamped into first bucket
+  BucketSeries bs(Duration(10.0), Time(100.0));
+  bs.record(Time(105.0), 1.0);
+  bs.record(Time(95.0), 2.0);  // before origin -> clamped into first bucket
   ASSERT_EQ(bs.buckets().size(), 1u);
   EXPECT_EQ(bs.buckets()[0].count, 2u);
-  EXPECT_DOUBLE_EQ(bs.buckets()[0].start, 100.0);
+  EXPECT_EQ(bs.buckets()[0].start, Time(100.0));
 }
 
 TEST(StepCounterTest, TracksValue) {
   StepCounter c;
   EXPECT_EQ(c.value(), 0);
-  c.add(1.0, +1);
-  c.add(2.0, +1);
-  c.add(3.0, -1);
+  c.add(Time(1.0), +1);
+  c.add(Time(2.0), +1);
+  c.add(Time(3.0), -1);
   EXPECT_EQ(c.value(), 1);
 }
 
 TEST(StepCounterTest, SampleGrid) {
   StepCounter c;
-  c.add(1.0, +2);
-  c.add(3.0, -1);
-  const auto grid = c.sample_grid(0.0, 4.0, 1.0);
+  c.add(Time(1.0), +2);
+  c.add(Time(3.0), -1);
+  const auto grid = c.sample_grid(Time(0.0), Time(4.0), Duration(1.0));
   ASSERT_EQ(grid.size(), 5u);
   EXPECT_DOUBLE_EQ(grid[0].value, 0.0);
   EXPECT_DOUBLE_EQ(grid[1].value, 2.0);
@@ -90,27 +90,27 @@ TEST(StepCounterTest, SampleGrid) {
 
 TEST(StepCounterTest, TimeAverage) {
   StepCounter c;
-  c.add(0.0, +1);
-  c.add(5.0, +1);
+  c.add(Time(0.0), +1);
+  c.add(Time(5.0), +1);
   // value 1 over [0,5), value 2 over [5,10): average 1.5.
-  EXPECT_NEAR(c.time_average(0.0, 10.0), 1.5, 1e-12);
+  EXPECT_NEAR(c.time_average(Time(0.0), Time(10.0)), 1.5, 1e-12);
 }
 
 TEST(StepCounterTest, TimeAverageWithStepsBeforeWindow) {
   StepCounter c;
-  c.add(0.0, +3);
-  c.add(10.0, -1);
-  EXPECT_NEAR(c.time_average(5.0, 15.0), 2.5, 1e-12);
+  c.add(Time(0.0), +3);
+  c.add(Time(10.0), -1);
+  EXPECT_NEAR(c.time_average(Time(5.0), Time(15.0)), 2.5, 1e-12);
 }
 
 TEST(StepCounterTest, Peak) {
   StepCounter c;
-  c.add(1.0, +5);
-  c.add(2.0, -3);
-  c.add(3.0, +1);
+  c.add(Time(1.0), +5);
+  c.add(Time(2.0), -3);
+  c.add(Time(3.0), +1);
   EXPECT_EQ(c.peak(), 5);
-  EXPECT_EQ(c.peak(0.5), 0);
-  EXPECT_EQ(c.peak(2.5), 5);
+  EXPECT_EQ(c.peak(Time(0.5)), 0);
+  EXPECT_EQ(c.peak(Time(2.5)), 5);
 }
 
 }  // namespace

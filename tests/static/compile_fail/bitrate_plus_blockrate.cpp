@@ -1,0 +1,11 @@
+// compile-fail: bits/second and blocks/second are different currencies;
+// mixing them is exactly the bug class the type layer exists to stop
+// (conversion goes through Params::block_size_bits()).
+#include "core/units.h"
+
+int main() {
+  using namespace coolstream::units;
+  auto bad = BitRate(1.0e6) + BlockRate(8.0);
+  (void)bad;
+  return 0;
+}

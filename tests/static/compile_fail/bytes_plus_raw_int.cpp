@@ -1,0 +1,10 @@
+// compile-fail: a bare integer has no unit; byte accounting only accepts
+// Bytes on both sides.
+#include "core/units.h"
+
+int main() {
+  using namespace coolstream::units;
+  auto bad = Bytes(1024) + 512;
+  (void)bad;
+  return 0;
+}

@@ -1,0 +1,10 @@
+// compile-fail: a raw double carries no unit; it must be wrapped in
+// Duration(...) before being added to a span.
+#include "core/units.h"
+
+int main() {
+  using namespace coolstream::units;
+  auto bad = Duration(1.0) + 2.0;
+  (void)bad;
+  return 0;
+}

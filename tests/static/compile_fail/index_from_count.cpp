@@ -1,0 +1,10 @@
+// compile-fail: a span of blocks is not a position; BlockCount must not
+// convert to BlockIndex.
+#include "core/units.h"
+
+int main() {
+  using namespace coolstream::units;
+  BlockIndex bad = BlockCount(3);
+  (void)bad;
+  return 0;
+}

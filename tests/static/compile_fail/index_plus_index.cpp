@@ -1,0 +1,10 @@
+// compile-fail: adding two sequence positions is meaningless
+// (point + point in sequence space); only BlockIndex +- BlockCount exists.
+#include "core/units.h"
+
+int main() {
+  using namespace coolstream::units;
+  auto bad = BlockIndex(1) + BlockIndex(2);
+  (void)bad;
+  return 0;
+}

@@ -1,0 +1,10 @@
+// compile-fail: a bare integer is not a block span; advancing a sequence
+// position requires an explicit BlockCount.
+#include "core/units.h"
+
+int main() {
+  using namespace coolstream::units;
+  auto bad = BlockIndex(1) + 1;
+  (void)bad;
+  return 0;
+}

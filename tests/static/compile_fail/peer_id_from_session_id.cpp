@@ -1,0 +1,10 @@
+// compile-fail: the identifier types never interconvert — a session id is
+// not a node id even though both are integers on the wire.
+#include "core/units.h"
+
+int main() {
+  using namespace coolstream::units;
+  PeerId bad(SessionId(1));
+  (void)bad;
+  return 0;
+}

@@ -1,0 +1,10 @@
+// compile-fail: sub-stream identifiers are labels, not numbers; they have
+// no arithmetic (iteration goes through core::substreams(k)).
+#include "core/units.h"
+
+int main() {
+  using namespace coolstream::units;
+  auto bad = SubStreamId(1) + SubStreamId(2);
+  (void)bad;
+  return 0;
+}

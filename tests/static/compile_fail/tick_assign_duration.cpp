@@ -1,0 +1,11 @@
+// compile-fail: a span cannot be assigned to a point; resetting a clock
+// from a duration needs an explicit Tick::zero() + d.
+#include "core/units.h"
+
+int main() {
+  using namespace coolstream::units;
+  Tick t;
+  t = Duration(5.0);
+  (void)t;
+  return 0;
+}

@@ -1,0 +1,10 @@
+// compile-fail: a time point and a time span are different dimensions;
+// cross-type comparison must not exist.
+#include "core/units.h"
+
+int main() {
+  using namespace coolstream::units;
+  bool bad = Tick(1.0) == Duration(1.0);
+  (void)bad;
+  return 0;
+}

@@ -1,0 +1,9 @@
+// compile-fail: the Tick constructor is explicit; a bare double must not
+// silently become a simulation time point.
+#include "core/units.h"
+
+int main() {
+  coolstream::units::Tick bad = 3.0;
+  (void)bad;
+  return 0;
+}

@@ -1,0 +1,10 @@
+// compile-fail: adding two absolute time points is dimensionally
+// meaningless (point + point); only Tick +- Duration exists.
+#include "core/units.h"
+
+int main() {
+  using namespace coolstream::units;
+  auto bad = Tick(1.0) + Tick(2.0);
+  (void)bad;
+  return 0;
+}

@@ -1,0 +1,10 @@
+// compile-fail: seconds-squared has no meaning in the protocol; Tick
+// offers no multiplication at all.
+#include "core/units.h"
+
+int main() {
+  using namespace coolstream::units;
+  auto bad = Tick(2.0) * Tick(3.0);
+  (void)bad;
+  return 0;
+}

@@ -70,7 +70,7 @@ TEST(UserTypeModelTest, SpecAddressClassMatchesType) {
     EXPECT_EQ(spec.kind, core::PeerKind::kViewer);
     EXPECT_EQ(spec.address.is_private(),
               net::uses_private_address(spec.type));
-    EXPECT_GT(spec.upload_capacity_bps, 0.0);
+    EXPECT_GT(spec.upload_capacity, units::BitRate::zero());
   }
 }
 

@@ -26,13 +26,37 @@
 //                    (src/sim/event_queue.h) — protocol code allocates
 //                    through containers or the event slab
 //
-// Suppression: append `// lint:allow(<rule>[,<rule>...])` to the offending
-// line, or put the comment alone on the preceding line.
+// PR 3 adds the domain-type rules that back core/units.h: protocol state
+// must stay inside the strong types (Tick, SeqNum, SubstreamId, BitRate,
+// ...) except at sanctioned serialization boundaries:
+//
+//   value-escape        .value() unwrap in protocol code (core, net, model,
+//                       workload, baseline) — each boundary must carry an
+//                       explicit lint:allow(value-escape)
+//   raw-protocol-int    integer variable whose name says it holds a seq /
+//                       tick / sub-stream — that state has a strong type
+//   double-seconds-param  `double` function parameter named like a time
+//                       span (…_seconds, delay, timeout, period) in core /
+//                       net / model — pass units::Duration instead
+//   include-layering    #include edge that violates the module layering
+//                       (units < sim < net < {logging, model, baseline}
+//                       < core < workload; analysis reads logs only) —
+//                       cross-TU: the whole include graph is checked
+//   odr-header-def      non-inline function definition at namespace scope
+//                       in a header — an ODR violation once two TUs
+//                       include it
+//
+// Suppression: append e.g. `// lint:allow(std-random)` to the offending
+// line (comma-separate several rule ids), or put the comment alone on the
+// preceding line.
+//
+// `--rules=<id>[,<id>...]` restricts the run to a subset of rules (both in
+// normal and fixture mode); unknown ids are a usage error.
 //
 // Fixture mode (`--fixtures <dir>`): every expected finding in a fixture
-// file is annotated `// lint:expect(<rule>)` on the same line (or
-// `// lint:expect-file(<rule>)` anywhere for whole-file findings such as
-// pragma-once).  The tool verifies the findings and the expectations match
+// file is annotated e.g. `// lint:expect(std-random)` on the same line (or
+// `// lint:expect-file(pragma-once)` anywhere for whole-file findings).
+// The tool verifies the findings and the expectations match
 // exactly in both directions, which is how the linter tests itself.
 //
 // Exit status: 0 clean / expectations met, 1 findings / mismatches,
@@ -65,6 +89,11 @@ enum class Rule {
   kNoFloat,
   kPragmaOnce,
   kRawNewDelete,
+  kValueEscape,
+  kRawProtocolInt,
+  kDoubleSecondsParam,
+  kIncludeLayering,
+  kOdrHeaderDef,
 };
 
 struct RuleInfo {
@@ -93,6 +122,21 @@ constexpr RuleInfo kRules[] = {
     {Rule::kRawNewDelete, "raw-new-delete",
      "naked new/delete outside the slab engine; use containers, "
      "make_unique, or the event slab"},
+    {Rule::kValueEscape, "value-escape",
+     ".value() unwrap in protocol code; keep the strong type, or mark the "
+     "serialization/config boundary with lint:allow(value-escape)"},
+    {Rule::kRawProtocolInt, "raw-protocol-int",
+     "raw integer named like protocol state (seq/tick/sub-stream); use the "
+     "strong types in core/units.h"},
+    {Rule::kDoubleSecondsParam, "double-seconds-param",
+     "double parameter carries a time span; take units::Duration so the "
+     "compiler checks the dimension"},
+    {Rule::kIncludeLayering, "include-layering",
+     "#include crosses the module layering upward; only units < sim < net "
+     "< {logging, model, baseline} < core < workload edges are allowed"},
+    {Rule::kOdrHeaderDef, "odr-header-def",
+     "non-inline function definition at namespace scope in a header; mark "
+     "it inline/constexpr or move it to a .cpp"},
 };
 
 const RuleInfo* find_rule(const std::string& id) {
@@ -316,10 +360,61 @@ Annotations parse_annotations(const std::vector<std::string>& raw_lines,
 struct FileContext {
   std::string display_path;  // as reported in findings
   bool is_header = false;
-  bool in_sim = false;       // under a sim/ directory
-  bool is_slab = false;      // the event-queue slab engine itself
-  bool protocol = false;     // src/core, src/net, src/workload
+  bool in_sim = false;        // under a sim/ directory
+  bool is_slab = false;       // the event-queue slab engine itself
+  bool protocol = false;      // src/core, src/net, src/workload
+  bool value_scope = false;   // value-escape applies (protocol + baseline)
+  bool raw_int_scope = false;   // raw-protocol-int applies
+  bool seconds_scope = false;   // double-seconds-param applies
+  std::string module;  // layering module ("" = unconstrained, e.g. bench/)
 };
+
+// ---------------------------------------------------------------------------
+// Module layering (cross-TU: every #include edge in the tree is checked)
+// ---------------------------------------------------------------------------
+
+// Which modules each module may include.  `units` is the pseudo-module for
+// core/units.h, the one header every layer may use.
+const std::map<std::string, std::set<std::string>>& allowed_includes() {
+  static const std::map<std::string, std::set<std::string>> m = {
+      {"units", {"units"}},
+      {"sim", {"sim", "units"}},
+      {"net", {"net", "sim", "units"}},
+      {"logging", {"logging", "net", "units"}},
+      {"model", {"model", "units"}},
+      {"baseline", {"baseline", "net", "sim", "units"}},
+      {"core", {"core", "logging", "model", "net", "sim", "units"}},
+      {"workload",
+       {"workload", "core", "logging", "model", "net", "sim", "units"}},
+      {"analysis", {"analysis", "logging", "net", "sim", "units"}},
+  };
+  return m;
+}
+
+/// Module of an include target ("" = out of scope, e.g. bench_util.h).
+std::string include_module(const std::string& target) {
+  if (target == "core/units.h") return "units";
+  const std::size_t slash = target.find('/');
+  if (slash == std::string::npos) return "";
+  const std::string head = target.substr(0, slash);
+  return allowed_includes().count(head) > 0 ? head : "";
+}
+
+/// Module of a scanned file: the last path component that names a module
+/// (so both src/core/x.cpp and tests/lint/fixtures/core/x.cpp are "core").
+std::string file_module(const std::string& display_path) {
+  std::string mod;
+  std::string comp;
+  for (std::size_t i = 0; i <= display_path.size(); ++i) {
+    if (i == display_path.size() || display_path[i] == '/') {
+      if (comp != "units" && allowed_includes().count(comp) > 0) mod = comp;
+      comp.clear();
+    } else {
+      comp += display_path[i];
+    }
+  }
+  return mod;
+}
 
 const std::regex& wall_clock_re() {
   static const std::regex re(
@@ -356,6 +451,61 @@ const std::regex& deleted_fn_re() {
   return re;
 }
 
+const std::regex& value_escape_re() {
+  static const std::regex re(R"(\.\s*value\s*\(\s*\))");
+  return re;
+}
+
+const std::regex& raw_int_decl_re() {
+  // An integer-typed declaration: capture the declared name.
+  static const std::regex re(
+      R"(\b(?:(?:std\s*::\s*)?u?int(?:8|16|32|64)_t|int|long(?:\s+long)?|short|unsigned(?:\s+(?:int|short|long(?:\s+long)?))?|(?:std\s*::\s*)?size_t)\s+([A-Za-z_]\w*)\s*[;,)=({[])");
+  return re;
+}
+
+bool is_protocol_int_name(std::string name) {
+  std::transform(name.begin(), name.end(), name.begin(), ::tolower);
+  if (name.find("count") != std::string::npos) return false;  // counts OK
+  return name.find("seq") != std::string::npos ||
+         name.find("tick") != std::string::npos ||
+         name.find("substream") != std::string::npos ||
+         name.find("sub_stream") != std::string::npos;
+}
+
+const std::regex& seconds_param_re() {
+  // A double function *parameter* (delimited by , or )); fields and locals
+  // end in ; or = and are the config boundary, which stays raw by design.
+  static const std::regex re(R"(\bdouble\s+([A-Za-z_]\w*)\s*[,)])");
+  return re;
+}
+
+bool is_seconds_name(std::string name) {
+  std::transform(name.begin(), name.end(), name.begin(), ::tolower);
+  const auto ends_with = [&name](const char* suf) {
+    const std::string s(suf);
+    return name.size() >= s.size() &&
+           name.compare(name.size() - s.size(), s.size(), s) == 0;
+  };
+  return ends_with("_s") || ends_with("_secs") ||
+         name.find("seconds") != std::string::npos ||
+         name.find("period") != std::string::npos ||
+         name.find("delay") != std::string::npos ||
+         name.find("timeout") != std::string::npos ||
+         name.find("interval") != std::string::npos;
+}
+
+const std::regex& include_detect_re() {
+  // Runs on the *stripped* line (path chars are blanked but the quotes
+  // survive), so commented-out includes never match.
+  static const std::regex re(R"(^\s*#\s*include\s*")");
+  return re;
+}
+
+const std::regex& include_path_re() {
+  static const std::regex re(R"(#\s*include\s*"([^"]+)\")");
+  return re;
+}
+
 const std::regex& unordered_decl_re() {
   // Declaration of a named unordered container: capture the variable name.
   static const std::regex re(
@@ -363,7 +513,94 @@ const std::regex& unordered_decl_re() {
   return re;
 }
 
+// ---------------------------------------------------------------------------
+// odr-header-def: a brace-tracking pass over the stripped text that flags
+// function definitions at namespace scope in headers unless they are
+// inline / constexpr / template / static.  Class bodies are skipped
+// (member definitions are implicitly inline).
+// ---------------------------------------------------------------------------
+
+const std::regex& fn_introducer_re() {
+  // A declarator that ends with a parameter list plus trailing specifiers:
+  // the shape of a function definition's introducer.
+  static const std::regex re(
+      R"(\)\s*(?:const\b|noexcept\b(?:\s*\([^()]*\))?|override\b|final\b|&&?|\s)*(?:->[^{;]*)?$)");
+  return re;
+}
+
+const std::regex& odr_exempt_re() {
+  // inline/constexpr/template/... definitions are ODR-safe; `=` catches
+  // lambdas and initializers; `#` catches stray preprocessor fragments.
+  static const std::regex re(
+      R"(\b(?:inline|constexpr|consteval|template|static|friend|extern)\b|[=#])");
+  return re;
+}
+
+void scan_header_odr(const FileContext& ctx, const std::string& stripped,
+                     std::vector<Finding>* findings) {
+  static const std::regex ns_re(R"(\bnamespace\b)");
+  static const std::regex class_re(R"(\b(?:class|struct|union|enum)\b)");
+  std::vector<char> scopes;  // 'n' namespace, 'c' class, 'f'/'o' other
+  std::string intro;         // declaration text since the last ; { }
+  int intro_line = 0;
+  int line = 1;
+  bool line_start = true;
+  for (std::size_t i = 0; i < stripped.size(); ++i) {
+    const char c = stripped[i];
+    if (c == '\n') {
+      ++line;
+      line_start = true;
+      continue;
+    }
+    if (line_start && (c == ' ' || c == '\t')) continue;
+    if (line_start && c == '#') {  // preprocessor line: not a declaration
+      while (i < stripped.size() && stripped[i] != '\n') ++i;
+      ++line;
+      line_start = true;
+      continue;
+    }
+    line_start = false;
+    if (c == ';') {
+      intro.clear();
+      continue;
+    }
+    if (c == '}') {
+      if (!scopes.empty()) scopes.pop_back();
+      intro.clear();
+      continue;
+    }
+    if (c == '{') {
+      char kind = 'o';
+      if (std::regex_search(intro, ns_re)) {
+        kind = 'n';
+      } else if (std::regex_search(intro, fn_introducer_re()) &&
+                 !std::regex_search(intro, std::regex("="))) {
+        kind = 'f';
+        const bool ns_scope =
+            std::all_of(scopes.begin(), scopes.end(),
+                        [](char k) { return k == 'n'; });
+        if (ns_scope && !intro.empty() &&
+            !std::regex_search(intro, odr_exempt_re())) {
+          findings->push_back(
+              {ctx.display_path, intro_line, Rule::kOdrHeaderDef});
+        }
+      } else if (std::regex_search(intro, class_re)) {
+        kind = 'c';
+      }
+      scopes.push_back(kind);
+      intro.clear();
+      continue;
+    }
+    if (intro.empty()) {
+      if (c == ' ' || c == '\t') continue;
+      intro_line = line;
+    }
+    intro += c;
+  }
+}
+
 void scan_file(const FileContext& ctx, const std::vector<std::string>& lines,
+               const std::vector<std::string>& raw_lines,
                std::vector<Finding>* findings) {
   // Whole-file rule: headers need #pragma once.
   if (ctx.is_header) {
@@ -413,6 +650,46 @@ void scan_file(const FileContext& ctx, const std::vector<std::string>& lines,
         !std::regex_search(l, deleted_fn_re())) {
       findings->push_back({ctx.display_path, lineno, Rule::kRawNewDelete});
     }
+    if (ctx.value_scope && std::regex_search(l, value_escape_re())) {
+      findings->push_back({ctx.display_path, lineno, Rule::kValueEscape});
+    }
+    if (ctx.raw_int_scope) {
+      std::smatch m;
+      std::string rest = l;
+      while (std::regex_search(rest, m, raw_int_decl_re())) {
+        if (is_protocol_int_name(m[1].str())) {
+          findings->push_back(
+              {ctx.display_path, lineno, Rule::kRawProtocolInt});
+          break;
+        }
+        rest = m.suffix();
+      }
+    }
+    if (ctx.seconds_scope) {
+      std::smatch m;
+      std::string rest = l;
+      while (std::regex_search(rest, m, seconds_param_re())) {
+        if (is_seconds_name(m[1].str())) {
+          findings->push_back(
+              {ctx.display_path, lineno, Rule::kDoubleSecondsParam});
+          break;
+        }
+        rest = m.suffix();
+      }
+    }
+    if (!ctx.module.empty() && std::regex_search(l, include_detect_re()) &&
+        i < raw_lines.size()) {
+      std::smatch m;
+      if (std::regex_search(raw_lines[i], m, include_path_re())) {
+        const std::string target = include_module(m[1].str());
+        const auto it = allowed_includes().find(ctx.module);
+        if (!target.empty() && it != allowed_includes().end() &&
+            it->second.count(target) == 0) {
+          findings->push_back(
+              {ctx.display_path, lineno, Rule::kIncludeLayering});
+        }
+      }
+    }
     if (ctx.protocol && !unordered_names.empty()) {
       bool hit = false;
       for (const auto& name : unordered_names) {
@@ -453,7 +730,34 @@ FileContext make_context(const fs::path& path) {
   ctx.protocol = p.find("/core/") != std::string::npos ||
                  p.find("/net/") != std::string::npos ||
                  p.find("/workload/") != std::string::npos;
+  const bool in_core = p.find("/core/") != std::string::npos;
+  const bool in_net = p.find("/net/") != std::string::npos;
+  const bool in_model = p.find("/model/") != std::string::npos;
+  const bool in_workload = p.find("/workload/") != std::string::npos;
+  const bool in_baseline = p.find("/baseline/") != std::string::npos;
+  const bool unit_layer = has_suffix(p, "/core/units.h") ||
+                          has_suffix(p, "/core/stream_types.h");
+  const bool config = has_suffix(p, "/core/params.h");
+  ctx.value_scope =
+      (in_core || in_net || in_model || in_workload || in_baseline) &&
+      !unit_layer;
+  ctx.raw_int_scope =
+      (in_core || in_net || in_model || in_workload) && !unit_layer && !config;
+  ctx.seconds_scope = (in_core || in_net || in_model) && !unit_layer && !config;
+  ctx.module = file_module(ctx.display_path);
   return ctx;
+}
+
+// Active-rule filter from --rules=<list>; empty means every rule runs.
+std::set<std::string> g_active_rules;
+
+bool rule_active(Rule rule) {
+  return g_active_rules.empty() ||
+         g_active_rules.count(kRules[static_cast<std::size_t>(rule)].id) > 0;
+}
+
+bool rule_active(const std::string& id) {
+  return g_active_rules.empty() || g_active_rules.count(id) > 0;
 }
 
 std::vector<fs::path> collect_files(const std::vector<std::string>& roots,
@@ -504,17 +808,19 @@ FileResult lint_file(const fs::path& path, std::vector<std::string>* errors) {
   const std::string text = buf.str();
 
   const std::vector<std::string> raw_lines = split_lines(text);
-  const std::vector<std::string> stripped =
-      split_lines(strip_comments_and_literals(text));
+  const std::string stripped_text = strip_comments_and_literals(text);
+  const std::vector<std::string> stripped = split_lines(stripped_text);
   const FileContext ctx = make_context(path);
 
   result.annotations = parse_annotations(raw_lines, ctx.display_path);
   for (const auto& e : result.annotations.errors) errors->push_back(e);
 
   std::vector<Finding> all;
-  scan_file(ctx, stripped, &all);
+  scan_file(ctx, stripped, raw_lines, &all);
+  if (ctx.is_header) scan_header_odr(ctx, stripped_text, &all);
 
   for (const auto& f : all) {
+    if (!rule_active(f.rule)) continue;
     const auto it = result.annotations.allow.find(f.line);
     const char* id = kRules[static_cast<std::size_t>(f.rule)].id;
     if (it != result.annotations.allow.end() && it->second.count(id) > 0) {
@@ -542,9 +848,14 @@ int run_fixture_mode(const std::vector<fs::path>& files) {
     // Expected (line, rule) pairs not yet matched.
     std::set<std::pair<int, std::string>> expected;
     for (const auto& [line, ids] : r.annotations.expect) {
-      for (const auto& id : ids) expected.insert({line, id});
+      for (const auto& id : ids) {
+        if (rule_active(id)) expected.insert({line, id});
+      }
     }
-    std::set<std::string> expected_file = r.annotations.expect_file;
+    std::set<std::string> expected_file;
+    for (const auto& id : r.annotations.expect_file) {
+      if (rule_active(id)) expected_file.insert(id);
+    }
 
     for (const auto& f : r.findings) {
       const char* id = kRules[static_cast<std::size_t>(f.rule)].id;
@@ -592,9 +903,27 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--fixtures") {
       fixture_mode = true;
+    } else if (arg.rfind("--rules=", 0) == 0) {
+      std::stringstream ss(arg.substr(8));
+      std::string id;
+      while (std::getline(ss, id, ',')) {
+        if (id.empty()) continue;
+        if (find_rule(id) == nullptr) {
+          std::fprintf(stderr, "coolstream_lint: unknown rule '%s'\n",
+                       id.c_str());
+          return 2;
+        }
+        g_active_rules.insert(id);
+      }
+      if (g_active_rules.empty()) {
+        std::fprintf(stderr, "coolstream_lint: --rules= needs rule ids\n");
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
-      std::fprintf(stderr,
-                   "usage: coolstream_lint [--fixtures] <file-or-dir>...\n");
+      std::fprintf(
+          stderr,
+          "usage: coolstream_lint [--fixtures] [--rules=<id>[,<id>...]] "
+          "<file-or-dir>...\n");
       return 2;
     } else {
       roots.push_back(arg);
