@@ -67,6 +67,14 @@ void Params::validate() const {
   if (stall_rebuffer_seconds < 0.0) {
     fail("stall_rebuffer_seconds must be non-negative");
   }
+  if (partner_silence_timeout < 0.0) {
+    fail("partner_silence_timeout must be non-negative (0 disables it)");
+  }
+  if (partner_silence_timeout > 0.0 &&
+      partner_silence_timeout <= bm_exchange_period) {
+    fail("partner_silence_timeout must exceed bm_exchange_period (a healthy "
+         "partner refreshes its BM once per exchange period)");
+  }
   if (status_report_period <= 0.0) fail("status_report_period must be positive");
   if (flow_tick <= 0.0) fail("flow_tick must be positive");
   if (max_catchup_factor < 1.0) fail("max_catchup_factor must be >= 1");

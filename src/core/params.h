@@ -99,6 +99,20 @@ struct Params {
   /// Minimum spacing between forward resyncs.
   double resync_cooldown_seconds = 15.0;
 
+  // --- robustness (fault-tolerance knobs; defaults preserve the clean
+  // protocol behaviour bit-for-bit) -----------------------------------------
+  /// When > 0: a partner whose buffer map has not been refreshed for this
+  /// many seconds is presumed dead or unreachable and the partnership is
+  /// dropped.  Under message loss this is what clears phantom partnerships
+  /// left by a dropped establishment confirm.  0 disables the timeout
+  /// (clean-trace runs never need it: BM exchange is modelled losslessly).
+  double partner_silence_timeout = 0.0;
+  /// Ablation switches for the two adaptation triggers (§IV-B).  Disabling
+  /// one models a protocol bug; the property harness uses these to prove
+  /// it catches such bugs.
+  bool adaptation_ineq1 = true;  ///< Ineq. (1): own sub-streams diverge
+  bool adaptation_ineq2 = true;  ///< Ineq. (2): parent lags other partners
+
   // --- measurement (§V-A) --------------------------------------------------
   double status_report_period = 300.0;  ///< 5-minute status reports
 

@@ -124,7 +124,7 @@ void Peer::try_establish_partnerships(std::size_t want) {
                find_partner(cand.id) != nullptr || !sys_.is_live(cand.id);
       });
   for (const auto& cand : candidates) {
-    ++pending_attempts_;
+    pending_attempts_.push_back(sys_.now());
     ++stats_.partnership_attempts;
     sys_.attempt_partnership(id_, cand.id);
   }
@@ -132,7 +132,9 @@ void Peer::try_establish_partnerships(std::size_t want) {
 
 void Peer::on_partnership_established(net::NodeId pid, bool incoming) {
   if (!alive()) return;
-  if (!incoming && pending_attempts_ > 0) --pending_attempts_;
+  if (!incoming && !pending_attempts_.empty()) {
+    pending_attempts_.erase(pending_attempts_.begin());
+  }
   if (find_partner(pid) != nullptr) return;  // already partners
   PartnerState ps;
   ps.id = pid;
@@ -158,7 +160,9 @@ void Peer::on_partnership_established(net::NodeId pid, bool incoming) {
 
 void Peer::on_partnership_rejected(net::NodeId pid) {
   if (!alive()) return;
-  if (pending_attempts_ > 0) --pending_attempts_;
+  if (!pending_attempts_.empty()) {
+    pending_attempts_.erase(pending_attempts_.begin());
+  }
   ++stats_.partnership_rejections;
   // A full or unreachable peer is not useful right now; forget it so the
   // next sample draws elsewhere.
@@ -407,13 +411,14 @@ void Peer::run_adaptation(Tick now, bool cooldown_exempt) {
     // the first catches one lagging sub-stream, the second catches uniform
     // starvation (all sub-streams equally behind an overloaded parent) —
     // so we trigger on either.
-    const bool ineq1_spread = own_max - sync_.head(j) >= ts;
-    const bool ineq1_parent_lag =
-        ps->bm_time && ps->bm.latest(j) - sync_.head(j) >= ts;
+    const bool ineq1_spread =
+        p.adaptation_ineq1 && own_max - sync_.head(j) >= ts;
+    const bool ineq1_parent_lag = p.adaptation_ineq1 && ps->bm_time &&
+                                  ps->bm.latest(j) - sync_.head(j) >= ts;
     // Inequality (2): the parent must not lag the best partner by T_p or
     // more (a better source is known).
-    const bool ineq2_violated =
-        ps->bm_time && partner_max - ps->bm.latest(j) >= tp;
+    const bool ineq2_violated = p.adaptation_ineq2 && ps->bm_time &&
+                                partner_max - ps->bm.latest(j) >= tp;
     if (ineq1_spread || ineq1_parent_lag || ineq2_violated) {
       if (cooldown_exempt ||
           now - last_adaptation_ >= Duration(p.ta_seconds)) {
@@ -451,6 +456,21 @@ void Peer::drop_worst_partner() {
   if (worst != nullptr) sys_.break_partnership(id_, worst->id);
 }
 
+void Peer::enforce_partner_silence(Tick now) {
+  const double timeout = sys_.params().partner_silence_timeout;
+  if (timeout <= 0.0) return;
+  // Under message loss a dropped establishment confirm leaves this node
+  // with a phantom partnership the other side never learned about; its BM
+  // silence is the only observable symptom.  Collect first — breaking a
+  // partnership mutates partners_ synchronously.
+  std::vector<net::NodeId> stale;
+  for (const auto& ps : partners_) {
+    const Tick last_heard = ps.bm_time ? *ps.bm_time : ps.established;
+    if (now - last_heard >= Duration(timeout)) stale.push_back(ps.id);
+  }
+  for (net::NodeId pid : stale) sys_.break_partnership(id_, pid);
+}
+
 // --------------------------------------------------------------------------
 // Periodic driver
 // --------------------------------------------------------------------------
@@ -462,6 +482,7 @@ void Peer::on_tick(Tick now) {
   if (spec_.kind == PeerKind::kServer) {
     server_feed(now);
     if (now >= next_bm_push_) {
+      enforce_partner_silence(now);
       for (const auto& ps : partners_) sys_.push_bm(id_, ps.id, current_bm());
       next_bm_push_ = now + Duration(p.bm_exchange_period);
     }
@@ -469,6 +490,7 @@ void Peer::on_tick(Tick now) {
   }
 
   if (now >= next_bm_push_) {
+    enforce_partner_silence(now);
     BufferMap base = current_bm();
     for (const auto& ps : partners_) {
       BufferMap bm = base;
@@ -537,7 +559,16 @@ void Peer::on_tick(Tick now) {
     for (net::NodeId parent : parents_) {
       if (start_decided_ && parent == net::kInvalidNode) starving = true;
     }
-    const std::size_t have = partner_count() + pending_attempts_;
+    // An attempt whose confirm/reject the network lost has no response
+    // coming once a full round trip (2 * max_delay) plus slack has passed;
+    // age it out.  Clean runs never hit this: every response arrives
+    // within the round trip.
+    const Duration attempt_ttl =
+        Duration(2.0 * sys_.config().latency.max_delay + 1.0);
+    std::erase_if(pending_attempts_, [now, attempt_ttl](Tick t0) {
+      return now - t0 >= attempt_ttl;
+    });
+    const std::size_t have = partner_count() + pending_attempts_.size();
     if (have < target) {
       bool any_candidate = false;
       for (const auto& e : mcache_.entries()) {

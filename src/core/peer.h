@@ -219,6 +219,11 @@ class Peer {
   void server_feed(Tick now);
   void do_gossip();
   void drop_worst_partner();
+  /// When Params::partner_silence_timeout > 0, drops every partner whose
+  /// buffer map has been silent past the timeout (phantom partnerships
+  /// left by lost establishment messages, or partners whose crash
+  /// notification never arrived).
+  void enforce_partner_silence(Tick now);
 
   System& sys_;
   net::NodeId id_;
@@ -239,7 +244,10 @@ class Peer {
   // join state
   bool start_decided_ = false;
   std::optional<Tick> first_bm_at_;
-  std::size_t pending_attempts_ = 0;
+  /// Start times of in-flight partnership attempts.  Timestamped so that
+  /// attempts whose confirm/reject was lost by the network can be aged out
+  /// (a bare counter would leak and under-fill the partner set forever).
+  std::vector<Tick> pending_attempts_;
 
   // playout state
   GlobalSeq play_start_seq_ = kNoSeq;

@@ -149,7 +149,10 @@ int System::max_partners_of(const Peer& p) const noexcept {
 
 bool System::is_reachable(net::NodeId id) const noexcept {
   const Peer* p = peer(id);
-  return p != nullptr && net::accepts_inbound(p->spec().type);
+  if (p == nullptr || !net::accepts_inbound(p->spec().type)) return false;
+  // A connectivity flap looks exactly like a NAT whose mapping was lost:
+  // new inbound connections fail while established ones keep flowing.
+  return faults_ == nullptr || !faults_->inbound_blocked(now(), id);
 }
 
 SeqNum System::source_head(SubstreamId j, Tick t) const noexcept {
@@ -195,8 +198,8 @@ void System::attempt_partnership(net::NodeId from, net::NodeId to) {
     Peer* caller = peer(from);
     const bool accept =
         callee != nullptr && callee->alive() && caller != nullptr &&
-        caller->alive() && net::accepts_inbound(callee->spec().type) &&
-        !callee->partners_full() && callee->find_partner(from) == nullptr;
+        caller->alive() && is_reachable(to) && !callee->partners_full() &&
+        callee->find_partner(from) == nullptr;
     if (accept) {
       ++stats_.partnership_accepts;
       callee->on_partnership_established(from, /*incoming=*/true);
@@ -323,12 +326,14 @@ void System::flow_transfer(Duration dt) {
       }
     }
 
+    units::BlockRate capacity = parent->upload_block_rate();
+    if (faults_ != nullptr) {
+      capacity = capacity * faults_->capacity_factor(now(), id);
+    }
     const auto rates =
         config_.allocation == AllocationPolicy::kMaxMinFair
-            ? net::max_min_fair(parent->upload_block_rate(),
-                                demand_scratch_)
-            : net::equal_share(parent->upload_block_rate(),
-                               demand_scratch_);
+            ? net::max_min_fair(capacity, demand_scratch_)
+            : net::equal_share(capacity, demand_scratch_);
 
     for (std::size_t k = 0; k < links.size(); ++k) {
       if (rates[k] <= units::BlockRate::zero()) continue;

@@ -119,6 +119,21 @@ class System {
   // --- accessors -----------------------------------------------------------
   sim::Simulation& simulation() noexcept { return sim_; }
   const Params& params() const noexcept { return params_; }
+  /// Attaches (or detaches, with nullptr) a fault injector: message faults
+  /// hit the transport, capacity faults scale uplinks in the fluid data
+  /// plane, flap faults make nodes refuse new inbound connections.  The
+  /// injector must outlive the System or be detached first.  Off by
+  /// default; with no injector every seeded run is bit-identical.
+  void attach_faults(sim::FaultInjector* injector) noexcept {
+    faults_ = injector;
+    transport_.attach_faults(injector);
+  }
+  sim::FaultInjector* faults() const noexcept { return faults_; }
+  /// Ids of currently live nodes (servers + viewers), join order except
+  /// for swap-removal on leave.  Deterministic across runs.
+  const std::vector<net::NodeId>& live_nodes() const noexcept {
+    return live_;
+  }
   const SystemConfig& config() const noexcept { return config_; }
   BootstrapServer& bootstrap() noexcept { return bootstrap_; }
   net::Transport& transport() noexcept { return transport_; }
@@ -188,6 +203,7 @@ class System {
   SystemStats stats_;
   sim::EventHandle tick_handle_;
   std::unique_ptr<InvariantAuditor> auditor_;
+  sim::FaultInjector* faults_ = nullptr;
   bool started_ = false;
 
   // scratch buffers reused by flow_transfer to avoid per-tick allocation

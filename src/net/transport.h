@@ -13,10 +13,12 @@
 #include <array>
 #include <cstdint>
 #include <string_view>
+#include <type_traits>
 #include <utility>
 
 #include "net/latency.h"
 #include "net/types.h"
+#include "sim/fault_injector.h"
 #include "sim/simulation.h"
 
 namespace coolstream::net {
@@ -46,11 +48,38 @@ class Transport {
   /// recipient object; the transport does not keep a node registry (the
   /// System layer does).  Templated so the callable lands directly in the
   /// event engine's in-record storage instead of a std::function.
+  ///
+  /// With a fault injector attached the message may additionally be
+  /// dropped, duplicated, or delayed by bounded jitter (independent jitter
+  /// of back-to-back messages is what produces reordering).  Without one,
+  /// the cost is a single null check and behaviour is bit-identical to the
+  /// fault-free transport.
   template <typename F>
   void send(NodeId from, NodeId to, MessageKind kind, F&& deliver) {
     ++counts_[static_cast<std::size_t>(kind)];
-    sim_.after(latency_.delay(from, to), std::forward<F>(deliver));
+    const auto base = latency_.delay(from, to);
+    if (faults_ != nullptr) {
+      const sim::MessageDecision d = faults_->on_message(sim_.now(), from, to);
+      if (d.drop) return;
+      if constexpr (std::is_copy_constructible_v<std::decay_t<F>>) {
+        if (d.duplicate) {
+          auto copy = deliver;
+          sim_.after(base + d.extra_delay + d.duplicate_delay,
+                     std::move(copy));
+        }
+      }
+      sim_.after(base + d.extra_delay, std::forward<F>(deliver));
+      return;
+    }
+    sim_.after(base, std::forward<F>(deliver));
   }
+
+  /// Attaches (or detaches, with nullptr) a fault injector.  The injector
+  /// must outlive the transport or be detached first.
+  void attach_faults(sim::FaultInjector* injector) noexcept {
+    faults_ = injector;
+  }
+  sim::FaultInjector* faults() const noexcept { return faults_; }
 
   /// Accounts for a message whose delivery is modelled synchronously by
   /// the caller (e.g. the periodic buffer-map exchange).
@@ -72,6 +101,7 @@ class Transport {
  private:
   sim::Simulation& sim_;
   const LatencyModel& latency_;
+  sim::FaultInjector* faults_ = nullptr;
   std::array<std::uint64_t, kMessageKindCount> counts_{};
 };
 

@@ -189,4 +189,14 @@ Rng Rng::fork() noexcept {
   return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL);
 }
 
+Rng Rng::stream(std::uint64_t tag) const noexcept {
+  // Two rounds of splitmix64 fully decorrelate the (seed, tag) pair before
+  // it seeds the child; a bare XOR would leave nearby tags one bit apart.
+  std::uint64_t state = seed_;
+  std::uint64_t mixed = splitmix64_next(state);
+  state = mixed ^ tag;
+  mixed = splitmix64_next(state);
+  return Rng(mixed);
+}
+
 }  // namespace coolstream::sim

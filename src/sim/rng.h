@@ -102,6 +102,14 @@ class Rng {
   /// stream; the parent state advances.
   Rng fork() noexcept;
 
+  /// Derives an independent child generator keyed by `tag`, without
+  /// touching this generator's state (unlike fork()).  The same
+  /// (seed, tag) pair always yields the same stream, and streams with
+  /// different tags are statistically independent — use for decoupling
+  /// subsystems (fault injection, churn, workload) that must not perturb
+  /// each other's draws.
+  Rng stream(std::uint64_t tag) const noexcept;
+
   /// The seed this generator was constructed with (forked generators report
   /// their derived seed).
   std::uint64_t seed() const noexcept { return seed_; }

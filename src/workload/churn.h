@@ -1,0 +1,115 @@
+// Churn schedules: the workload half of the fault-injection layer.
+//
+// sim::FaultInjector perturbs the network plane (message loss, capacity
+// degradation, connectivity flaps); this driver perturbs the *population*:
+// flash-crowd arrival bursts and mass departures (graceful sign-offs vs
+// crashes), replaying a typed, text-serializable ChurnSchedule against a
+// running ScenarioRunner.  Together they express the stress scenarios the
+// paper measures (§V-E flash crowds, the Fig. 5b departure cliff) as
+// replayable artifacts the property harness can generate, shrink and
+// persist.
+//
+// Determinism: the driver owns its own Rng streams (derived from its seed,
+// never the simulation root generator), so arming a driver with an empty
+// schedule leaves the underlying scenario run bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/units.h"
+#include "sim/fault_injector.h"
+#include "workload/scenario.h"
+
+namespace coolstream::workload {
+
+/// A burst of `arrivals` extra sessions starting at `at`, spread uniformly
+/// over [at, at + spread) (spread 0 = all at once).
+struct ChurnBurst {
+  units::Tick at{};
+  std::size_t arrivals = 0;
+  units::Duration spread{};
+
+  friend bool operator==(const ChurnBurst&, const ChurnBurst&) = default;
+};
+
+/// At `at`, a uniformly-sampled `fraction` of the live viewers departs —
+/// gracefully (leave reports reach the log) or by crashing (partners see a
+/// reset; the log never closes the session).
+struct MassDeparture {
+  units::Tick at{};
+  double fraction = 0.0;  ///< in [0, 1]
+  bool crash = false;
+
+  friend bool operator==(const MassDeparture&, const MassDeparture&) = default;
+};
+
+/// A complete churn scenario: population events plus the embedded
+/// network-plane fault schedule.
+struct ChurnSchedule {
+  std::vector<ChurnBurst> bursts;
+  std::vector<MassDeparture> departures;
+  sim::FaultSchedule faults;
+
+  bool empty() const noexcept {
+    return bursts.empty() && departures.empty() && faults.empty();
+  }
+  std::size_t size() const noexcept {
+    return bursts.size() + departures.size() + faults.size();
+  }
+
+  /// Line-oriented text form; extends the FaultSchedule format with
+  ///   burst <at> <arrivals> <spread>
+  ///   mass <at> <fraction> <crash|leave>
+  /// Lines with fault verbs (msg/cap/flap) are delegated to
+  /// sim::FaultSchedule.  '#' comments and blank lines are ignored.
+  std::string to_text() const;
+  /// Parses to_text() output; nullopt on malformed input.
+  static std::optional<ChurnSchedule> parse(const std::string& text);
+
+  friend bool operator==(const ChurnSchedule&, const ChurnSchedule&) = default;
+};
+
+/// Counters for tests and bench reporting.
+struct ChurnCounters {
+  std::uint64_t burst_arrivals = 0;
+  std::uint64_t departures = 0;
+  std::uint64_t crashes = 0;
+};
+
+/// Replays a ChurnSchedule against a ScenarioRunner: attaches the embedded
+/// fault schedule to the System and schedules every burst/departure on the
+/// simulation clock.  Construct, then call arm() once before run().
+class ChurnDriver {
+ public:
+  ChurnDriver(ScenarioRunner& runner, ChurnSchedule schedule,
+              std::uint64_t seed);
+  ~ChurnDriver();
+
+  ChurnDriver(const ChurnDriver&) = delete;
+  ChurnDriver& operator=(const ChurnDriver&) = delete;
+
+  /// Attaches the fault injector and schedules all churn events.  Call
+  /// exactly once, before the runner starts.
+  void arm();
+
+  const ChurnSchedule& schedule() const noexcept { return schedule_; }
+  const ChurnCounters& counters() const noexcept { return counters_; }
+  sim::FaultInjector& injector() noexcept { return injector_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  void execute_mass(const MassDeparture& d);
+
+  ScenarioRunner& runner_;
+  ChurnSchedule schedule_;
+  std::uint64_t seed_;
+  sim::FaultInjector injector_;
+  sim::Rng rng_;  ///< burst spreads and departure sampling; private stream
+  ChurnCounters counters_;
+  bool armed_ = false;
+};
+
+}  // namespace coolstream::workload

@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace coolstream::workload {
 namespace {
@@ -71,12 +73,49 @@ Scenario Scenario::flash_crowd(std::size_t base_users,
   return s;
 }
 
+void Scenario::validate() const {
+  auto fail = [](const char* what) {
+    throw std::invalid_argument(std::string("Scenario: ") + what);
+  };
+  if (!(end_time > 0.0)) fail("end_time must be positive");
+  if (std::isfinite(program_end) && program_end < 0.0) {
+    fail("program_end must be >= 0 (a negative program end schedules "
+         "departures before any arrival is possible)");
+  }
+  if (!(program_end_jitter >= 0.0)) {
+    fail("program_end_jitter must be non-negative");
+  }
+  for (const FlashCrowd& c : crowds) {
+    if (c.center < 0.0) fail("flash crowd center must be >= 0");
+    if (!(c.width > 0.0)) fail("flash crowd width must be positive");
+    if (c.amplitude < 0.0) fail("flash crowd amplitude must be >= 0");
+  }
+  if (sessions.long_tail_prob < 0.0 || sessions.long_tail_prob > 1.0) {
+    fail("sessions.long_tail_prob must be a probability");
+  }
+  if (sessions.retry_prob < 0.0 || sessions.retry_prob > 1.0) {
+    fail("sessions.retry_prob must be a probability");
+  }
+  if (sessions.crash_fraction < 0.0 || sessions.crash_fraction > 1.0) {
+    fail("sessions.crash_fraction must be a probability");
+  }
+  if (sessions.max_retries < 0) fail("sessions.max_retries must be >= 0");
+  if (sessions.patience_min < 0.0 || sessions.patience_mean < 0.0) {
+    fail("sessions patience must be non-negative");
+  }
+  if (sessions.retry_delay_min < 0.0 || sessions.retry_delay_mean < 0.0) {
+    fail("sessions retry delay must be non-negative");
+  }
+  params.validate();
+}
+
 ScenarioRunner::ScenarioRunner(sim::Simulation& simulation, Scenario scenario,
                                logging::LogServer* log)
     : sim_(simulation),
       scenario_(std::move(scenario)),
       arrivals_(scenario_.arrivals, scenario_.crowds),
       system_(simulation, scenario_.params, scenario_.system, log) {
+  scenario_.validate();
   system_.observer = [this](net::NodeId node, core::SessionEvent event) {
     on_event(node, event);
   };
@@ -92,6 +131,13 @@ void ScenarioRunner::run_until(double until) {
 }
 
 void ScenarioRunner::run() { run_until(scenario_.end_time); }
+
+void ScenarioRunner::inject_arrival() {
+  if (!started_) return;
+  const std::uint64_t user = next_user_++;
+  const core::PeerSpec spec = scenario_.users.make_spec(user, sim_.rng());
+  start_session(spec, scenario_.sessions.max_retries);
+}
 
 void ScenarioRunner::schedule_next_arrival() {
   const double t = arrivals_.next_arrival(

@@ -36,6 +36,13 @@ struct Scenario {
   double program_end = std::numeric_limits<double>::infinity();
   double program_end_jitter = 90.0;  ///< stddev of the departure spread
 
+  /// Throws std::invalid_argument when the scenario is inconsistent —
+  /// most importantly when departures are scheduled before arrivals are
+  /// possible (a finite program_end < 0 used to be accepted silently and
+  /// made every session depart at time ~0).  ScenarioRunner validates on
+  /// construction.
+  void validate() const;
+
   // ---- presets -----------------------------------------------------------
   /// A steady-state broadcast: constant arrivals tuned so the expected
   /// concurrent population is ~`target_users` (Little's law against the
@@ -71,6 +78,12 @@ class ScenarioRunner {
 
   /// Distinct users that arrived so far.
   std::uint64_t users_created() const noexcept { return next_user_ - 1; }
+
+  /// Immediately starts one extra session (a fresh user drawn from the
+  /// population model), outside the arrival process.  Used by churn
+  /// drivers to inject flash-crowd bursts.  No-op before run()/run_until()
+  /// has started the system.
+  void inject_arrival();
 
  private:
   struct SessionCtl {

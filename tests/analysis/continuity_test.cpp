@@ -1,0 +1,122 @@
+#include "analysis/continuity.h"
+
+#include <gtest/gtest.h>
+
+#include "logging/sessions.h"
+
+namespace coolstream::analysis {
+namespace {
+
+using logging::Activity;
+using logging::ActivityReport;
+using logging::QosReport;
+using logging::Report;
+
+void add_join_leave(std::vector<Report>& reports, std::uint64_t user,
+                    std::uint64_t session, double join, double leave,
+                    const std::string& ip, bool had_incoming) {
+  ActivityReport j;
+  j.header = {user, session, join};
+  j.activity = Activity::kJoin;
+  j.address = ip;
+  reports.emplace_back(j);
+  ActivityReport l;
+  l.header = {user, session, leave};
+  l.activity = Activity::kLeave;
+  l.had_incoming = had_incoming;
+  l.had_outgoing = true;
+  reports.emplace_back(l);
+}
+
+void add_qos(std::vector<Report>& reports, std::uint64_t user,
+             std::uint64_t session, double time, std::uint64_t due,
+             std::uint64_t on_time) {
+  QosReport q;
+  q.header = {user, session, time};
+  q.blocks_due = due;
+  q.blocks_on_time = on_time;
+  reports.emplace_back(q);
+}
+
+TEST(ContinuityTest, AverageOverMixedSessions) {
+  std::vector<Report> reports;
+  // Direct peer: 4000 due, 3000 on time.
+  add_join_leave(reports, 1, 10, 0.0, 900.0, "8.8.8.8", true);
+  add_qos(reports, 1, 10, 300.0, 2000, 1500);
+  add_qos(reports, 1, 10, 600.0, 2000, 1500);
+  // NAT peer: perfect playback, 1000 due.
+  add_join_leave(reports, 2, 20, 0.0, 600.0, "10.0.0.2", false);
+  add_qos(reports, 2, 20, 300.0, 1000, 1000);
+  const auto log = logging::reconstruct_sessions(reports);
+  // Block-weighted: (3000 + 1000) / (4000 + 1000).
+  EXPECT_DOUBLE_EQ(average_continuity(log), 4000.0 / 5000.0);
+  const auto by_type = average_continuity_by_type(log);
+  EXPECT_DOUBLE_EQ(
+      by_type[static_cast<std::size_t>(net::ConnectionType::kDirect)], 0.75);
+  EXPECT_DOUBLE_EQ(
+      by_type[static_cast<std::size_t>(net::ConnectionType::kNat)], 1.0);
+}
+
+TEST(ContinuityTest, BucketsSplitByReportTime) {
+  std::vector<Report> reports;
+  add_join_leave(reports, 1, 10, 0.0, 1200.0, "8.8.8.8", true);
+  add_qos(reports, 1, 10, 100.0, 1000, 900);   // bucket [0, 600)
+  add_qos(reports, 1, 10, 700.0, 1000, 500);   // bucket [600, 1200)
+  const auto log = logging::reconstruct_sessions(reports);
+  const auto buckets = continuity_by_type_over_time(log, 600.0);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(buckets[0].continuity(net::ConnectionType::kDirect), 0.9);
+  EXPECT_DOUBLE_EQ(buckets[1].start, 600.0);
+  EXPECT_DOUBLE_EQ(buckets[1].continuity(net::ConnectionType::kDirect), 0.5);
+  EXPECT_DOUBLE_EQ(buckets[0].overall(), 0.9);
+}
+
+// ---- degenerate inputs -------------------------------------------------
+
+TEST(ContinuityTest, EmptyLog) {
+  const logging::SessionLog log;
+  EXPECT_DOUBLE_EQ(average_continuity(log), 1.0);
+  EXPECT_TRUE(continuity_by_type_over_time(log, 300.0).empty());
+  for (double v : average_continuity_by_type(log)) {
+    EXPECT_DOUBLE_EQ(v, 1.0);  // no due blocks -> vacuously perfect
+  }
+}
+
+TEST(ContinuityTest, SinglePeerSingleSample) {
+  std::vector<Report> reports;
+  add_join_leave(reports, 1, 10, 0.0, 600.0, "8.8.8.8", true);
+  add_qos(reports, 1, 10, 300.0, 100, 37);
+  const auto log = logging::reconstruct_sessions(reports);
+  EXPECT_DOUBLE_EQ(average_continuity(log), 0.37);
+  const auto buckets = continuity_by_type_over_time(log, 300.0);
+  ASSERT_FALSE(buckets.empty());
+  EXPECT_DOUBLE_EQ(buckets.back().overall(), 0.37);
+}
+
+TEST(ContinuityTest, IntervalsWithNoDueBlocksContributeNothing) {
+  // The paper's measurement artefact: a report interval with zero due
+  // blocks must not drag the average toward 1 or 0 — it just vanishes.
+  std::vector<Report> reports;
+  add_join_leave(reports, 1, 10, 0.0, 900.0, "8.8.8.8", true);
+  add_qos(reports, 1, 10, 300.0, 0, 0);       // empty interval
+  add_qos(reports, 1, 10, 600.0, 1000, 800);  // real interval
+  const auto log = logging::reconstruct_sessions(reports);
+  EXPECT_DOUBLE_EQ(average_continuity(log), 0.8);
+  const auto buckets = continuity_by_type_over_time(log, 300.0);
+  // Bucket holding the empty interval reports perfect continuity (no dues).
+  ASSERT_GE(buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets[1].continuity(net::ConnectionType::kDirect), 1.0);
+}
+
+TEST(ContinuityTest, QosWithoutJoinStillCounts) {
+  // Orphan QoS (session never reported a join): reconstruct_sessions keeps
+  // a partial record; the continuity pipeline must not crash on it.
+  std::vector<Report> reports;
+  add_qos(reports, 7, 70, 300.0, 10, 5);
+  const auto log = logging::reconstruct_sessions(reports);
+  EXPECT_DOUBLE_EQ(average_continuity(log), 0.5);
+}
+
+}  // namespace
+}  // namespace coolstream::analysis

@@ -71,5 +71,28 @@ TEST(PopulationForShareTest, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(population_for_share({}, 0.5), 0.0);
 }
 
+TEST(LorenzTest, SingleContributor) {
+  const std::vector<double> v = {42.0};
+  EXPECT_NEAR(gini(v), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(top_share(v, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(population_for_share(v, 0.8), 1.0);
+  const auto curve = lorenz_curve(v, 3);
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().first, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(LorenzTest, AllIdenticalValuesLieOnTheDiagonal) {
+  const std::vector<double> v(100, 3.5);
+  for (const auto& [p, share] : lorenz_curve(v, 11)) {
+    EXPECT_NEAR(share, p, 1e-9);
+  }
+  EXPECT_NEAR(gini(v), 0.0, 1e-9);
+  EXPECT_NEAR(top_share(v, 0.3), 0.3, 1e-9);
+  EXPECT_NEAR(population_for_share(v, 0.8), 0.8, 0.02);
+}
+
 }  // namespace
 }  // namespace coolstream::analysis

@@ -131,5 +131,27 @@ TEST(PearsonTest, UncorrelatedNearZero) {
   EXPECT_NEAR(pearson(x, y), 0.0, 0.05);
 }
 
+TEST(PeerStabilityTest, SinglePeerHasDegenerateCorrelation) {
+  std::vector<Report> reports;
+  add_measured_session(reports, 1, 10, 0.0, 600.0, 1000, 950, 3);
+  const auto log = logging::reconstruct_sessions(reports);
+  const auto report = peerwise_report(log);
+  // One sample: variance is zero, Pearson must degrade to 0, not NaN.
+  EXPECT_DOUBLE_EQ(report.churn_quality_correlation, 0.0);
+  EXPECT_EQ(report.continuity.count, 1u);
+}
+
+TEST(PeerStabilityTest, AllIdenticalSessionsHaveZeroCorrelation) {
+  std::vector<Report> reports;
+  for (std::uint64_t u = 1; u <= 5; ++u) {
+    add_measured_session(reports, u, u * 10, 0.0, 600.0, 1000, 900, 2);
+  }
+  const auto log = logging::reconstruct_sessions(reports);
+  const auto report = peerwise_report(log);
+  EXPECT_DOUBLE_EQ(report.churn_quality_correlation, 0.0);
+  EXPECT_NEAR(report.continuity.stddev, 0.0, 1e-12);
+  EXPECT_EQ(report.continuity.count, 5u);
+}
+
 }  // namespace
 }  // namespace coolstream::analysis

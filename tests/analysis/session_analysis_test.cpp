@@ -167,5 +167,33 @@ TEST(SessionAnalysisTest, EmptyLog) {
   EXPECT_DOUBLE_EQ(short_session_fraction(log), 0.0);
 }
 
+TEST(SessionAnalysisTest, SinglePeerLog) {
+  std::vector<Report> reports;
+  add_session(reports, 1, 10, 0.0, 10.0, 600.0, "8.8.8.8", true, 5'000,
+              100, 90);
+  const auto log = logging::reconstruct_sessions(reports);
+  EXPECT_EQ(observed_type_distribution(log).total, 1u);
+  const auto contrib = upload_contributions(log);
+  ASSERT_EQ(contrib.per_user_bytes.size(), 1u);
+  EXPECT_DOUBLE_EQ(contrib.type_share(net::ConnectionType::kDirect), 1.0);
+  const auto durations = session_durations(log);
+  ASSERT_EQ(durations.size(), 1u);
+  EXPECT_DOUBLE_EQ(durations.front(), 600.0);
+  EXPECT_DOUBLE_EQ(average_continuity(log), 0.9);
+}
+
+TEST(SessionAnalysisTest, AllIdenticalContributions) {
+  std::vector<Report> reports;
+  for (std::uint64_t u = 1; u <= 4; ++u) {
+    add_session(reports, u, u * 10, 0.0, 10.0, 600.0, "8.8.8.8", true,
+                25'000, 100, 100);
+  }
+  const auto log = logging::reconstruct_sessions(reports);
+  const auto contrib = upload_contributions(log);
+  EXPECT_EQ(contrib.per_user_bytes.size(), 4u);
+  EXPECT_DOUBLE_EQ(contrib.total_bytes, 100'000.0);
+  for (double b : contrib.per_user_bytes) EXPECT_DOUBLE_EQ(b, 25'000.0);
+}
+
 }  // namespace
 }  // namespace coolstream::analysis

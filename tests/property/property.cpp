@@ -1,0 +1,397 @@
+#include "property.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "sim/rng.h"
+
+namespace coolstream::proptest {
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char ch : s) {
+    h = (h ^ static_cast<unsigned char>(ch)) * 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Case seed for iteration `i` of the property named `name`: distinct
+/// properties sweep distinct schedule populations even under one global
+/// seed, so 5 properties x 200 iterations = 1000 distinct schedules.
+std::uint64_t case_seed_for(const std::string& name, std::uint64_t global,
+                            int i) {
+  constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15;
+  std::uint64_t state = global ^ fnv1a(name);
+  state += kGolden * static_cast<std::uint64_t>(i);
+  return sim::splitmix64_next(state);
+}
+
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  try {
+    std::size_t used = 0;
+    *out = std::stoull(text, &used, 0);  // base 0: accepts 0x... and decimal
+    return used == text.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+std::optional<std::string> safe_run(const PropertyFn& fn,
+                                    const GeneratedCase& c) {
+  try {
+    return fn(c);
+  } catch (const std::exception& e) {
+    return std::string("unhandled exception: ") + e.what();
+  }
+}
+
+std::size_t entry_count(const workload::ChurnSchedule& s) { return s.size(); }
+
+/// Removes the k-th entry in the fixed traversal order
+/// bursts, departures, messages, capacities, flaps.
+workload::ChurnSchedule remove_entry(const workload::ChurnSchedule& s,
+                                     std::size_t k) {
+  workload::ChurnSchedule out = s;
+  auto take = [&k](auto& vec) {
+    if (k < vec.size()) {
+      vec.erase(vec.begin() + static_cast<std::ptrdiff_t>(k));
+      return true;
+    }
+    k -= vec.size();
+    return false;
+  };
+  if (take(out.bursts)) return out;
+  if (take(out.departures)) return out;
+  if (take(out.faults.messages)) return out;
+  if (take(out.faults.capacities)) return out;
+  take(out.faults.flaps);
+  return out;
+}
+
+/// Halves the magnitudes of the k-th entry (same order as remove_entry);
+/// returns nullopt when the entry has nothing left to soften.
+std::optional<workload::ChurnSchedule> soften_entry(
+    const workload::ChurnSchedule& s, std::size_t k) {
+  workload::ChurnSchedule out = s;
+  if (k < out.bursts.size()) {
+    auto& b = out.bursts[k];
+    if (b.arrivals <= 1) return std::nullopt;
+    b.arrivals /= 2;
+    return out;
+  }
+  k -= out.bursts.size();
+  if (k < out.departures.size()) {
+    auto& d = out.departures[k];
+    if (d.fraction < 0.05) return std::nullopt;
+    d.fraction *= 0.5;
+    return out;
+  }
+  k -= out.departures.size();
+  if (k < out.faults.messages.size()) {
+    auto& m = out.faults.messages[k];
+    if (m.drop + m.dup + m.jitter < 0.02) return std::nullopt;
+    m.drop *= 0.5;
+    m.dup *= 0.5;
+    m.jitter *= 0.5;
+    return out;
+  }
+  k -= out.faults.messages.size();
+  if (k < out.faults.capacities.size()) {
+    auto& c = out.faults.capacities[k];
+    if (c.factor > 0.9) return std::nullopt;
+    c.factor = 0.5 * (c.factor + 1.0);  // halve the degradation toward 1
+    return out;
+  }
+  return std::nullopt;  // flap faults have no magnitude to soften
+}
+
+/// Greedy shrink: repeatedly try removing entries (then softening what
+/// remains) while the property still fails.  Bounded so a pathological
+/// case cannot stall the suite.
+GeneratedCase shrink(const PropertyFn& fn, GeneratedCase failing,
+                     int* attempts_out) {
+  constexpr int kMaxAttempts = 200;
+  int attempts = 0;
+  bool progress = true;
+  while (progress && attempts < kMaxAttempts) {
+    progress = false;
+    for (std::size_t k = 0; k < entry_count(failing.schedule); ++k) {
+      GeneratedCase cand = failing;
+      cand.schedule = remove_entry(failing.schedule, k);
+      ++attempts;
+      if (safe_run(fn, cand)) {
+        failing = std::move(cand);
+        progress = true;
+        break;  // restart the scan over the smaller schedule
+      }
+      if (attempts >= kMaxAttempts) break;
+    }
+  }
+  progress = true;
+  while (progress && attempts < kMaxAttempts) {
+    progress = false;
+    for (std::size_t k = 0; k < entry_count(failing.schedule); ++k) {
+      auto softened = soften_entry(failing.schedule, k);
+      if (!softened) continue;
+      GeneratedCase cand = failing;
+      cand.schedule = std::move(*softened);
+      ++attempts;
+      if (safe_run(fn, cand)) {
+        failing = std::move(cand);
+        progress = true;
+        break;
+      }
+      if (attempts >= kMaxAttempts) break;
+    }
+  }
+  if (attempts_out != nullptr) *attempts_out = attempts;
+  return failing;
+}
+
+void report_failure(const std::string& name, const GeneratedCase& original,
+                    const GeneratedCase& shrunk, const std::string& error,
+                    int iteration) {
+  std::ostringstream out;
+  out << "property " << name << " FAILED\n"
+      << "  error     : " << error << '\n';
+  char seed_buf[32];
+  std::snprintf(seed_buf, sizeof seed_buf, "0x%016llx",
+                static_cast<unsigned long long>(original.case_seed));
+  out << "  reproduce : protocol_properties --case=" << seed_buf;
+  if (iteration >= 0) {
+    std::snprintf(seed_buf, sizeof seed_buf, "0x%llx",
+                  static_cast<unsigned long long>(options().seed));
+    out << "  (from --seed=" << seed_buf << ", iteration " << iteration
+        << ")";
+  }
+  out << '\n'
+      << "  schedule  : " << entry_count(shrunk.schedule)
+      << " entries after shrinking from " << entry_count(original.schedule)
+      << " (save below to a file, replay with --schedule=<file>)\n";
+  std::istringstream lines(case_text(shrunk));
+  std::string line;
+  while (std::getline(lines, line)) out << "    " << line << '\n';
+  const std::string msg = out.str();
+  std::cerr << msg;
+  ADD_FAILURE() << msg;
+}
+
+}  // namespace
+
+Options& options() {
+  static Options opts;
+  return opts;
+}
+
+void parse_options(int argc, char** argv) {
+  Options& o = options();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const char* prefix) -> std::optional<std::string> {
+      const std::size_t n = std::string(prefix).size();
+      if (arg.compare(0, n, prefix) == 0) return arg.substr(n);
+      return std::nullopt;
+    };
+    if (auto v = value_of("--seed=")) {
+      if (!parse_u64(*v, &o.seed)) {
+        std::cerr << "property: bad --seed value '" << *v << "'\n";
+        std::exit(2);
+      }
+    } else if (auto v2 = value_of("--iters=")) {
+      std::uint64_t n = 0;
+      if (!parse_u64(*v2, &n) || n == 0) {
+        std::cerr << "property: bad --iters value '" << *v2 << "'\n";
+        std::exit(2);
+      }
+      o.iters = static_cast<int>(n);
+    } else if (auto v3 = value_of("--case=")) {
+      std::uint64_t n = 0;
+      if (!parse_u64(*v3, &n)) {
+        std::cerr << "property: bad --case value '" << *v3 << "'\n";
+        std::exit(2);
+      }
+      o.single_case = n;
+    } else if (auto v4 = value_of("--schedule=")) {
+      o.schedule_file = *v4;
+    }
+  }
+}
+
+GeneratedCase generate_case(std::uint64_t case_seed) {
+  GeneratedCase c;
+  c.case_seed = case_seed;
+  sim::Rng g(case_seed);
+  c.viewers = 6 + static_cast<std::size_t>(g.below(15));  // 6..20
+  c.horizon = 60.0 + g.uniform(0.0, 90.0);                // 60..150 s
+
+  auto window = [&g, &c](double min_len, double max_len) {
+    sim::FaultWindow w;
+    const double start = g.uniform(5.0, c.horizon * 0.8);
+    w.start = units::Tick(start);
+    w.end = units::Tick(
+        std::min(start + g.uniform(min_len, max_len), c.horizon));
+    return w;
+  };
+  auto node = [&g]() {
+    // Wildcard most of the time; otherwise a specific node in the early
+    // join order (0/1 are the servers).  Ids that never join are no-ops.
+    return g.chance(0.6) ? sim::kFaultAnyNode
+                         : static_cast<sim::FaultNode>(g.below(24));
+  };
+
+  const std::size_t n_msg = g.below(4);  // 0..3
+  for (std::size_t i = 0; i < n_msg; ++i) {
+    sim::MessageFault m;
+    m.window = window(10.0, 60.0);
+    m.node = node();
+    m.drop = g.uniform(0.0, 0.5);
+    m.dup = g.uniform(0.0, 0.3);
+    m.jitter = g.uniform(0.0, 0.6);
+    m.max_jitter = units::Duration(g.uniform(0.05, 0.8));
+    c.schedule.faults.messages.push_back(m);
+  }
+  const std::size_t n_cap = g.below(3);  // 0..2
+  for (std::size_t i = 0; i < n_cap; ++i) {
+    sim::CapacityFault f;
+    f.window = window(10.0, 50.0);
+    f.node = node();
+    f.factor = g.uniform(0.0, 0.9);
+    c.schedule.faults.capacities.push_back(f);
+  }
+  const std::size_t n_flap = g.below(3);  // 0..2
+  for (std::size_t i = 0; i < n_flap; ++i) {
+    sim::FlapFault f;
+    f.window = window(5.0, 30.0);
+    f.node = node();
+    c.schedule.faults.flaps.push_back(f);
+  }
+  const std::size_t n_burst = g.below(3);  // 0..2
+  for (std::size_t i = 0; i < n_burst; ++i) {
+    workload::ChurnBurst b;
+    b.at = units::Tick(g.uniform(5.0, c.horizon * 0.7));
+    b.arrivals = 1 + static_cast<std::size_t>(g.below(8));
+    b.spread = units::Duration(g.uniform(0.0, 10.0));
+    c.schedule.bursts.push_back(b);
+  }
+  const std::size_t n_mass = g.below(3);  // 0..2
+  for (std::size_t i = 0; i < n_mass; ++i) {
+    workload::MassDeparture d;
+    d.at = units::Tick(g.uniform(10.0, c.horizon * 0.8));
+    d.fraction = g.uniform(0.1, 0.5);
+    d.crash = g.chance(0.5);
+    c.schedule.departures.push_back(d);
+  }
+  return c;
+}
+
+workload::Scenario make_scenario(const GeneratedCase& c) {
+  // Small population, few servers with modest uplinks: viewers must parent
+  // viewers, so the adaptation / reselection machinery actually runs.
+  workload::Scenario s = workload::Scenario::steady(
+      c.viewers, c.horizon + kSettleSeconds + 5.0);
+  s.system.server_count = 2;
+  s.system.server_capacity_bps = 6e6;
+  s.system.server_max_partners = 8;
+  s.params.partner_silence_timeout = kSilenceTimeout;
+  return s;
+}
+
+std::string case_text(const GeneratedCase& c) {
+  std::ostringstream out;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(c.case_seed));
+  out << "# case " << buf << '\n' << "# viewers " << c.viewers << '\n';
+  out.precision(17);
+  out << "# horizon " << c.horizon << '\n' << c.schedule.to_text();
+  return out.str();
+}
+
+std::optional<GeneratedCase> parse_case_text(const std::string& text) {
+  auto schedule = workload::ChurnSchedule::parse(text);
+  if (!schedule) return std::nullopt;
+  GeneratedCase c;
+  c.schedule = std::move(*schedule);
+  // Metadata rides in comment directives so plain schedule files (no
+  // directives) still replay with the defaults.
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string hash;
+    std::string key;
+    if (!(ls >> hash >> key) || hash != "#") continue;
+    if (key == "viewers") {
+      if (!(ls >> c.viewers)) return std::nullopt;
+    } else if (key == "horizon") {
+      if (!(ls >> c.horizon)) return std::nullopt;
+    } else if (key == "case") {
+      std::string v;
+      if (!(ls >> v) || !parse_u64(v, &c.case_seed)) return std::nullopt;
+    }
+  }
+  return c;
+}
+
+CaseRun::CaseRun(const GeneratedCase& c, const Tweak& tweak)
+    : sim_(c.case_seed), horizon_(c.horizon) {
+  workload::Scenario s = make_scenario(c);
+  if (tweak) tweak(s);
+  runner_ = std::make_unique<workload::ScenarioRunner>(sim_, std::move(s),
+                                                       nullptr);
+  driver_ =
+      std::make_unique<workload::ChurnDriver>(*runner_, c.schedule,
+                                              c.case_seed);
+  driver_->arm();
+}
+
+void run_property(const std::string& name, const PropertyFn& fn) {
+  const Options& o = options();
+
+  if (o.schedule_file) {
+    std::ifstream in(*o.schedule_file);
+    if (!in) {
+      ADD_FAILURE() << "property: cannot open --schedule file '"
+                    << *o.schedule_file << "'";
+      return;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto c = parse_case_text(buf.str());
+    if (!c) {
+      ADD_FAILURE() << "property: malformed schedule file '"
+                    << *o.schedule_file << "'";
+      return;
+    }
+    if (auto err = safe_run(fn, *c)) {
+      report_failure(name, *c, *c, *err, /*iteration=*/-1);
+    }
+    return;
+  }
+
+  if (o.single_case) {
+    GeneratedCase c = generate_case(*o.single_case);
+    if (auto err = safe_run(fn, c)) {
+      int attempts = 0;
+      const GeneratedCase small = shrink(fn, c, &attempts);
+      report_failure(name, c, small, *err, /*iteration=*/-1);
+    }
+    return;
+  }
+
+  for (int i = 0; i < o.iters; ++i) {
+    const GeneratedCase c = generate_case(case_seed_for(name, o.seed, i));
+    if (auto err = safe_run(fn, c)) {
+      int attempts = 0;
+      const GeneratedCase small = shrink(fn, c, &attempts);
+      report_failure(name, c, small, *err, i);
+      return;  // one counterexample per run keeps output focused
+    }
+  }
+}
+
+}  // namespace coolstream::proptest

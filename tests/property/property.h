@@ -1,0 +1,124 @@
+// Property-based test harness over generated fault/churn schedules.
+//
+// A property is a predicate over a whole simulated run: build a small
+// broadcast, replay a generated workload::ChurnSchedule against it (message
+// loss / duplication / jitter, capacity degradation, connectivity flaps,
+// arrival bursts, mass departures), and assert a protocol invariant at
+// every sample point.  PROPERTY_TEST registers the predicate with
+// GoogleTest; run_property drives it over `--iters` generated cases.
+//
+// Reproducing failures.  Every case is a pure function of a 64-bit case
+// seed.  On failure the harness greedily shrinks the schedule (removing
+// entries and softening magnitudes while the property still fails) and
+// prints:
+//   * the case seed  — replay with  --case=0x<seed>
+//   * the global seed and iteration it came from (--seed=...)
+//   * the shrunk schedule text — save to a file and replay with
+//     --schedule=<file> (viewer count and horizon ride along as
+//     `# viewers N` / `# horizon S` comment directives).
+//
+// Flags (parsed before InitGoogleTest; unknown flags are left for gtest):
+//   --seed=N       global seed (default 20070613)
+//   --iters=N      cases per property (default 200)
+//   --case=0xS     run a single case seed instead of the sweep
+//   --schedule=F   replay a schedule file instead of generating cases
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+#include "workload/churn.h"
+#include "workload/scenario.h"
+
+namespace coolstream::proptest {
+
+/// Simulated seconds past the last possible fault/churn event before
+/// quiesce-time assertions run (covers the silence timeout plus one BM
+/// exchange round and the partnership round trip).
+inline constexpr double kSettleSeconds = 20.0;
+/// Params::partner_silence_timeout used by every generated scenario: the
+/// repair path for phantom partnerships left by lost messages.
+inline constexpr double kSilenceTimeout = 6.0;
+
+struct Options {
+  std::uint64_t seed = 20070613;
+  int iters = 200;
+  std::optional<std::uint64_t> single_case;
+  std::optional<std::string> schedule_file;
+};
+
+Options& options();
+
+/// Consumes the harness's own --seed/--iters/--case/--schedule flags; call
+/// before InitGoogleTest.
+void parse_options(int argc, char** argv);
+
+/// One generated scenario: population size, horizon, and the fault/churn
+/// schedule, all derived deterministically from `case_seed`.
+struct GeneratedCase {
+  std::uint64_t case_seed = 0;
+  std::size_t viewers = 12;
+  double horizon = 120.0;  ///< last possible fault/churn event time
+  workload::ChurnSchedule schedule;
+};
+
+/// Pure function of the seed: same seed, same case, on every platform.
+GeneratedCase generate_case(std::uint64_t case_seed);
+
+/// The small-population broadcast every property runs against.
+workload::Scenario make_scenario(const GeneratedCase& c);
+
+/// Replayable text form (schedule plus `# viewers` / `# horizon` / `# case`
+/// directives); parse_case_text inverts it.
+std::string case_text(const GeneratedCase& c);
+std::optional<GeneratedCase> parse_case_text(const std::string& text);
+
+/// Owns one case's simulation, scenario runner and armed churn driver.
+class CaseRun {
+ public:
+  using Tweak = std::function<void(workload::Scenario&)>;
+
+  explicit CaseRun(const GeneratedCase& c, const Tweak& tweak = {});
+
+  core::System& system() noexcept { return runner_->system(); }
+  workload::ScenarioRunner& runner() noexcept { return *runner_; }
+  workload::ChurnDriver& driver() noexcept { return *driver_; }
+  double horizon() const noexcept { return horizon_; }
+  /// Quiesce point: horizon plus the settle margin.
+  double end() const noexcept { return horizon_ + kSettleSeconds; }
+  void run_to(double t) { runner_->run_until(t); }
+
+ private:
+  sim::Simulation sim_;
+  std::unique_ptr<workload::ScenarioRunner> runner_;
+  std::unique_ptr<workload::ChurnDriver> driver_;
+  double horizon_;
+};
+
+/// A property body: nullopt = held, a message = violated.
+using PropertyFn =
+    std::function<std::optional<std::string>(const GeneratedCase&)>;
+
+/// Runs `fn` over the configured case set; on the first failure shrinks the
+/// schedule, prints a reproduction recipe, and fails the enclosing gtest.
+void run_property(const std::string& name, const PropertyFn& fn);
+
+}  // namespace coolstream::proptest
+
+/// Declares a property: the body receives `const GeneratedCase& pcase` and
+/// returns std::optional<std::string> (nullopt = property held).
+#define PROPERTY_TEST(suite, name)                                       \
+  static std::optional<std::string> prop_body_##suite##_##name(          \
+      const ::coolstream::proptest::GeneratedCase& pcase);               \
+  TEST(suite, name) {                                                    \
+    ::coolstream::proptest::run_property(#suite "." #name,               \
+                                         prop_body_##suite##_##name);    \
+  }                                                                      \
+  static std::optional<std::string> prop_body_##suite##_##name(          \
+      const ::coolstream::proptest::GeneratedCase& pcase)

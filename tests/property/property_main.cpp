@@ -1,0 +1,18 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "property.h"
+
+int main(int argc, char** argv) {
+  ::coolstream::proptest::parse_options(argc, argv);
+  const auto& o = ::coolstream::proptest::options();
+  // Always print the effective seed so any failure in CI is reproducible
+  // even when the seed was derived (e.g. from the date).
+  std::printf("[property] seed=0x%llx iters=%d%s%s\n",
+              static_cast<unsigned long long>(o.seed), o.iters,
+              o.single_case ? " (single case)" : "",
+              o.schedule_file ? " (schedule replay)" : "");
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "analysis/session_analysis.h"
 #include "logging/sessions.h"
@@ -125,6 +126,52 @@ TEST(ScenarioRunnerTest, RunUntilIsResumable) {
   EXPECT_GT(mid, 0u);
   runner.run();
   EXPECT_GT(log.size(), mid);
+}
+
+// Regression: a finite program_end before time zero schedules departures
+// before any arrival is possible; it used to be accepted silently and made
+// every session depart at time ~0.  validate() must reject it, both when
+// called directly and from the ScenarioRunner constructor.
+TEST(ScenarioValidateTest, RejectsDeparturesBeforeArrivals) {
+  Scenario s = small_steady();
+  s.program_end = -5.0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  sim::Simulation simulation(1);
+  EXPECT_THROW(ScenarioRunner(simulation, s, nullptr),
+               std::invalid_argument);
+}
+
+TEST(ScenarioValidateTest, RejectsOtherInconsistencies) {
+  {
+    Scenario s = small_steady();
+    s.end_time = 0.0;  // empty horizon
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    Scenario s = small_steady();
+    s.program_end_jitter = -1.0;
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    Scenario s = small_steady();
+    s.sessions.crash_fraction = 1.5;  // not a probability
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    Scenario s = small_steady();
+    s.crowds.push_back(FlashCrowd{-10.0, 5.0, 3.0});
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+}
+
+TEST(ScenarioValidateTest, AcceptsAllPresets) {
+  EXPECT_NO_THROW(Scenario::steady(50, 600.0).validate());
+  EXPECT_NO_THROW(Scenario::evening(200, 3.0).validate());
+  EXPECT_NO_THROW(Scenario::flash_crowd(40, 80, 300.0, 900.0).validate());
+  // A finite, in-range program end is legal.
+  Scenario s = small_steady();
+  s.program_end = 600.0;
+  EXPECT_NO_THROW(s.validate());
 }
 
 }  // namespace

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Regenerates the golden-trace timelines in tests/golden/*.golden.
+#
+# Run this only after an *intentional* behaviour change, and commit the
+# rewritten files together with the change that caused them (the commit
+# message should say why the traces moved).
+#
+# Usage: tools/regen_golden.sh [build-dir]   (default: build)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake -B "$BUILD_DIR" -S .
+fi
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target golden_tests
+
+GOLDEN_REGEN=1 "$BUILD_DIR/tests/golden_tests" \
+  --gtest_filter='GoldenTrace.TimelinesMatchCheckedInGoldens'
+
+echo "Regenerated:"
+git -C . status --short tests/golden
