@@ -26,6 +26,7 @@ coolstream_bench(ablation_mcache)
 coolstream_bench(ablation_allocation)
 coolstream_bench(ablation_substreams)
 coolstream_bench(ablation_thresholds)
+coolstream_bench(protocol_hotpath)
 
 add_executable(bench_micro_event_queue ${CMAKE_SOURCE_DIR}/bench/micro_event_queue.cpp)
 set_target_properties(bench_micro_event_queue PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

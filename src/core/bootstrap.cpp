@@ -31,17 +31,27 @@ Tick BootstrapServer::joined_at(net::NodeId id) const noexcept {
 
 std::vector<net::NodeId> BootstrapServer::random_list(
     std::size_t k, net::NodeId requester, sim::Rng& rng) const {
+  std::vector<std::size_t> idx_scratch;
   std::vector<net::NodeId> out;
-  if (order_.empty()) return out;
+  random_list_into(k, requester, rng, idx_scratch, out);
+  return out;
+}
+
+void BootstrapServer::random_list_into(std::size_t k, net::NodeId requester,
+                                       sim::Rng& rng,
+                                       std::vector<std::size_t>& idx_scratch,
+                                       std::vector<net::NodeId>& out) const {
+  out.clear();
+  if (order_.empty()) return;
   // Sample k+1 to be able to drop the requester without bias.
   const std::size_t want = std::min(k + 1, order_.size());
-  for (std::size_t idx : rng.sample_indices(order_.size(), want)) {
+  rng.sample_indices_into(order_.size(), want, idx_scratch);
+  for (std::size_t idx : idx_scratch) {
     const net::NodeId id = order_[idx].id;
     if (id == requester) continue;
     if (out.size() == k) break;
     out.push_back(id);
   }
-  return out;
 }
 
 }  // namespace coolstream::core

@@ -31,6 +31,12 @@ class BootstrapServer {
   std::vector<net::NodeId> random_list(std::size_t k, net::NodeId requester,
                                        sim::Rng& rng) const;
 
+  /// random_list into caller-owned buffers (cleared first): identical RNG
+  /// draws, allocation-free once capacities are warm.
+  void random_list_into(std::size_t k, net::NodeId requester, sim::Rng& rng,
+                        std::vector<std::size_t>& idx_scratch,
+                        std::vector<net::NodeId>& out) const;
+
   std::size_t active_count() const noexcept { return order_.size(); }
   bool contains(net::NodeId id) const noexcept;
 

@@ -1,61 +1,58 @@
 #include "core/buffer_map.h"
 
-#include <algorithm>
 #include <cassert>
 #include <charconv>
+#include <string_view>
 
 namespace coolstream::core {
 
-BufferMap::BufferMap(int k)
-    : latest_(static_cast<std::size_t>(k), kNoSeq),
-      subscribed_(static_cast<std::size_t>(k), 0) {
-  assert(k >= 1);
+namespace {
+
+/// Characters std::to_string produces for `v`: digits plus a '-' sign.
+std::size_t decimal_width(std::int64_t v) noexcept {
+  std::size_t n = 1;  // first digit (or the lone '0')
+  if (v < 0) {
+    ++n;  // sign
+    v = -v;
+  }
+  while (v >= 10) {
+    ++n;
+    v /= 10;
+  }
+  return n;
 }
 
-SeqNum BufferMap::latest(SubstreamId i) const {
-  assert(i.index() < latest_.size());
-  return latest_[i.index()];
-}
+}  // namespace
 
-void BufferMap::set_latest(SubstreamId i, SeqNum seq) {
-  assert(i.index() < latest_.size());
-  latest_[i.index()] = seq;
-}
-
-bool BufferMap::subscribed(SubstreamId i) const {
-  assert(i.index() < subscribed_.size());
-  return subscribed_[i.index()] != 0;
-}
-
-void BufferMap::set_subscribed(SubstreamId i, bool on) {
-  assert(i.index() < subscribed_.size());
-  subscribed_[i.index()] = on ? 1 : 0;
-}
-
-SeqNum BufferMap::max_latest() const noexcept {
-  if (latest_.empty()) return kNoSeq;
-  return *std::max_element(latest_.begin(), latest_.end());
-}
-
-SeqNum BufferMap::min_latest() const noexcept {
-  if (latest_.empty()) return kNoSeq;
-  return *std::min_element(latest_.begin(), latest_.end());
-}
-
-BlockCount BufferMap::spread() const noexcept {
-  return latest_.empty() ? BlockCount::zero() : max_latest() - min_latest();
+BufferMap::BufferMap(int k) : k_(k) {
+  assert(k >= 1 && k <= kMaxSubstreams);
+  for (int i = 0; i < kMaxSubstreams; ++i) latest_[i] = kNoSeq;
 }
 
 std::string BufferMap::encode() const {
   // Wire boundary: sequence numbers serialize as their raw values.
+  // Debug/golden format — string formatting is fine off the hot path.
   std::string out;
-  for (std::size_t i = 0; i < latest_.size(); ++i) {
+  for (int i = 0; i < k_; ++i) {
     if (i != 0) out.push_back(',');
-    out += std::to_string(latest_[i].value());  // lint:allow(value-escape)
+    out += std::to_string(  // lint:allow(hot-path-string)
+        latest_[i].value());  // lint:allow(value-escape)
   }
   out.push_back('|');
-  for (std::uint8_t s : subscribed_) out.push_back(s ? '1' : '0');
+  for (int i = 0; i < k_; ++i) {
+    out.push_back(((sub_bits_ >> i) & 1u) ? '1' : '0');
+  }
   return out;
+}
+
+std::size_t BufferMap::wire_size() const noexcept {
+  // One byte per digit/sign, k-1 commas, the '|', one bit char per lane.
+  std::size_t n = 1 + static_cast<std::size_t>(k_);
+  for (int i = 0; i < k_; ++i) {
+    if (i != 0) ++n;
+    n += decimal_width(latest_[i].value());  // lint:allow(value-escape)
+  }
+  return n;
 }
 
 std::optional<BufferMap> BufferMap::decode(const std::string& text) {
@@ -64,7 +61,8 @@ std::optional<BufferMap> BufferMap::decode(const std::string& text) {
   const std::string_view nums(text.data(), bar);
   const std::string_view bits(text.data() + bar + 1, text.size() - bar - 1);
 
-  std::vector<SeqNum> latest;
+  SeqNum latest[kMaxSubstreams];
+  int count = 0;
   std::size_t pos = 0;
   while (pos <= nums.size() && !nums.empty()) {
     std::size_t comma = nums.find(',', pos);
@@ -74,18 +72,21 @@ std::optional<BufferMap> BufferMap::decode(const std::string& text) {
     const auto* end = nums.data() + comma;
     auto [ptr, ec] = std::from_chars(begin, end, value);
     if (ec != std::errc{} || ptr != end) return std::nullopt;
-    latest.push_back(SeqNum(value));
+    if (count == kMaxSubstreams) return std::nullopt;
+    latest[count++] = SeqNum(value);
     if (comma == nums.size()) break;
     pos = comma + 1;
   }
-  if (latest.empty() || latest.size() != bits.size()) return std::nullopt;
+  if (count == 0 || static_cast<std::size_t>(count) != bits.size()) {
+    return std::nullopt;
+  }
 
-  BufferMap bm(static_cast<int>(latest.size()));
-  for (std::size_t i = 0; i < latest.size(); ++i) {
+  BufferMap bm(count);
+  for (int i = 0; i < count; ++i) {
     bm.latest_[i] = latest[i];
-    if (bits[i] == '1') {
-      bm.subscribed_[i] = 1;
-    } else if (bits[i] != '0') {
+    if (bits[static_cast<std::size_t>(i)] == '1') {
+      bm.sub_bits_ |= 1u << i;
+    } else if (bits[static_cast<std::size_t>(i)] != '0') {
       return std::nullopt;
     }
   }

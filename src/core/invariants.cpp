@@ -356,4 +356,6 @@ void InvariantTestAccess::rewind_head(Peer& p, SubstreamId j, SeqNum seq) {
 
 SystemStats& InvariantTestAccess::stats(System& sys) { return sys.stats_; }
 
+void InvariantTestAccess::do_gossip(Peer& p) { p.do_gossip(); }
+
 }  // namespace coolstream::core

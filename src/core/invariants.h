@@ -130,6 +130,10 @@ struct InvariantTestAccess {
   /// it backwards (something the real SyncBuffer API cannot do).
   static void rewind_head(Peer& p, SubstreamId j, SeqNum seq);
   static SystemStats& stats(System& sys);
+  /// Fires one gossip round from `p` right now, bypassing the gossip
+  /// timer.  Used by the allocation-counting tier to bracket the arena /
+  /// sample_into send path with heap counters.
+  static void do_gossip(Peer& p);
 };
 
 }  // namespace coolstream::core

@@ -13,8 +13,10 @@
 // exercised by the ablation bench.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/stream_types.h"
@@ -57,27 +59,46 @@ class Mcache {
   /// True when `id` is in the cache.
   bool contains(net::NodeId id) const noexcept;
 
+  /// Scratch buffers for sample_into; owned by the caller (the System
+  /// keeps one) so steady-state sampling never allocates.
+  struct SampleScratch {
+    std::vector<std::size_t> eligible;
+    std::vector<std::size_t> picks;
+  };
+
   /// Up to `k` distinct entries chosen uniformly at random, excluding
-  /// entries for which `excluded` returns true.  The predicate may take
-  /// either the entry or just its node id.
+  /// entries for which `excluded` returns true, delivered to `sink` in
+  /// draw order.  The predicate may take either the entry or just its
+  /// node id.  Allocation-free once `scratch` capacities are warm; the
+  /// RNG draw sequence is identical to sample().
+  template <typename ExcludeFn, typename Sink>
+  void sample_into(std::size_t k, sim::Rng& rng, ExcludeFn&& excluded,
+                   SampleScratch& scratch, Sink&& sink) const {
+    scratch.eligible.clear();
+    scratch.eligible.reserve(entries_.size());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if constexpr (std::is_invocable_v<ExcludeFn, const McacheEntry&>) {
+        if (!excluded(entries_[i])) scratch.eligible.push_back(i);
+      } else {
+        if (!excluded(entries_[i].id)) scratch.eligible.push_back(i);
+      }
+    }
+    const std::size_t take = std::min(k, scratch.eligible.size());
+    rng.sample_indices_into(scratch.eligible.size(), take, scratch.picks);
+    for (std::size_t pick : scratch.picks) {
+      sink(entries_[scratch.eligible[pick]]);
+    }
+  }
+
+  /// Allocating convenience wrapper over sample_into (tests, cold paths).
   template <typename ExcludeFn>
   std::vector<McacheEntry> sample(std::size_t k, sim::Rng& rng,
                                   ExcludeFn&& excluded) const {
-    std::vector<std::size_t> eligible;
-    eligible.reserve(entries_.size());
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-      if constexpr (std::is_invocable_v<ExcludeFn, const McacheEntry&>) {
-        if (!excluded(entries_[i])) eligible.push_back(i);
-      } else {
-        if (!excluded(entries_[i].id)) eligible.push_back(i);
-      }
-    }
-    const std::size_t take = std::min(k, eligible.size());
+    SampleScratch scratch;
     std::vector<McacheEntry> out;
-    out.reserve(take);
-    for (std::size_t pick : rng.sample_indices(eligible.size(), take)) {
-      out.push_back(entries_[eligible[pick]]);
-    }
+    out.reserve(k);
+    sample_into(k, rng, std::forward<ExcludeFn>(excluded), scratch,
+                [&out](const McacheEntry& e) { out.push_back(e); });
     return out;
   }
 

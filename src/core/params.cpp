@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "core/buffer_map.h"
+
 namespace coolstream::core {
 
 void Params::validate() const {
@@ -10,6 +12,10 @@ void Params::validate() const {
   };
   if (stream_rate_bps <= 0.0) fail("stream_rate_bps must be positive");
   if (substream_count < 1) fail("substream_count must be >= 1");
+  if (substream_count > BufferMap::kMaxSubstreams) {
+    fail("substream_count exceeds BufferMap::kMaxSubstreams (the packed "
+         "buffer-map lane capacity)");
+  }
   if (buffer_seconds <= 0.0) fail("buffer_seconds must be positive");
   if (ts_seconds <= 0.0) fail("ts_seconds must be positive");
   if (tp_seconds <= 0.0) fail("tp_seconds must be positive");

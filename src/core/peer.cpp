@@ -75,13 +75,20 @@ bool Peer::partners_full() const noexcept {
          static_cast<std::size_t>(sys_.max_partners_of(*this));
 }
 
-BufferMap Peer::current_bm() const {
-  BufferMap bm(sys_.params().substream_count);
-  for (SubstreamId j : substreams(sys_.params().substream_count)) {
-    bm.set_latest(j, sync_.head(j));
+const BufferMap& Peer::refreshed_bm() const {
+  const std::uint64_t v = sync_.version();
+  if (bm_cache_version_ != v) {
+    BufferMap bm(sys_.params().substream_count);
+    for (SubstreamId j : substreams(sys_.params().substream_count)) {
+      bm.set_latest(j, sync_.head(j));
+    }
+    bm_cache_ = bm;
+    bm_cache_version_ = v;
   }
-  return bm;
+  return bm_cache_;
 }
+
+BufferMap Peer::current_bm() const { return refreshed_bm(); }
 
 // --------------------------------------------------------------------------
 // Join process (§IV-A)
@@ -98,12 +105,13 @@ void Peer::start_join() {
   r.header = {spec_.user_id, session_id_.value(),  // lint:allow(value-escape)
               sys_.now().value()};                 // lint:allow(value-escape)
   r.activity = logging::Activity::kJoin;
-  r.address = spec_.address.to_string();
+  // Join-time activity report: once per session, off the per-tick path.
+  r.address = spec_.address.to_string();  // lint:allow(hot-path-string)
   sys_.report(logging::Report(r));
   sys_.request_bootstrap_list(id_);
 }
 
-void Peer::on_bootstrap_list(const std::vector<McacheEntry>& list) {
+void Peer::on_bootstrap_list(std::span<const McacheEntry> list) {
   if (!alive()) return;
   for (const auto& e : list) {
     if (e.id != id_) mcache_.upsert(e, sys_.rng());
@@ -117,12 +125,19 @@ void Peer::try_establish_partnerships(std::size_t want) {
   if (want == 0) return;
   // Candidates must be reachable: the address in the mCache entry reveals
   // plain-NAT peers, so no attempt is wasted on them (they can only ever
-  // partner with us by initiating themselves).
-  auto candidates =
-      mcache_.sample(want, sys_.rng(), [this](const McacheEntry& cand) {
+  // partner with us by initiating themselves).  Sampled into the System's
+  // shared scratch: attempt_partnership only queues a delayed event, so the
+  // buffer is never used re-entrantly.
+  std::vector<McacheEntry>& candidates = sys_.candidate_scratch();
+  candidates.clear();
+  mcache_.sample_into(
+      want, sys_.rng(),
+      [this](const McacheEntry& cand) {
         return !cand.reachable || cand.id == id_ ||
                find_partner(cand.id) != nullptr || !sys_.is_live(cand.id);
-      });
+      },
+      sys_.mcache_scratch(),
+      [&candidates](const McacheEntry& e) { candidates.push_back(e); });
   for (const auto& cand : candidates) {
     pending_attempts_.push_back(sys_.now());
     ++stats_.partnership_attempts;
@@ -155,7 +170,7 @@ void Peer::on_partnership_established(net::NodeId pid, bool incoming) {
       sys_.rng());
   // Give the new partner our buffer map right away so it can select
   // parents without waiting for the next periodic exchange.
-  sys_.push_bm(id_, pid, current_bm());
+  sys_.push_bm(id_, pid, refreshed_bm());
 }
 
 void Peer::on_partnership_rejected(net::NodeId pid) {
@@ -206,7 +221,7 @@ void Peer::on_bm_received(net::NodeId from, const BufferMap& bm) {
   }
 }
 
-void Peer::on_gossip(const std::vector<McacheEntry>& entries) {
+void Peer::on_gossip(std::span<const McacheEntry> entries) {
   if (!alive()) return;
   for (const auto& e : entries) {
     if (e.id != id_) mcache_.upsert(e, sys_.rng());
@@ -297,10 +312,7 @@ net::NodeId Peer::select_parent(SubstreamId j, net::NodeId exclude) const {
   const BlockCount ts = p.ts_block_count();
   const BlockCount tp = p.tp_block_count();
 
-  SeqNum own_max = kNoSeq;
-  for (SubstreamId i : substreams(p.substream_count)) {
-    own_max = std::max(own_max, sync_.head(i));
-  }
+  const SeqNum own_max = refreshed_bm().max_latest();
   SeqNum partner_max = kNoSeq;
   for (const auto& ps : partners_) {
     if (ps.bm_time) partner_max = std::max(partner_max, ps.bm.max_latest());
@@ -385,50 +397,54 @@ void Peer::run_adaptation(Tick now, bool cooldown_exempt) {
   const BlockCount ts = p.ts_block_count();
   const BlockCount tp = p.tp_block_count();
 
-  SeqNum own_max = kNoSeq;
-  for (SubstreamId i : substreams(p.substream_count)) {
-    own_max = std::max(own_max, sync_.head(i));
-  }
+  const BufferMap& own = refreshed_bm();
+  const SeqNum own_max = own.max_latest();
   SeqNum partner_max = kNoSeq;
   for (const auto& ps : partners_) {
     if (ps.bm_time) partner_max = std::max(partner_max, ps.bm.max_latest());
   }
 
-  bool gated_work = false;
-  std::vector<SubstreamId> to_fix;
+  // Batched scan over contiguous state, producing bit-words instead of a
+  // per-call vector.  Inequality (1) is stated two ways in the paper: the
+  // prose bounds the spread between any two sub-streams *within* the node
+  // by T_s (one word op over the packed lanes, below), while the printed
+  // formula bounds the deviation between the node's and the *parent's*
+  // latest blocks (per-lane, in the loop).  Both signal insufficient
+  // parent upload — the first catches one lagging sub-stream, the second
+  // catches uniform starvation behind an overloaded parent — so either
+  // triggers.
+  const std::uint32_t spread_mask =
+      p.adaptation_ineq1 ? own.lag_mask(own_max, ts) : 0u;
+  std::uint32_t orphaned = 0;  // lanes with no live partner parent
+  std::uint32_t violated = 0;  // lanes tripping Ineq. (1) or (2)
   for (SubstreamId j : substreams(p.substream_count)) {
+    const std::uint32_t bit = 1u << j.index();
     const net::NodeId parent = parents_[j.index()];
-    if (parent == net::kInvalidNode || !sys_.is_live(parent) ||
-        find_partner(parent) == nullptr) {
-      to_fix.push_back(j);  // orphaned sub-stream: exempt from cool-down
+    const PartnerState* ps =
+        parent == net::kInvalidNode ? nullptr : find_partner(parent);
+    if (ps == nullptr || !sys_.is_live(parent)) {
+      orphaned |= bit;  // orphaned sub-stream: exempt from cool-down
       continue;
     }
-    const PartnerState* ps = find_partner(parent);
-    // Inequality (1).  The paper states it two ways: the prose bounds the
-    // spread between any two sub-streams *within* the node by T_s, while
-    // the printed formula bounds the deviation between the node's and the
-    // *parent's* latest blocks.  Both signal insufficient parent upload —
-    // the first catches one lagging sub-stream, the second catches uniform
-    // starvation (all sub-streams equally behind an overloaded parent) —
-    // so we trigger on either.
-    const bool ineq1_spread =
-        p.adaptation_ineq1 && own_max - sync_.head(j) >= ts;
-    const bool ineq1_parent_lag = p.adaptation_ineq1 && ps->bm_time &&
-                                  ps->bm.latest(j) - sync_.head(j) >= ts;
-    // Inequality (2): the parent must not lag the best partner by T_p or
-    // more (a better source is known).
-    const bool ineq2_violated = p.adaptation_ineq2 && ps->bm_time &&
-                                partner_max - ps->bm.latest(j) >= tp;
-    if (ineq1_spread || ineq1_parent_lag || ineq2_violated) {
-      if (cooldown_exempt ||
-          now - last_adaptation_ >= Duration(p.ta_seconds)) {
-        to_fix.push_back(j);
-        gated_work = true;
-      }
+    bool trip = (spread_mask & bit) != 0;
+    if (ps->bm_time) {
+      const SeqNum latest = ps->bm.latest(j);
+      trip = trip || (p.adaptation_ineq1 && latest - own.latest(j) >= ts);
+      // Inequality (2): the parent must not lag the best partner by T_p
+      // or more (a better source is known).
+      trip = trip || (p.adaptation_ineq2 && partner_max - latest >= tp);
     }
+    if (trip) violated |= bit;
   }
-  if (to_fix.empty()) return;
-  for (SubstreamId j : to_fix) reselect(j);
+
+  const bool gated_work =
+      violated != 0 &&
+      (cooldown_exempt || now - last_adaptation_ >= Duration(p.ta_seconds));
+  const std::uint32_t to_fix = orphaned | (gated_work ? violated : 0u);
+  if (to_fix == 0) return;
+  for (SubstreamId j : substreams(p.substream_count)) {
+    if ((to_fix >> j.index()) & 1u) reselect(j);
+  }
   if (gated_work) {
     last_adaptation_ = now;
     ++stats_.adaptations;
@@ -483,7 +499,10 @@ void Peer::on_tick(Tick now) {
     server_feed(now);
     if (now >= next_bm_push_) {
       enforce_partner_silence(now);
-      for (const auto& ps : partners_) sys_.push_bm(id_, ps.id, current_bm());
+      // Hoisted: one cached map for the whole broadcast, not one rebuild
+      // per partner (push_bm is synchronous; receivers copy it).
+      const BufferMap& bm = refreshed_bm();
+      for (const auto& ps : partners_) sys_.push_bm(id_, ps.id, bm);
       next_bm_push_ = now + Duration(p.bm_exchange_period);
     }
     return;
@@ -491,7 +510,7 @@ void Peer::on_tick(Tick now) {
 
   if (now >= next_bm_push_) {
     enforce_partner_silence(now);
-    BufferMap base = current_bm();
+    const BufferMap& base = refreshed_bm();
     for (const auto& ps : partners_) {
       BufferMap bm = base;
       for (SubstreamId j : substreams(p.substream_count)) {
@@ -530,10 +549,7 @@ void Peer::on_tick(Tick now) {
     auto target = static_cast<std::size_t>(p.initial_partner_target);
     bool lagging = false;
     if (start_decided_) {
-      SeqNum own_max = kNoSeq;
-      for (SubstreamId j : substreams(p.substream_count)) {
-        own_max = std::max(own_max, sync_.head(j));
-      }
+      const SeqNum own_max = refreshed_bm().max_latest();
       SeqNum partner_max = kNoSeq;
       for (const auto& ps : partners_) {
         if (ps.bm_time) {
@@ -606,12 +622,14 @@ void Peer::do_gossip() {
   if (partners_.empty()) return;
   const auto pick = sys_.rng().below(partners_.size());
   const net::NodeId target = partners_[pick].id;
-  auto entries = mcache_.sample(3, sys_.rng(), [target](net::NodeId cand) {
-    return cand == target;
-  });
-  entries.push_back(McacheEntry{id_, joined_at_, sys_.now(),
-                                net::accepts_inbound(spec_.type)});
-  sys_.send_gossip(id_, target, std::move(entries));
+  auto batch = sys_.message_arena().make();
+  mcache_.sample_into(
+      3, sys_.rng(), [target](net::NodeId cand) { return cand == target; },
+      sys_.mcache_scratch(),
+      [&batch](const McacheEntry& e) { batch.push_back(e); });
+  batch.push_back(McacheEntry{id_, joined_at_, sys_.now(),
+                              net::accepts_inbound(spec_.type)});
+  sys_.send_gossip(id_, target, std::move(batch));
 }
 
 void Peer::check_media_ready(Tick now) {

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/buffer_map.h"
@@ -114,7 +115,7 @@ class Peer {
   /// Begins the join process: requests the boot-strap list.
   void start_join();
   /// Boot-strap response: seeds the mCache and attempts partnerships.
-  void on_bootstrap_list(const std::vector<McacheEntry>& list);
+  void on_bootstrap_list(std::span<const McacheEntry> list);
   /// A partnership with `peer` is now up.
   void on_partnership_established(net::NodeId peer, bool incoming);
   /// An attempt we initiated failed (unreachable / partner limit).
@@ -124,7 +125,7 @@ class Peer {
   /// Buffer map received from a partner.
   void on_bm_received(net::NodeId from, const BufferMap& bm);
   /// Gossip payload: entries from a partner's mCache.
-  void on_gossip(const std::vector<McacheEntry>& entries);
+  void on_gossip(std::span<const McacheEntry> entries);
   /// Child subscribes to / unsubscribes from sub-stream `j` (parent side).
   void on_subscribe(net::NodeId child, SubstreamId j);
   void on_unsubscribe(net::NodeId child, SubstreamId j);
@@ -185,6 +186,7 @@ class Peer {
   const Mcache& mcache() const noexcept { return mcache_; }
   /// Current buffer map (the first K components; subscription bits are
   /// per-partner and filled in when pushing to a specific partner).
+  /// Copies the cached map; hot paths use refreshed_bm() internally.
   BufferMap current_bm() const;
   /// Global sequence the player starts at; set at start-subscription.
   GlobalSeq play_start_seq() const noexcept { return play_start_seq_; }
@@ -194,6 +196,11 @@ class Peer {
 
  private:
   friend struct InvariantTestAccess;  // seeded-corruption hooks (tests only)
+
+  /// The node's current buffer map (subscription bits zero), rebuilt from
+  /// the sync-buffer heads only when SyncBuffer::version() moved — the
+  /// dirty-bit cache behind current_bm() and the per-partner BM broadcast.
+  const BufferMap& refreshed_bm() const;
 
   // --- join / subscription logic ---
   void try_establish_partnerships(std::size_t want);
@@ -283,6 +290,11 @@ class Peer {
 
   bool had_incoming_ = false;
   bool had_outgoing_ = false;
+
+  /// Cached current buffer map + the SyncBuffer version it was built from
+  /// (~0: never built).  See refreshed_bm().
+  mutable BufferMap bm_cache_;
+  mutable std::uint64_t bm_cache_version_ = ~std::uint64_t{0};
 
   PeerStats stats_;
 };

@@ -28,6 +28,7 @@ bool SyncBuffer::insert(SubstreamId i, SeqNum seq) {
     if (!ahead.insert(seq).second) return false;  // duplicate ahead block
   }
   ++received_;
+  ++version_;
   recompute_combined();
   return true;
 }
@@ -41,6 +42,7 @@ void SyncBuffer::start_at(SubstreamId i, SeqNum seq) {
   assert(i.index() < heads_.size());
   SeqNum& head = heads_[i.index()];
   head = std::max(head, seq - BlockCount(1));
+  ++version_;
   // Drop queued blocks now below the head.
   auto& ahead = ahead_[i.index()];
   ahead.erase(ahead.begin(), ahead.lower_bound(head + BlockCount(1)));

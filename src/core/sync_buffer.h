@@ -65,6 +65,12 @@ class SyncBuffer {
   /// Total blocks accepted by insert().
   std::uint64_t blocks_received() const noexcept { return received_; }
 
+  /// Monotonic mutation counter: bumps whenever the heads can have moved
+  /// (accepted insert or start_at).  A cached BufferMap built from these
+  /// heads is valid exactly while the version is unchanged — the dirty
+  /// bit for Peer's current-BM cache.
+  std::uint64_t version() const noexcept { return version_; }
+
  private:
   friend struct InvariantTestAccess;  // seeded-corruption hooks (tests only)
 
@@ -75,6 +81,7 @@ class SyncBuffer {
   std::vector<std::set<SeqNum>> ahead_;
   GlobalSeq combined_ = kNoSeq;
   std::uint64_t received_ = 0;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace coolstream::core

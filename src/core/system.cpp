@@ -25,7 +25,13 @@ System::System(sim::Simulation& simulation, Params params,
       config_(config),
       log_(log_server),
       latency_model_(simulation.rng().next_u64(), config.latency),
-      transport_(simulation, latency_model_) {
+      transport_(simulation, latency_model_),
+      // Largest control-plane batch: a boot-strap list response (gossip
+      // pushes carry at most 3 sampled entries + self).
+      mcache_arena_(std::max<std::size_t>(
+          4, params.bootstrap_list_size > 0
+                 ? static_cast<std::size_t>(params.bootstrap_list_size)
+                 : 0)) {
   params_.validate();
 }
 
@@ -178,17 +184,17 @@ void System::request_bootstrap_list(net::NodeId requester) {
                     (void)rtt;
                     Peer* p = peer(requester);
                     if (p == nullptr || !p->alive()) return;
-                    const auto ids = bootstrap_.random_list(
+                    bootstrap_.random_list_into(
                         static_cast<std::size_t>(params_.bootstrap_list_size),
-                        requester, sim_.rng());
-                    std::vector<McacheEntry> entries;
-                    entries.reserve(ids.size());
-                    for (net::NodeId id : ids) {
-                      entries.push_back(McacheEntry{
+                        requester, sim_.rng(), bootstrap_idx_scratch_,
+                        bootstrap_ids_scratch_);
+                    auto batch = mcache_arena_.make();
+                    for (net::NodeId id : bootstrap_ids_scratch_) {
+                      batch.push_back(McacheEntry{
                           id, bootstrap_.joined_at(id), now(),
                           is_reachable(id)});
                     }
-                    p->on_bootstrap_list(entries);
+                    p->on_bootstrap_list(batch.items());
                   });
 }
 
@@ -253,11 +259,14 @@ void System::unsubscribe(net::NodeId child, net::NodeId parent,
 }
 
 void System::send_gossip(net::NodeId from, net::NodeId to,
-                         std::vector<McacheEntry> entries) {
+                         MessageArena<McacheEntry>::Batch batch) {
+  // The lease rides inside the delivery callback: a dropped message
+  // releases it on callback destruction, a duplicated one copies it
+  // (refcount bump, no heap).
   transport_.send(from, to, net::MessageKind::kGossip,
-                  [this, to, entries = std::move(entries)] {
+                  [this, to, batch = std::move(batch)] {
                     if (Peer* p = peer(to); p != nullptr && p->alive()) {
-                      p->on_gossip(entries);
+                      p->on_gossip(batch.items());
                     }
                   });
 }

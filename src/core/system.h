@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/arena.h"
 #include "core/bootstrap.h"
 #include "core/mcache.h"
 #include "core/params.h"
@@ -159,9 +160,19 @@ class System {
   /// Sub-stream subscription management (child -> parent).
   void subscribe(net::NodeId child, net::NodeId parent, SubstreamId j);
   void unsubscribe(net::NodeId child, net::NodeId parent, SubstreamId j);
-  /// Gossip push of membership entries.
+  /// Gossip push of membership entries (an arena batch lease; the chunk
+  /// recycles when every queued delivery has run or been dropped).
   void send_gossip(net::NodeId from, net::NodeId to,
-                   std::vector<McacheEntry> entries);
+                   MessageArena<McacheEntry>::Batch batch);
+  /// The control-plane message arena (gossip + boot-strap batches).
+  MessageArena<McacheEntry>& message_arena() noexcept { return mcache_arena_; }
+  /// Shared sampling scratch for Mcache::sample_into (no re-entrant use:
+  /// protocol callbacks never nest a second sample inside one).
+  Mcache::SampleScratch& mcache_scratch() noexcept { return mcache_scratch_; }
+  /// Shared candidate buffer for Peer::try_establish_partnerships.
+  std::vector<McacheEntry>& candidate_scratch() noexcept {
+    return candidate_scratch_;
+  }
   /// Drops the partnership between two nodes (both sides notified).
   void break_partnership(net::NodeId a, net::NodeId b);
   /// Files a report with the log server (no-op when none attached).
@@ -208,6 +219,14 @@ class System {
 
   // scratch buffers reused by flow_transfer to avoid per-tick allocation
   std::vector<units::BlockRate> demand_scratch_;
+
+  // zero-alloc control plane: arena chunks and sampling scratch reused
+  // across gossip sends, boot-strap responses and partner refills
+  MessageArena<McacheEntry> mcache_arena_;
+  Mcache::SampleScratch mcache_scratch_;
+  std::vector<McacheEntry> candidate_scratch_;
+  std::vector<std::size_t> bootstrap_idx_scratch_;
+  std::vector<net::NodeId> bootstrap_ids_scratch_;
 };
 
 }  // namespace coolstream::core

@@ -166,23 +166,29 @@ std::size_t Rng::weighted(std::span<const double> weights) noexcept {
 }
 
 std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  std::vector<std::size_t> chosen;
+  sample_indices_into(n, k, chosen);
+  return chosen;
+}
+
+void Rng::sample_indices_into(std::size_t n, std::size_t k,
+                              std::vector<std::size_t>& out) {
   assert(k <= n);
   // Floyd's algorithm produces k distinct values; shuffle for random order.
-  std::vector<std::size_t> chosen;
-  chosen.reserve(k);
+  out.clear();
+  out.reserve(k);
   for (std::size_t j = n - k; j < n; ++j) {
     const auto t = static_cast<std::size_t>(below(j + 1));
     bool seen = false;
-    for (std::size_t c : chosen) {
+    for (std::size_t c : out) {
       if (c == t) {
         seen = true;
         break;
       }
     }
-    chosen.push_back(seen ? j : t);
+    out.push_back(seen ? j : t);
   }
-  shuffle(chosen);
-  return chosen;
+  shuffle(out);
 }
 
 Rng Rng::fork() noexcept {

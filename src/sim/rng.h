@@ -98,6 +98,11 @@ class Rng {
   /// order.  O(k) expected time via Floyd's algorithm.
   std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
 
+  /// sample_indices into a caller-owned buffer (cleared first): identical
+  /// draw sequence, no allocation once the buffer's capacity is warm.
+  void sample_indices_into(std::size_t n, std::size_t k,
+                           std::vector<std::size_t>& out);
+
   /// Derives an independent child generator.  Each call yields a distinct
   /// stream; the parent state advances.
   Rng fork() noexcept;

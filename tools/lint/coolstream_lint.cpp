@@ -94,6 +94,7 @@ enum class Rule {
   kDoubleSecondsParam,
   kIncludeLayering,
   kOdrHeaderDef,
+  kHotPathString,
 };
 
 struct RuleInfo {
@@ -137,6 +138,10 @@ constexpr RuleInfo kRules[] = {
     {Rule::kOdrHeaderDef, "odr-header-def",
      "non-inline function definition at namespace scope in a header; mark "
      "it inline/constexpr or move it to a .cpp"},
+    {Rule::kHotPathString, "hot-path-string",
+     "string formatting / encode() call in a protocol hot-path file; the "
+     "control plane uses packed buffer maps and arena batches — mark "
+     "debug/cold-path sites with lint:allow(hot-path-string)"},
 };
 
 const RuleInfo* find_rule(const std::string& id) {
@@ -366,6 +371,7 @@ struct FileContext {
   bool value_scope = false;   // value-escape applies (protocol + baseline)
   bool raw_int_scope = false;   // raw-protocol-int applies
   bool seconds_scope = false;   // double-seconds-param applies
+  bool hot_path = false;        // hot-path-string applies (per-tick files)
   std::string module;  // layering module ("" = unconstrained, e.g. bench/)
 };
 
@@ -451,6 +457,14 @@ const std::regex& deleted_fn_re() {
   return re;
 }
 
+const std::regex& replacement_alloc_re() {
+  // Global replacement allocators (counting benches/tests) and the <new>
+  // header are infrastructure, not naked allocation.
+  static const std::regex re(
+      R"((\boperator\s+new\b)|(\boperator\s+delete\b)|(#\s*include\s*<new>))");
+  return re;
+}
+
 const std::regex& value_escape_re() {
   static const std::regex re(R"(\.\s*value\s*\(\s*\))");
   return re;
@@ -492,6 +506,15 @@ bool is_seconds_name(std::string name) {
          name.find("delay") != std::string::npos ||
          name.find("timeout") != std::string::npos ||
          name.find("interval") != std::string::npos;
+}
+
+const std::regex& hot_path_string_re() {
+  // Formatting *call sites* only: member/std-qualified spellings, so a
+  // declaration like `std::string_view to_string(MessageKind)` in the same
+  // file does not match.
+  static const std::regex re(
+      R"((\.\s*encode\s*\()|(\bstd\s*::\s*to_string\s*\()|(\.\s*to_string\s*\()|(\bstringstream\b)|(\bsn?printf\s*\()|(\bstd\s*::\s*format\s*\())");
+  return re;
 }
 
 const std::regex& include_detect_re() {
@@ -647,11 +670,15 @@ void scan_file(const FileContext& ctx, const std::vector<std::string>& lines,
       findings->push_back({ctx.display_path, lineno, Rule::kNoFloat});
     }
     if (!ctx.is_slab && std::regex_search(l, new_delete_re()) &&
-        !std::regex_search(l, deleted_fn_re())) {
+        !std::regex_search(l, deleted_fn_re()) &&
+        !std::regex_search(l, replacement_alloc_re())) {
       findings->push_back({ctx.display_path, lineno, Rule::kRawNewDelete});
     }
     if (ctx.value_scope && std::regex_search(l, value_escape_re())) {
       findings->push_back({ctx.display_path, lineno, Rule::kValueEscape});
+    }
+    if (ctx.hot_path && std::regex_search(l, hot_path_string_re())) {
+      findings->push_back({ctx.display_path, lineno, Rule::kHotPathString});
     }
     if (ctx.raw_int_scope) {
       std::smatch m;
@@ -744,6 +771,15 @@ FileContext make_context(const fs::path& path) {
   ctx.raw_int_scope =
       (in_core || in_net || in_model || in_workload) && !unit_layer && !config;
   ctx.seconds_scope = (in_core || in_net || in_model) && !unit_layer && !config;
+  // The per-tick control-plane files: one BM copy/scan per partner per
+  // period.  String formatting here is either a perf bug or debug-only.
+  for (const char* hot : {"/core/peer.", "/core/system.", "/core/buffer_map.",
+                          "/core/sync_buffer.", "/net/transport."}) {
+    if (p.find(hot) != std::string::npos) {
+      ctx.hot_path = true;
+      break;
+    }
+  }
   ctx.module = file_module(ctx.display_path);
   return ctx;
 }
