@@ -26,7 +26,8 @@ struct Point {
 
 Point run_policy(core::AllocationPolicy policy, std::size_t users,
                  double capacity_scale, std::uint64_t seed) {
-  workload::Scenario s = workload::Scenario::steady(users, 1800.0);
+  workload::Scenario s =
+      workload::Scenario::steady(users, units::Duration(1800.0));
   bench::peer_driven_servers(s, users);
   s.system.allocation = policy;
   // Shrink everyone's uplink to stress the allocation policy.

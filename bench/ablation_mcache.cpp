@@ -25,7 +25,7 @@ struct PolicyResult {
 PolicyResult run_policy(core::McachePolicy policy, std::size_t base,
                         std::uint64_t seed) {
   workload::Scenario s = workload::Scenario::flash_crowd(
-      base, base * 4, 900.0, 2100.0);
+      base, base * 4, units::Duration(900.0), units::Duration(2100.0));
   bench::peer_driven_servers(s, base * 3, 4);
   s.system.mcache_policy = policy;
   s.sessions.patience_min = 10.0;

@@ -28,7 +28,8 @@ struct KPoint {
 };
 
 KPoint run_k(int k, std::size_t users, std::uint64_t seed) {
-  workload::Scenario s = workload::Scenario::steady(users, 1800.0);
+  workload::Scenario s =
+      workload::Scenario::steady(users, units::Duration(1800.0));
   bench::peer_driven_servers(s, users);
   s.params.substream_count = k;
   // Keep the block clock comparable: 2 blocks/s per sub-stream.
@@ -63,7 +64,7 @@ KPoint run_k(int k, std::size_t users, std::uint64_t seed) {
     if (p2 == nullptr) break;
     if (p2->kind() != core::PeerKind::kViewer) continue;
     ++viewers;
-    stall_seconds +=  // lint:allow(value-escape)
+    stall_seconds +=
         p2->stats().stall_seconds.value();
     play_seconds += static_cast<double>(p2->stats().blocks_due) /
                     s.params.block_rate;

@@ -27,7 +27,8 @@ struct Point {
 
 Point run_point(double ts_seconds, double ta_seconds, std::size_t users,
                 std::uint64_t seed) {
-  workload::Scenario s = workload::Scenario::steady(users, 1500.0);
+  workload::Scenario s =
+      workload::Scenario::steady(users, units::Duration(1500.0));
   bench::peer_driven_servers(s, users);
   s.params.ts_seconds = ts_seconds;
   s.params.tp_seconds = std::max(s.params.tp_seconds, ts_seconds);
@@ -52,7 +53,7 @@ Point run_point(double ts_seconds, double ta_seconds, std::size_t users,
     const core::Peer* peer = sys.peer(id);
     if (peer == nullptr) break;
     if (peer->kind() != core::PeerKind::kViewer) continue;
-    stall_seconds +=  // lint:allow(value-escape)
+    stall_seconds +=
         peer->stats().stall_seconds.value();
     play_seconds += static_cast<double>(peer->stats().blocks_due) /
                     s.params.block_rate;

@@ -109,7 +109,7 @@ inline LagStats measure_playback_lag(core::System& system) {
     // Lag census reports raw seconds behind the broadcast clock.
     lags.push_back(
         static_cast<double>(
-            (live - p->playhead()).value()) /  // lint:allow(value-escape)
+            (live - p->playhead()).value()) /
         system.params().block_rate);
   }
   LagStats out;

@@ -54,7 +54,8 @@ int main(int argc, char** argv) {
   analysis::Table t({"capable share", "resource index rho", "fluid bound",
                      "measured continuity", "stall time share", "lag p50 (s)"});
   for (double capable : {0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.50}) {
-    workload::Scenario s = workload::Scenario::steady(users, 1800.0);
+    workload::Scenario s =
+        workload::Scenario::steady(users, units::Duration(1800.0));
     bench::peer_driven_servers(s, users, 4);
     s.users = with_capable_share(capable);
 
@@ -91,7 +92,7 @@ int main(int argc, char** argv) {
       const core::Peer* p = sys.peer(id);
       if (p == nullptr) break;
       if (p->kind() != core::PeerKind::kViewer) continue;
-      stall_seconds +=  // lint:allow(value-escape)
+      stall_seconds +=
         p->stats().stall_seconds.value();
       play_seconds += static_cast<double>(p->stats().blocks_due) /
                       s.params.block_rate;

@@ -21,7 +21,8 @@ int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
 
   workload::Scenario scenario =
-      workload::Scenario::steady(bench::scaled(500, args), 2700.0);
+      workload::Scenario::steady(bench::scaled(500, args),
+                                 units::Duration(2700.0));
   bench::peer_driven_servers(scenario, bench::scaled(500, args), 4);
   bench::print_header(
       "Topology convergence: capable parents vs peer age", args,
@@ -45,7 +46,7 @@ int main(int argc, char** argv) {
       const core::Peer* p = sys.peer(node.id);
       if (p == nullptr || !p->alive()) continue;
       const double age =
-          at - p->joined_at().value();  // lint:allow(value-escape)
+          at - p->joined_at().value();
       const auto bucket = static_cast<std::size_t>(age / kAgeBucket);
       if (bucket >= kBuckets) continue;
       for (net::NodeId parent_id : node.parents) {
@@ -100,10 +101,10 @@ int main(int argc, char** argv) {
       const core::Peer* p = sys.peer(id);
       if (p == nullptr) break;
       if (p->kind() != core::PeerKind::kViewer) continue;
-      capable_time +=  // lint:allow(value-escape)
+      capable_time +=
           p->stats().capable_subscription_time.value();
       capable_n += p->stats().capable_subscriptions_ended;
-      weak_time +=  // lint:allow(value-escape)
+      weak_time +=
           p->stats().weak_subscription_time.value();
       weak_n += p->stats().weak_subscriptions_ended;
     }

@@ -12,7 +12,8 @@ int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
 
   workload::Scenario scenario =
-      workload::Scenario::evening(bench::scaled(700, args), 2.5);
+      workload::Scenario::evening(bench::scaled(700, args),
+                                  units::Duration::hours(2.5));
   bench::peer_driven_servers(scenario, bench::scaled(700, args));
   bench::print_header("Fig. 3: user types and upload contribution", args,
                       scenario.params);

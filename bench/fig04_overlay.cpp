@@ -12,7 +12,8 @@ int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
 
   workload::Scenario scenario =
-      workload::Scenario::steady(bench::scaled(600, args), 2400.0);
+      workload::Scenario::steady(bench::scaled(600, args),
+                                 units::Duration(2400.0));
   bench::peer_driven_servers(scenario, bench::scaled(600, args));
   bench::print_header("Fig. 4: overlay structure census", args,
                       scenario.params);

@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
     for (const auto& s : users.sample_grid(sim::Time(t0), sim::Time(t1),
                                            units::Duration(dt))) {
       // Human-readable hours at the report boundary.
-      table.row({analysis::fmt(s.time.value() / kHour,  // lint:allow(value-escape)
+      table.row({analysis::fmt(s.time.value() / kHour,
                                2),
                  analysis::fmt(s.value, 0)});
     }

@@ -16,7 +16,8 @@ int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
 
   workload::Scenario scenario =
-      workload::Scenario::evening(bench::scaled(700, args), 3.0);
+      workload::Scenario::evening(bench::scaled(700, args),
+                                  units::Duration::hours(3.0));
   bench::peer_driven_servers(scenario, bench::scaled(700, args));
   scenario.sessions.crash_fraction = 0.15;  // churn loses last reports
   bench::print_header("Fig. 8: continuity index by user type over time",

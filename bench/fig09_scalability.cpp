@@ -57,7 +57,8 @@ int main(int argc, char** argv) {
                       "median ready (s)", "lag p50 (s)", "lag p90 (s)"});
   for (std::size_t n : {100u, 200u, 400u, 800u}) {
     const auto target = bench::scaled(n, args);
-    workload::Scenario s = workload::Scenario::steady(target, 1800.0);
+    workload::Scenario s =
+        workload::Scenario::steady(target, units::Duration(1800.0));
     bench::peer_driven_servers(s, target);
     const auto p = run_point(s, args.seed + n, static_cast<double>(target));
     ta.row({std::to_string(target), std::to_string(p.sessions),
@@ -72,7 +73,8 @@ int main(int argc, char** argv) {
                       "median ready (s)", "lag p50 (s)", "lag p90 (s)"});
   const auto base_users = bench::scaled(300, args);
   for (double mult : {1.0, 2.0, 4.0, 8.0}) {
-    workload::Scenario s = workload::Scenario::steady(base_users, 1800.0);
+    workload::Scenario s =
+        workload::Scenario::steady(base_users, units::Duration(1800.0));
     bench::peer_driven_servers(s, base_users);
     // Scale the arrival rate up while shortening sessions so the
     // population target stays comparable: pure join-rate stress.

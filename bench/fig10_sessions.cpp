@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
   // Evening broadcast with a flash crowd at the program start: the crowd
   // generates the abortive joins and retries of Fig. 10.
   workload::Scenario scenario =
-      workload::Scenario::evening(bench::scaled(700, args), 2.5);
+      workload::Scenario::evening(bench::scaled(700, args),
+                                  units::Duration::hours(2.5));
   bench::peer_driven_servers(scenario, bench::scaled(700, args));
   workload::FlashCrowd crowd;
   crowd.center = 0.5 * scenario.end_time;

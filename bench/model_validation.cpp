@@ -46,7 +46,7 @@ double measure_catch_up(double factor, std::uint64_t seed) {
   sys.observer = [&](net::NodeId, core::SessionEvent e) {
     if (e == core::SessionEvent::kStartSubscription && start_sub < 0.0) {
       // Bench measurements are reported in raw seconds.
-      start_sub = simulation.now().value();  // lint:allow(value-escape)
+      start_sub = simulation.now().value();
     }
   };
   sys.start();
@@ -69,7 +69,7 @@ double measure_catch_up(double factor, std::uint64_t seed) {
       if (p->head(j) < server->head(j) - slack) caught_up = false;
     }
     if (caught_up) {
-      return simulation.now().value() -  // lint:allow(value-escape)
+      return simulation.now().value() -
              start_sub;
     }
   }
@@ -120,7 +120,7 @@ double measure_competition(std::uint64_t seed, int full_children) {
       const core::Peer* p = sys.peer(ids[k]);
       if (p != nullptr && p->stats().adaptations > baseline[k]) {
         return (simulation.now() - overload_at)
-            .value();  // lint:allow(value-escape)
+            .value();
       }
     }
   }
@@ -150,11 +150,11 @@ int main(int argc, char** argv) {
                              params.substream_count /
                              params.block_size_bits());
     const double predicted =
-        model::catch_up_time(l, r, rates).value();  // lint:allow(value-escape)
+        model::catch_up_time(l, r, rates).value();
     const double simulated = measure_catch_up(
         factor, args.seed + static_cast<std::uint64_t>(factor * 10));
     t3.row({analysis::fmt(factor, 1),
-            analysis::fmt(r.value(), 2),  // lint:allow(value-escape)
+            analysis::fmt(r.value(), 2),
             analysis::fmt(predicted, 1), analysis::fmt(simulated, 1)});
   }
   t3.print(std::cout);
@@ -177,11 +177,11 @@ int main(int argc, char** argv) {
         rates.substream_rate() * ((d + 0.5) / (d + 1.0));
     const double predicted =
         model::abandon_time(params.ts_blocks(), r_down, rates)
-            .value();  // lint:allow(value-escape)
+            .value();
     const double simulated =
         measure_competition(args.seed + static_cast<std::uint64_t>(d), d);
     t45.row({std::to_string(d),
-             analysis::fmt(r_down.value(), 2),  // lint:allow(value-escape)
+             analysis::fmt(r_down.value(), 2),
              analysis::fmt(predicted, 1), analysis::fmt(simulated, 1)});
   }
   t45.print(std::cout);

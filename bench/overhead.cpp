@@ -21,7 +21,8 @@ int main(int argc, char** argv) {
                      "overhead"});
   for (std::size_t n : {100u, 300u, 600u}) {
     const auto target = bench::scaled(n, args);
-    workload::Scenario s = workload::Scenario::steady(target, 1500.0);
+    workload::Scenario s =
+        workload::Scenario::steady(target, units::Duration(1500.0));
     bench::peer_driven_servers(s, target);
     sim::Simulation simulation(args.seed + n);
     logging::LogServer log;
@@ -35,7 +36,7 @@ int main(int argc, char** argv) {
       if (p == nullptr) break;
       if (p->kind() != core::PeerKind::kViewer) continue;
       data_bytes += static_cast<double>(
-          p->stats().bytes_down.value());  // lint:allow(value-escape)
+          p->stats().bytes_down.value());
     }
     const auto report =
         analysis::measure_overhead(sys.transport(), data_bytes);

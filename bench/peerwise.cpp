@@ -14,7 +14,8 @@ int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
 
   workload::Scenario scenario =
-      workload::Scenario::evening(bench::scaled(600, args), 2.5);
+      workload::Scenario::evening(bench::scaled(600, args),
+                                  units::Duration::hours(2.5));
   bench::peer_driven_servers(scenario, bench::scaled(600, args));
   bench::print_header("Peer-wise performance (§VI open issue 1)", args,
                       scenario.params);

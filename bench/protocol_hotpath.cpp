@@ -22,7 +22,7 @@
 // so allocations/peer-tick is measured, not estimated.
 #include <algorithm>
 #include <bit>
-#include <chrono>  // lint:allow(wall-clock) bench timing only
+#include <chrono>  // bench wall-time measurement only
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -109,7 +109,8 @@ MacroResult run_macro(std::uint64_t seed, std::size_t target_peers,
                       double warm_s, double end_s) {
   sim::Simulation simulation(seed);
   logging::LogServer log;
-  workload::Scenario scenario = workload::Scenario::steady(target_peers, end_s);
+  workload::Scenario scenario =
+      workload::Scenario::steady(target_peers, units::Duration(end_s));
   scenario.end_time = end_s;
   peer_driven_servers(scenario, target_peers);
   workload::ScenarioRunner runner(simulation, scenario, &log);
@@ -264,7 +265,7 @@ MicroResult micro_bm_broadcast(const MicroFixture& fx, std::uint64_t iters) {
             fx.parents[j] == fx.partner_ids[p];
       }
       sink += static_cast<std::uint64_t>(
-          bm.latest_[0].value());  // lint:allow(value-escape)
+          bm.latest_[0].value());
     }
   });
   r.ref_allocs_per_op = static_cast<double>(g_allocations - a0) /
@@ -283,7 +284,7 @@ MicroResult micro_bm_broadcast(const MicroFixture& fx, std::uint64_t iters) {
                           fx.parents[j] == fx.partner_ids[p]);
       }
       sink += static_cast<std::uint64_t>(
-          bm.latest(core::SubstreamId(0)).value());  // lint:allow(value-escape)
+          bm.latest(core::SubstreamId(0)).value());
     }
   });
   r.new_allocs_per_op = static_cast<double>(g_allocations - a0) /
@@ -415,7 +416,7 @@ MicroResult micro_wire_size(const MicroFixture& fx, std::uint64_t iters) {
 
   std::uint64_t a0 = g_allocations;
   r.ref_ns_per_op = time_loop(iters, [&] {
-    sink += fx.own.encode().size();  // lint:allow(hot-path-string)
+    sink += fx.own.encode().size();
   });
   r.ref_allocs_per_op = static_cast<double>(g_allocations - a0) /
                         static_cast<double>(iters);

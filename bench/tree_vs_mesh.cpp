@@ -25,7 +25,8 @@ struct ChurnLevel {
 
 double run_mesh(double mean_session_s, std::size_t users,
                 std::uint64_t seed) {
-  workload::Scenario s = workload::Scenario::steady(users, 1800.0);
+  workload::Scenario s =
+      workload::Scenario::steady(users, units::Duration(1800.0));
   s.system.server_count = 4;
   s.system.server_max_partners = 10;
   if (std::isfinite(mean_session_s)) {

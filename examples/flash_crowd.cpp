@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
 
   // 200 steady viewers; at t=900 s a crowd of ~800 more floods in.
   workload::Scenario scenario =
-      workload::Scenario::flash_crowd(200, 800, 900.0, 2100.0);
+      workload::Scenario::flash_crowd(200, 800, units::Duration(900.0),
+                                      units::Duration(2100.0));
   scenario.system.server_count = 4;
   scenario.system.server_max_partners = 12;
   scenario.sessions.patience_min = 10.0;

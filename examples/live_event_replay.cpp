@@ -28,7 +28,8 @@ int main(int argc, char** argv) {
 
   // ---- Phase 1: record ----------------------------------------------------
   {
-    workload::Scenario scenario = workload::Scenario::evening(400, 2.0);
+    workload::Scenario scenario =
+        workload::Scenario::evening(400, units::Duration::hours(2.0));
     scenario.system.server_count = 4;
     sim::Simulation simulation(seed);
     logging::LogServer log;

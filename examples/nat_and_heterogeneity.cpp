@@ -56,7 +56,8 @@ int main(int argc, char** argv) {
                      "ready p90 (s)", "capable upload share",
                      "weak-parent links", "starving"});
   for (double capable : {0.10, 0.20, 0.30, 0.50, 0.80}) {
-    workload::Scenario s = workload::Scenario::steady(300, 1800.0);
+    workload::Scenario s =
+        workload::Scenario::steady(300, units::Duration(1800.0));
     s.system.server_count = 3;
     s.system.server_max_partners = 8;
     s.users = with_capable_share(capable);

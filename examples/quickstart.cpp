@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
 
   // A 20-minute broadcast holding ~300 concurrent viewers, with the
   // paper's 2006 population mix and 4 dedicated servers.
-  workload::Scenario scenario = workload::Scenario::steady(300, 1200.0);
+  workload::Scenario scenario =
+      workload::Scenario::steady(300, units::Duration(1200.0));
   scenario.system.server_count = 4;
 
   std::cout << scenario.params.describe() << '\n';

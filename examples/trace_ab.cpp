@@ -56,7 +56,8 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 33;
 
-  workload::Scenario base = workload::Scenario::steady(250, 1500.0);
+  workload::Scenario base =
+      workload::Scenario::steady(250, units::Duration(1500.0));
   base.system.server_count = 4;
   base.sessions.duration_mu = std::log(240.0);  // churny: median 4 min
 

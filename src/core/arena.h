@@ -16,6 +16,12 @@
 //     The pool is therefore shared-ptr-owned; the last lease frees it.
 //   * Batch capacity is fixed at construction; push_back past capacity is
 //     a programming error (asserted), not a growth path.
+//   * The arena is shard-confined, NOT thread-safe (DESIGN.md §13): every
+//     lease lives and dies on the owning System's shard, so the refcount
+//     is a plain uint32 on purpose — no mutex, no atomic (the
+//     atomic-in-protocol lint rule and the shared-state census both pin
+//     this).  Cross-shard messaging copies payloads at the tick barrier
+//     instead of sharing leases.
 #pragma once
 
 #include <cassert>

@@ -111,7 +111,9 @@ class InvariantAuditor {
   void check_global(std::vector<InvariantViolation>* out,
                     std::size_t live_seen);
 
-  System& sys_;
+  // The auditor inspects exactly one System (its own shard); peers inside
+  // it are still addressed by node id when snapshots are compared.
+  System& sys_;  // lint:allow(cross-peer-ptr)
   sim::EventHandle handle_;
   std::uint64_t audits_ = 0;
   std::uint64_t violations_ = 0;

@@ -232,7 +232,9 @@ class Peer {
   /// notification never arrived).
   void enforce_partner_silence(Tick now);
 
-  System& sys_;
+  // Back-reference to the *owning* System only: a peer never outlives its
+  // shard, and partners are addressed by net::NodeId, never by pointer.
+  System& sys_;  // lint:allow(cross-peer-ptr)
   net::NodeId id_;
   PeerSpec spec_;
   units::SessionId session_id_;

@@ -18,7 +18,7 @@
 // and *no* cross-type comparison or implicit construction.  `value()` is
 // the single escape hatch; outside whitelisted boundary files (config
 // parsing, CSV/log emission, the slab event engine's bucket math) every
-// use needs a `// lint:allow(value-escape)` annotation — enforced by
+// use needs a value-escape lint:allow annotation — enforced by
 // tools/lint/coolstream_lint.cpp.
 //
 // Zero overhead: every type is a trivially copyable standard-layout wrapper
@@ -50,6 +50,12 @@ class Duration {
   Duration() = default;
   explicit constexpr Duration(double seconds) noexcept : v_(seconds) {}
   static constexpr Duration seconds(double s) noexcept { return Duration(s); }
+  static constexpr Duration minutes(double m) noexcept {
+    return Duration(m * 60.0);
+  }
+  static constexpr Duration hours(double h) noexcept {
+    return Duration(h * 3600.0);
+  }
   static constexpr Duration zero() noexcept { return Duration(0.0); }
   static constexpr Duration infinity() noexcept {
     return Duration(std::numeric_limits<double>::infinity());

@@ -9,12 +9,20 @@
 // downstream (session reconstruction, figures) works from the parsed log,
 // never from simulator ground truth.  Logs can be saved to / loaded from
 // disk so examples can replay a previously recorded broadcast.
+//
+// Concurrency (DESIGN.md §13): the log server is *simulation-global* — in a
+// sharded run every shard's peers report into the same instance, so the
+// store is mutex-guarded and annotated for Clang's thread-safety analysis.
+// Readers (lines(), parse_all(), save()) are the analysis phase and run
+// after the broadcast; the reference returned by lines() is stable only
+// while no concurrent submit is in flight.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "logging/reports.h"
 
 namespace coolstream::logging {
@@ -23,29 +31,38 @@ namespace coolstream::logging {
 class LogServer {
  public:
   /// Serializes and stores a typed report.
-  void submit(const Report& report);
+  void submit(const Report& report) EXCLUDES(mu_);
 
   /// Stores a raw log line (used when replaying a file).
-  void submit_raw(std::string line);
+  void submit_raw(std::string line) EXCLUDES(mu_);
 
-  /// All stored log lines in arrival order.
-  const std::vector<std::string>& lines() const noexcept { return lines_; }
+  /// All stored log lines in arrival order.  The reference is invalidated
+  /// by a concurrent submit; call only once writers are quiescent.
+  const std::vector<std::string>& lines() const noexcept EXCLUDES(mu_) {
+    sync::MutexLock lock(mu_);
+    return lines_;
+  }
 
-  std::size_t size() const noexcept { return lines_.size(); }
-  bool empty() const noexcept { return lines_.empty(); }
+  std::size_t size() const noexcept EXCLUDES(mu_) {
+    sync::MutexLock lock(mu_);
+    return lines_.size();
+  }
+  bool empty() const noexcept EXCLUDES(mu_) { return size() == 0; }
 
   /// Parses every stored line.  Malformed lines are skipped and counted in
   /// `malformed` (if non-null).
-  std::vector<Report> parse_all(std::size_t* malformed = nullptr) const;
+  std::vector<Report> parse_all(std::size_t* malformed = nullptr) const
+      EXCLUDES(mu_);
 
   /// Writes one log line per row to `path`.  Returns false on I/O error.
-  bool save(const std::string& path) const;
+  bool save(const std::string& path) const EXCLUDES(mu_);
 
   /// Appends the lines of the file at `path`.  Returns false on I/O error.
-  bool load(const std::string& path);
+  bool load(const std::string& path) EXCLUDES(mu_);
 
  private:
-  std::vector<std::string> lines_;
+  mutable sync::Mutex mu_;  // census: simulation-global report sink; serializes submits from (future) sharded peers
+  std::vector<std::string> lines_ GUARDED_BY(mu_);
 };
 
 }  // namespace coolstream::logging

@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mu_);
+    sync::MutexLock lock(mu_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -26,28 +26,28 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> job) {
   {
-    std::lock_guard lock(mu_);
+    sync::MutexLock lock(mu_);
     jobs_.push(std::move(job));
   }
   work_cv_.notify_one();
 }
 
 void ThreadPool::wait() {
-  std::unique_lock lock(mu_);
-  idle_cv_.wait(lock, [this] { return jobs_.empty() && in_flight_ == 0; });
-  if (first_error_) {
-    std::exception_ptr err = std::exchange(first_error_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(err);
+  std::exception_ptr err;
+  {
+    sync::MutexLock lock(mu_);
+    while (!jobs_.empty() || in_flight_ != 0) idle_cv_.wait(mu_);
+    err = std::exchange(first_error_, nullptr);
   }
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      sync::MutexLock lock(mu_);
+      while (!stopping_ && jobs_.empty()) work_cv_.wait(mu_);
       if (jobs_.empty()) return;  // stopping_ and drained
       job = std::move(jobs_.front());
       jobs_.pop();
@@ -62,7 +62,7 @@ void ThreadPool::worker_loop() {
       err = std::current_exception();
     }
     {
-      std::lock_guard lock(mu_);
+      sync::MutexLock lock(mu_);
       --in_flight_;
       if (err && !first_error_) first_error_ = err;
     }

@@ -5,16 +5,21 @@
 // identical whether the sweep runs serially or in parallel.  The pool is the
 // only place in the library that creates threads; simulations themselves are
 // single-threaded and share nothing.
+//
+// All cross-thread state is guarded by mu_ and annotated for Clang's
+// -Wthread-safety analysis (core/thread_annotations.h; enabled by the
+// COOLSTREAM_THREAD_SAFETY build option): an unlocked access to the queue,
+// the in-flight count or the captured exception no longer compiles.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "core/thread_annotations.h"
 
 namespace coolstream::sim {
 
@@ -30,27 +35,30 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a job.  Must not be called after wait() has returned and the
-  /// pool is being destroyed concurrently.
-  void submit(std::function<void()> job);
+  /// Enqueues a job.  Safe to call from any thread (churn drivers and
+  /// nested sweeps submit concurrently).  Must not be called after wait()
+  /// has returned and the pool is being destroyed concurrently.
+  void submit(std::function<void()> job) EXCLUDES(mu_);
 
   /// Blocks until every submitted job has finished.  If any job threw, the
   /// first exception (in completion order) is rethrown here; the remaining
   /// jobs still run to completion first.  Subsequent waits start clean.
-  void wait();
+  void wait() EXCLUDES(mu_);
 
   std::size_t thread_count() const noexcept { return workers_.size(); }
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::queue<std::function<void()>> jobs_;
-  std::exception_ptr first_error_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  /// Guards every member below it; workers_ is written only while
+  /// single-threaded (constructor spawn / destructor join).
+  sync::Mutex mu_;  // census: sweep-pool job queue; simulations stay single-threaded per shard
+  sync::CondVar work_cv_;
+  sync::CondVar idle_cv_;
+  std::queue<std::function<void()>> jobs_ GUARDED_BY(mu_);
+  std::exception_ptr first_error_ GUARDED_BY(mu_);
+  std::size_t in_flight_ GUARDED_BY(mu_) = 0;
+  bool stopping_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -19,9 +19,10 @@ double mean_duration(const SessionModel& m, double tail_duration) {
 
 }  // namespace
 
-Scenario Scenario::steady(std::size_t target_users, double duration_s) {
+Scenario Scenario::steady(std::size_t target_users, units::Duration duration) {
   Scenario s;
-  s.end_time = duration_s;
+  // Conversion boundary into the raw-seconds config fields.
+  s.end_time = duration.value();  // lint:allow(value-escape)
   // Fast-mixing lognormal sessions (median 5 min, mean ~10 min) so the
   // population reaches its Little's-law target well inside typical
   // horizons.  No stay-to-program-end tail: steady scenarios have no
@@ -36,7 +37,12 @@ Scenario Scenario::steady(std::size_t target_users, double duration_s) {
   return s;
 }
 
-Scenario Scenario::evening(std::size_t peak_users, double hours) {
+Scenario Scenario::evening(std::size_t peak_users, units::Duration span) {
+  // The ramp below is parameterized in hours; the division round-trips
+  // exactly for spans built via Duration::hours (x*3600/3600 == x for
+  // every finite double), so traces are bit-identical to the old raw-hours
+  // signature.
+  const double hours = span.value() / 3600.0;  // lint:allow(value-escape)
   assert(hours >= 2.0 && "evening preset needs at least 2 simulated hours");
   Scenario s;
   constexpr double h = 3600.0;
@@ -59,13 +65,14 @@ Scenario Scenario::evening(std::size_t peak_users, double hours) {
 }
 
 Scenario Scenario::flash_crowd(std::size_t base_users,
-                               std::size_t crowd_extra, double crowd_time,
-                               double duration_s) {
-  Scenario s = steady(base_users, duration_s);
+                               std::size_t crowd_extra,
+                               units::Duration crowd_at,
+                               units::Duration duration) {
+  Scenario s = steady(base_users, duration);
   // The crowd joins within ~3 sigma of the center; amplitude such that the
   // integral of the Gaussian equals crowd_extra arrivals.
   FlashCrowd c;
-  c.center = crowd_time;
+  c.center = crowd_at.value();  // lint:allow(value-escape)
   c.width = 60.0;
   c.amplitude =
       static_cast<double>(crowd_extra) / (c.width * std::sqrt(2.0 * 3.14159265358979));

@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "core/system.h"
+#include "core/units.h"
 #include "logging/log_server.h"
 #include "sim/simulation.h"
 #include "workload/arrivals.h"
@@ -44,20 +45,26 @@ struct Scenario {
   void validate() const;
 
   // ---- presets -----------------------------------------------------------
+  // The factories take units::Duration so a caller cannot transpose a span
+  // with a population count or pass hours where seconds are meant; the raw
+  // `double` config fields above stay raw by design (config boundary).
+
   /// A steady-state broadcast: constant arrivals tuned so the expected
   /// concurrent population is ~`target_users` (Little's law against the
   /// mean session duration).  Good for QoS and topology experiments.
-  static Scenario steady(std::size_t target_users, double duration_s);
+  static Scenario steady(std::size_t target_users, units::Duration duration);
 
   /// An evening broadcast: ramp + peak + program end, compressed into
-  /// `hours` (>= 2) of simulated time, peaking around `peak_users`
+  /// `span` (>= 2 hours) of simulated time, peaking around `peak_users`
   /// concurrent viewers.  This is the workload behind Figs. 6, 8 and 10.
-  static Scenario evening(std::size_t peak_users, double hours = 4.0);
+  static Scenario evening(std::size_t peak_users,
+                          units::Duration span = units::Duration::hours(4.0));
 
-  /// Steady background plus one large flash crowd at `crowd_time`.
-  static Scenario flash_crowd(std::size_t base_users,
-                              std::size_t crowd_extra, double crowd_time,
-                              double duration_s);
+  /// Steady background plus one large flash crowd centred `crowd_at`
+  /// after broadcast start.
+  static Scenario flash_crowd(std::size_t base_users, std::size_t crowd_extra,
+                              units::Duration crowd_at,
+                              units::Duration duration);
 };
 
 /// Executes a Scenario against a fresh System.

@@ -14,7 +14,8 @@ class FlowConservationTest : public ::testing::TestWithParam<std::uint64_t> {
 };
 
 TEST_P(FlowConservationTest, BytesBalance) {
-  workload::Scenario scenario = workload::Scenario::steady(120, 900.0);
+  workload::Scenario scenario =
+      workload::Scenario::steady(120, units::Duration(900.0));
   scenario.system.server_count = 3;
   sim::Simulation simulation(GetParam());
   logging::LogServer log;
@@ -54,7 +55,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FlowConservationTest,
                          ::testing::Values(101u, 202u, 303u));
 
 TEST(FlowConservationTest2, ServersOnlyUpload) {
-  workload::Scenario scenario = workload::Scenario::steady(60, 600.0);
+  workload::Scenario scenario =
+      workload::Scenario::steady(60, units::Duration(600.0));
   scenario.system.server_count = 2;
   sim::Simulation simulation(9);
   logging::LogServer log;

@@ -219,7 +219,8 @@ TEST_F(SeededCorruptionTest, ZombieBootstrapEntryDetected) {
 // ---------------------------------------------------------------------------
 
 TEST(InvariantAuditorTest, PeriodicAuditStaysCleanThroughChurn) {
-  workload::Scenario scenario = workload::Scenario::steady(80, 400.0);
+  workload::Scenario scenario =
+      workload::Scenario::steady(80, units::Duration(400.0));
   scenario.system.server_count = 2;
   scenario.sessions.crash_fraction = 0.2;
   sim::Simulation simulation(17);
@@ -262,7 +263,8 @@ TEST(InvariantAuditorTest, AuditingDoesNotPerturbTheRun) {
   };
 
   auto run = [](bool with_audit) {
-    workload::Scenario scenario = workload::Scenario::steady(60, 300.0);
+    workload::Scenario scenario =
+        workload::Scenario::steady(60, units::Duration(300.0));
     scenario.system.server_count = 2;
     scenario.sessions.crash_fraction = 0.15;
     sim::Simulation simulation(29);

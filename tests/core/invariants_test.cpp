@@ -13,7 +13,8 @@ namespace {
 class InvariantsTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(InvariantsTest, HoldAfterChurnyRun) {
-  workload::Scenario scenario = workload::Scenario::steady(150, 1200.0);
+  workload::Scenario scenario =
+      workload::Scenario::steady(150, units::Duration(1200.0));
   scenario.system.server_count = 3;
   scenario.sessions.crash_fraction = 0.2;  // plenty of abrupt departures
   sim::Simulation simulation(GetParam());
@@ -96,7 +97,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, InvariantsTest,
 TEST(GossipTest, MembershipKnowledgeSpreads) {
   // With a tiny boot-strap list, peers must still learn about more of the
   // overlay than the list gave them — via gossip and partnership updates.
-  workload::Scenario scenario = workload::Scenario::steady(80, 600.0);
+  workload::Scenario scenario =
+      workload::Scenario::steady(80, units::Duration(600.0));
   scenario.system.server_count = 2;
   scenario.params.bootstrap_list_size = 2;
   scenario.params.mcache_size = 32;

@@ -14,7 +14,7 @@ class SubstreamSweepTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(SubstreamSweepTest, SmallBroadcastStaysHealthy) {
   const int k = GetParam();
-  workload::Scenario s = workload::Scenario::steady(80, 900.0);
+  workload::Scenario s = workload::Scenario::steady(80, units::Duration(900.0));
   s.system.server_count = 2;
   s.params.substream_count = k;
   s.params.block_rate = 2.0 * k;  // keep 2 blocks/s per sub-stream

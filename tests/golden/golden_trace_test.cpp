@@ -96,7 +96,7 @@ std::string run_timeline(const GoldenScenario& g) {
   if (!schedule) return "<schedule parse error>";
   sim::Simulation simulation(kGoldenSeed);
   workload::Scenario scenario =
-      workload::Scenario::steady(g.viewers, g.end_time);
+      workload::Scenario::steady(g.viewers, units::Duration(g.end_time));
   scenario.end_time = g.end_time;
   scenario.params.partner_silence_timeout = 6.0;
   workload::ScenarioRunner runner(simulation, std::move(scenario), nullptr);
@@ -177,7 +177,8 @@ TEST(GoldenTrace, EmptyScheduleIsObservationallyInert) {
 
   sim::Simulation simulation(kGoldenSeed);
   workload::Scenario scenario =
-      workload::Scenario::steady(clean.viewers, clean.end_time);
+      workload::Scenario::steady(clean.viewers,
+                                 units::Duration(clean.end_time));
   scenario.end_time = clean.end_time;
   scenario.params.partner_silence_timeout = 6.0;
   workload::ScenarioRunner runner(simulation, std::move(scenario), nullptr);

@@ -26,7 +26,8 @@ namespace {
 std::string run_scenario_digest(std::uint64_t seed) {
   sim::Simulation simulation(seed);
   logging::LogServer log;
-  workload::Scenario scenario = workload::Scenario::steady(40, 600.0);
+  workload::Scenario scenario =
+      workload::Scenario::steady(40, units::Duration(600.0));
   scenario.end_time = 600.0;
   workload::ScenarioRunner runner(simulation, scenario, &log);
   runner.run();

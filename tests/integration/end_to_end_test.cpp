@@ -40,7 +40,8 @@ RunResult run_scenario(workload::Scenario scenario, std::uint64_t seed) {
 }
 
 workload::Scenario base_scenario() {
-  workload::Scenario s = workload::Scenario::steady(150, 1500.0);
+  workload::Scenario s =
+      workload::Scenario::steady(150, units::Duration(1500.0));
   s.system.server_count = 4;
   return s;
 }
@@ -138,7 +139,8 @@ TEST(EndToEndTest, FlashCrowdLengthensReadyTimes) {
   // Fig. 7's mechanism: media-ready times stretch when the join rate
   // spikes.
   workload::Scenario s =
-      workload::Scenario::flash_crowd(80, 250, 600.0, 1200.0);
+      workload::Scenario::flash_crowd(80, 250, units::Duration(600.0),
+                                      units::Duration(1200.0));
   s.system.server_count = 3;
   const auto r = run_scenario(s, 8);
   const std::vector<double> edges = {0.0, 500.0, 750.0, 1200.0};
@@ -153,7 +155,8 @@ TEST(EndToEndTest, FlashCrowdLengthensReadyTimes) {
 TEST(EndToEndTest, ShortSessionsExistUnderStress) {
   // Fig. 10a: a mass of sub-minute sessions from abortive joins.
   workload::Scenario s =
-      workload::Scenario::flash_crowd(60, 400, 400.0, 900.0);
+      workload::Scenario::flash_crowd(60, 400, units::Duration(400.0),
+                                      units::Duration(900.0));
   s.system.server_count = 2;
   s.sessions.patience_min = 8.0;
   s.sessions.patience_mean = 10.0;

@@ -37,7 +37,8 @@ std::uint64_t fnv1a(const std::string& s) {
 std::string full_state_digest(std::uint64_t seed) {
   sim::Simulation simulation(seed);
   logging::LogServer log;
-  workload::Scenario scenario = workload::Scenario::steady(48, 700.0);
+  workload::Scenario scenario =
+      workload::Scenario::steady(48, units::Duration(700.0));
   scenario.end_time = 700.0;
   workload::ScenarioRunner runner(simulation, scenario, &log);
   runner.run();

@@ -1,0 +1,16 @@
+// Atomics in protocol code: lock-free cross-thread communication orders
+// nondeterministically, so the deterministic protocol layers must not use
+// it (the sim/ engine may — see ../sim/atomics_ok.cpp).
+//
+// This file is lint-test data only — it is never compiled.
+
+#include <atomic>
+
+class DeliveryFlags {
+  std::atomic<bool> stop_{false};  // lint:expect(atomic-in-protocol)
+  int blocks_delivered_ = 0;
+};
+
+void bump(std::atomic<int>& inflight) {  // lint:expect(atomic-in-protocol)
+  inflight.fetch_add(1);
+}

@@ -1,0 +1,15 @@
+// The well-formed counterpart to mutex_members.h: an annotated wrapper
+// mutex whose guarded state is declared in the same file.  The linter must
+// be silent.
+//
+// This file is lint-test data only — it is never included.
+#pragma once
+
+class GuardedQueue {
+ public:
+  void push(int job);
+
+ private:
+  sync::Mutex mu_;
+  int jobs_ GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,19 @@
+// Mutex-visibility fixtures: a raw standard mutex can never participate in
+// Clang's capability analysis, and an annotated sync::Mutex protects
+// nothing when the file declares no guarded members.
+//
+// This file is lint-test data only — it is never included.
+#pragma once
+
+#include <mutex>
+
+class RawLockQueue {
+  std::mutex mu_;  // lint:expect(unguarded-mutex-member)
+  int jobs_ = 0;
+};
+
+class WrapperWithoutGuards {
+  // sync::Mutex, but nothing in this file says what it guards.
+  sync::Mutex mu_;  // lint:expect(unguarded-mutex-member)
+  int jobs_ = 0;
+};

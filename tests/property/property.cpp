@@ -292,7 +292,7 @@ workload::Scenario make_scenario(const GeneratedCase& c) {
   // Small population, few servers with modest uplinks: viewers must parent
   // viewers, so the adaptation / reselection machinery actually runs.
   workload::Scenario s = workload::Scenario::steady(
-      c.viewers, c.horizon + kSettleSeconds + 5.0);
+      c.viewers, units::Duration(c.horizon + kSettleSeconds + 5.0));
   s.system.server_count = 2;
   s.system.server_capacity_bps = 6e6;
   s.system.server_max_partners = 8;

@@ -1,0 +1,27 @@
+// compile-fail (clang -Werror=thread-safety): calling an EXCLUDES(mu_)
+// entry point while already holding mu_ — with a non-recursive mutex this
+// is a guaranteed self-deadlock, and the analysis proves it statically.
+#include "core/thread_annotations.h"
+
+namespace {
+
+class Sink {
+ public:
+  void submit() EXCLUDES(mu_) {
+    coolstream::sync::MutexLock lock(mu_);
+    flush();  // re-enters an EXCLUDES(mu_) function under mu_
+  }
+
+  void flush() EXCLUDES(mu_) { coolstream::sync::MutexLock lock(mu_); }
+
+ private:
+  coolstream::sync::Mutex mu_;
+};
+
+}  // namespace
+
+int main() {
+  Sink s;
+  s.submit();
+  return 0;
+}

@@ -1,0 +1,28 @@
+// compile-fail (clang -Werror=thread-safety): calling a REQUIRES(mu_)
+// helper without holding the mutex.  Private under-the-lock helpers must
+// only ever be reached from public EXCLUDES entry points that took the
+// lock first (DESIGN.md §13).
+#include "core/thread_annotations.h"
+
+namespace {
+
+class Queue {
+ public:
+  void push() {
+    drain_locked();  // forgot MutexLock lock(mu_);
+  }
+
+ private:
+  void drain_locked() REQUIRES(mu_) { ++depth_; }
+
+  coolstream::sync::Mutex mu_;
+  int depth_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.push();
+  return 0;
+}

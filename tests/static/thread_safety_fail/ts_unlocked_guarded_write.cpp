@@ -1,0 +1,23 @@
+// compile-fail (clang -Werror=thread-safety): writing a GUARDED_BY member
+// without holding its mutex is the prototypical cross-shard data race; the
+// capability analysis must reject it.
+#include "core/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() { ++value_; }  // no lock held
+
+ private:
+  coolstream::sync::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return 0;
+}

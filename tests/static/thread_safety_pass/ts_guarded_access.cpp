@@ -1,0 +1,34 @@
+// Control case for the thread-safety compile-fail tier: the same wrapper
+// types used *correctly* must compile clean under -Werror=thread-safety
+// with the identical command line.  Without this control, a broken include
+// path or flag typo would make every ts_* WILL_FAIL case pass vacuously.
+#include "core/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() EXCLUDES(mu_) {
+    coolstream::sync::MutexLock lock(mu_);
+    bump_locked();
+  }
+
+  int value() EXCLUDES(mu_) {
+    coolstream::sync::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  void bump_locked() REQUIRES(mu_) { ++value_; }
+
+  coolstream::sync::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.value() == 1 ? 0 : 1;
+}

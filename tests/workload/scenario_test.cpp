@@ -12,13 +12,13 @@ namespace coolstream::workload {
 namespace {
 
 Scenario small_steady() {
-  Scenario s = Scenario::steady(60, 900.0);
+  Scenario s = Scenario::steady(60, units::Duration(900.0));
   s.system.server_count = 3;
   return s;
 }
 
 TEST(ScenarioTest, SteadyPresetTargetsPopulation) {
-  const Scenario s = Scenario::steady(100, 3600.0);
+  const Scenario s = Scenario::steady(100, units::Duration(3600.0));
   // Arrival rate * mean duration ~ 100 (Little's law); just check the
   // arrival rate is plausibly positive and constant.
   EXPECT_GT(s.arrivals.rate(0.0), 0.0);
@@ -26,7 +26,7 @@ TEST(ScenarioTest, SteadyPresetTargetsPopulation) {
 }
 
 TEST(ScenarioTest, EveningPresetHasProgramEnd) {
-  const Scenario s = Scenario::evening(500, 3.0);
+  const Scenario s = Scenario::evening(500, units::Duration::hours(3.0));
   EXPECT_TRUE(std::isfinite(s.program_end));
   EXPECT_LT(s.program_end, s.end_time);
   // Rate collapses after program end.
@@ -35,7 +35,8 @@ TEST(ScenarioTest, EveningPresetHasProgramEnd) {
 }
 
 TEST(ScenarioTest, FlashCrowdPresetAddsCrowd) {
-  const Scenario s = Scenario::flash_crowd(50, 200, 300.0, 900.0);
+  const Scenario s = Scenario::flash_crowd(50, 200, units::Duration(300.0),
+                                           units::Duration(900.0));
   ASSERT_EQ(s.crowds.size(), 1u);
   EXPECT_DOUBLE_EQ(s.crowds[0].center, 300.0);
   EXPECT_GT(s.crowds[0].amplitude, 0.0);
@@ -98,7 +99,7 @@ TEST(ScenarioRunnerTest, ImpatientUsersRetry) {
 }
 
 TEST(ScenarioRunnerTest, ProgramEndDrainsTheSystem) {
-  Scenario s = Scenario::steady(50, 1200.0);
+  Scenario s = Scenario::steady(50, units::Duration(1200.0));
   s.system.server_count = 2;
   s.program_end = 600.0;
   s.program_end_jitter = 30.0;
@@ -165,9 +166,12 @@ TEST(ScenarioValidateTest, RejectsOtherInconsistencies) {
 }
 
 TEST(ScenarioValidateTest, AcceptsAllPresets) {
-  EXPECT_NO_THROW(Scenario::steady(50, 600.0).validate());
-  EXPECT_NO_THROW(Scenario::evening(200, 3.0).validate());
-  EXPECT_NO_THROW(Scenario::flash_crowd(40, 80, 300.0, 900.0).validate());
+  EXPECT_NO_THROW(Scenario::steady(50, units::Duration(600.0)).validate());
+  EXPECT_NO_THROW(
+      Scenario::evening(200, units::Duration::hours(3.0)).validate());
+  EXPECT_NO_THROW(Scenario::flash_crowd(40, 80, units::Duration(300.0),
+                                        units::Duration(900.0))
+                      .validate());
   // A finite, in-range program end is legal.
   Scenario s = small_steady();
   s.program_end = 600.0;

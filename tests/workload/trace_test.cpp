@@ -12,7 +12,7 @@ namespace coolstream::workload {
 namespace {
 
 Scenario small_scenario() {
-  Scenario s = Scenario::steady(60, 600.0);
+  Scenario s = Scenario::steady(60, units::Duration(600.0));
   s.system.server_count = 2;
   return s;
 }

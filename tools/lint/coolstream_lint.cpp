@@ -32,12 +32,12 @@
 //
 //   value-escape        .value() unwrap in protocol code (core, net, model,
 //                       workload, baseline) — each boundary must carry an
-//                       explicit lint:allow(value-escape)
+//                       explicit value-escape lint:allow
 //   raw-protocol-int    integer variable whose name says it holds a seq /
 //                       tick / sub-stream — that state has a strong type
 //   double-seconds-param  `double` function parameter named like a time
-//                       span (…_seconds, delay, timeout, period) in core /
-//                       net / model — pass units::Duration instead
+//                       span (…_seconds, hours, delay, timeout, period) in
+//                       core / net / model / workload — pass units::Duration
 //   include-layering    #include edge that violates the module layering
 //                       (units < sim < net < {logging, model, baseline}
 //                       < core < workload; analysis reads logs only) —
@@ -46,9 +46,41 @@
 //                       in a header — an ODR violation once two TUs
 //                       include it
 //
-// Suppression: append e.g. `// lint:allow(std-random)` to the offending
-// line (comma-separate several rule ids), or put the comment alone on the
-// preceding line.
+// The shard-purity family (PR 7) prepares the sharded multi-core
+// simulation: protocol code must hold no state that two shards could
+// share, and every lock must be visible to Clang's capability analysis
+// (core/thread_annotations.h):
+//
+//   mutable-global      namespace-scope mutable object in protocol code
+//                       (core/net/model/workload/baseline) — shards would
+//                       share it; make it per-System state or const
+//   static-local-state  function-local `static` (non-const) in protocol
+//                       code — one instance shared across every shard
+//   unguarded-mutex-member  a raw std::mutex member (use sync::Mutex), or
+//                       a sync::Mutex member in a file with no GUARDED_BY
+//                       annotations
+//   cross-peer-ptr      raw Peer*/System* (or reference) stored as a member
+//                       of per-peer protocol state — dangles across shard
+//                       boundaries; store net::NodeId and resolve through
+//                       the owning System
+//   atomic-in-protocol  std::atomic outside src/sim/ — atomics order
+//                       nondeterministically and break bit-determinism
+//
+// Suppression: append a lint:allow comment listing the rule ids in
+// parentheses — e.g. std-random — to the offending line, or put the
+// comment alone on the preceding line.  A suppression that suppresses
+// nothing is itself an error (stale-allow), so dead allows cannot rot in
+// the tree; `--list-allows` prints the full suppression inventory.
+//
+// Shared-state census (`--census=<path|->`): walks the given roots and
+// emits a machine-readable JSON inventory of every mutex, atomic,
+// namespace-scope mutable object and function-local static, each of which
+// must carry a one-line `// census: <why>` justification on its own or the
+// preceding line.  `--census-check=<file>` recomputes the inventory and
+// fails unless it is byte-identical to the checked-in allowlist
+// (tools/lint/shared_state.json) — any new shared state fails review
+// explicitly.  Regenerate after intentional changes with
+// `coolstream_lint --census=tools/lint/shared_state.json src`.
 //
 // `--rules=<id>[,<id>...]` restricts the run to a subset of rules (both in
 // normal and fixture mode); unknown ids are a usage error.
@@ -71,6 +103,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 namespace {
@@ -95,6 +128,12 @@ enum class Rule {
   kIncludeLayering,
   kOdrHeaderDef,
   kHotPathString,
+  kMutableGlobal,
+  kStaticLocalState,
+  kUnguardedMutexMember,
+  kCrossPeerPtr,
+  kAtomicInProtocol,
+  kStaleAllow,
 };
 
 struct RuleInfo {
@@ -142,6 +181,25 @@ constexpr RuleInfo kRules[] = {
      "string formatting / encode() call in a protocol hot-path file; the "
      "control plane uses packed buffer maps and arena batches — mark "
      "debug/cold-path sites with lint:allow(hot-path-string)"},
+    {Rule::kMutableGlobal, "mutable-global",
+     "namespace-scope mutable state in protocol code; every shard would "
+     "share it — make it per-System state or const"},
+    {Rule::kStaticLocalState, "static-local-state",
+     "function-local static in protocol code; one instance would be shared "
+     "across every shard — hoist into per-System state or make it "
+     "constexpr"},
+    {Rule::kUnguardedMutexMember, "unguarded-mutex-member",
+     "mutex member invisible to the capability analysis; use sync::Mutex "
+     "with GUARDED_BY members (core/thread_annotations.h)"},
+    {Rule::kCrossPeerPtr, "cross-peer-ptr",
+     "raw Peer*/System* stored in protocol state; it dangles across shard "
+     "boundaries — store net::NodeId and resolve through the owning "
+     "System"},
+    {Rule::kAtomicInProtocol, "atomic-in-protocol",
+     "std::atomic outside src/sim/; atomics order nondeterministically "
+     "across threads and break bit-determinism"},
+    {Rule::kStaleAllow, "stale-allow",
+     "lint:allow here suppresses nothing; remove the stale suppression"},
 };
 
 const RuleInfo* find_rule(const std::string& id) {
@@ -279,12 +337,30 @@ std::vector<std::string> split_lines(const std::string& text) {
 // because they live inside comments)
 // ---------------------------------------------------------------------------
 
+/// One lint:allow annotation; `used` flips when it suppresses a finding,
+/// and an unused site is a stale-allow finding of its own.
+struct AllowSite {
+  int origin = 0;  // line the annotation is written on (1-based)
+  std::string id;
+  bool used = false;
+};
+
 struct Annotations {
-  // line (1-based) -> rule ids
-  std::map<int, std::set<std::string>> allow;
-  std::map<int, std::set<std::string>> expect;
+  std::vector<AllowSite> allows;
+  // (covered line, rule id) -> indices into `allows` (an annotation alone
+  // on a comment line also covers the next line).
+  std::map<std::pair<int, std::string>, std::vector<std::size_t>> allow_at;
+  std::map<int, std::set<std::string>> expect;  // line -> rule ids
   std::set<std::string> expect_file;
   std::vector<std::string> errors;  // unknown rule ids etc.
+
+  /// True when (line, id) is suppressed; marks the covering sites used.
+  bool consume_allow(int line, const std::string& id) {
+    const auto it = allow_at.find({line, id});
+    if (it == allow_at.end()) return false;
+    for (const std::size_t i : it->second) allows[i].used = true;
+    return true;
+  }
 };
 
 void parse_marker_list(const std::string& line, const std::string& marker,
@@ -326,11 +402,18 @@ void parse_marker_list(const std::string& line, const std::string& marker,
 Annotations parse_annotations(const std::vector<std::string>& raw_lines,
                               const std::string& file) {
   Annotations a;
+  std::map<int, std::set<std::string>> allow_lines;
   for (std::size_t i = 0; i < raw_lines.size(); ++i) {
     const int lineno = static_cast<int>(i) + 1;
-    const std::string& line = raw_lines[i];
+    const std::string& raw = raw_lines[i];
+    // Annotations live in // comments: parse only from the first "//" on,
+    // so a string literal mentioning the marker (the linter's own
+    // diagnostics, generators, ...) is never treated as an annotation.
+    const std::size_t cpos = raw.find("//");
+    if (cpos == std::string::npos) continue;
+    const std::string line = raw.substr(cpos);
     if (line.find("lint:") == std::string::npos) continue;
-    parse_marker_list(line, "lint:allow", lineno, &a.allow, nullptr,
+    parse_marker_list(line, "lint:allow", lineno, &allow_lines, nullptr,
                       &a.errors, file);
     parse_marker_list(line, "lint:expect-file", lineno, nullptr,
                       &a.expect_file, &a.errors, file);
@@ -343,17 +426,18 @@ Annotations parse_annotations(const std::vector<std::string>& raw_lines,
     parse_marker_list(masked, "lint:expect", lineno, &a.expect, nullptr,
                       &a.errors, file);
   }
-  // A lint:allow alone on a line also covers the next line.
-  std::map<int, std::set<std::string>> extra;
-  for (const auto& [lineno, ids] : a.allow) {
+  for (const auto& [lineno, ids] : allow_lines) {
+    // An allow alone on a comment line also covers the next line.
     const std::string& line = raw_lines[static_cast<std::size_t>(lineno - 1)];
     const std::size_t first = line.find_first_not_of(" \t");
-    if (first != std::string::npos && line.compare(first, 2, "//") == 0) {
-      extra[lineno + 1].insert(ids.begin(), ids.end());
+    const bool comment_only =
+        first != std::string::npos && line.compare(first, 2, "//") == 0;
+    for (const auto& id : ids) {
+      const std::size_t site = a.allows.size();
+      a.allows.push_back({lineno, id, false});
+      a.allow_at[{lineno, id}].push_back(site);
+      if (comment_only) a.allow_at[{lineno + 1, id}].push_back(site);
     }
-  }
-  for (const auto& [lineno, ids] : extra) {
-    a.allow[lineno].insert(ids.begin(), ids.end());
   }
   return a;
 }
@@ -372,7 +456,22 @@ struct FileContext {
   bool raw_int_scope = false;   // raw-protocol-int applies
   bool seconds_scope = false;   // double-seconds-param applies
   bool hot_path = false;        // hot-path-string applies (per-tick files)
+  bool shard_scope = false;     // mutable-global / static-local-state apply
+  bool cross_peer_scope = false;  // cross-peer-ptr applies (per-peer state)
+  bool atomic_scope = false;      // atomic-in-protocol applies
+  bool mutex_scope = false;       // unguarded-mutex-member applies
   std::string module;  // layering module ("" = unconstrained, e.g. bench/)
+};
+
+// ---------------------------------------------------------------------------
+// Shared-state census records (see --census / --census-check)
+// ---------------------------------------------------------------------------
+
+struct CensusRecord {
+  std::string kind;  // "global" | "static-local" | "mutex" | "atomic"
+  std::string file;  // repo-relative (src/...)
+  std::string name;  // declared identifier
+  int line = 0;      // 1-based, used to locate the justification comment
 };
 
 // ---------------------------------------------------------------------------
@@ -398,8 +497,11 @@ const std::map<std::string, std::set<std::string>>& allowed_includes() {
 }
 
 /// Module of an include target ("" = out of scope, e.g. bench_util.h).
+/// core/units.h and core/thread_annotations.h form the bottom (`units`)
+/// pseudo-module that every layer, including src/sim/, may include.
 std::string include_module(const std::string& target) {
   if (target == "core/units.h") return "units";
+  if (target == "core/thread_annotations.h") return "units";
   const std::size_t slash = target.find('/');
   if (slash == std::string::npos) return "";
   const std::string head = target.substr(0, slash);
@@ -502,6 +604,7 @@ bool is_seconds_name(std::string name) {
   };
   return ends_with("_s") || ends_with("_secs") ||
          name.find("seconds") != std::string::npos ||
+         name.find("hours") != std::string::npos ||
          name.find("period") != std::string::npos ||
          name.find("delay") != std::string::npos ||
          name.find("timeout") != std::string::npos ||
@@ -536,11 +639,53 @@ const std::regex& unordered_decl_re() {
   return re;
 }
 
+const std::regex& raw_mutex_member_re() {
+  // A raw standard mutex declared as a member/variable: capture the name.
+  static const std::regex re(
+      R"(\b(?:std\s*::\s*)?(?:mutex|recursive_mutex|timed_mutex|shared_mutex|shared_timed_mutex)\s+([A-Za-z_]\w*)\s*[;{])");
+  return re;
+}
+
+const std::regex& sync_mutex_member_re() {
+  // The annotated wrapper: fine on its own, but the file must then carry
+  // GUARDED_BY annotations (otherwise the capability protects nothing).
+  static const std::regex re(
+      R"(\b(?:sync\s*::\s*)?Mutex\s+([A-Za-z_]\w*)\s*[;{])");
+  return re;
+}
+
+const std::regex& atomic_use_re() {
+  // std::atomic<T>, std::atomic_flag/std::atomic_bool/... or a bare
+  // atomic<T> spelling.  Word-bounded so e.g. "atomicity" in an
+  // identifier never matches.
+  static const std::regex re(
+      R"((\bstd\s*::\s*atomic\w*\b)|(\batomic\s*<))");
+  return re;
+}
+
+const std::regex& atomic_decl_name_re() {
+  // Named atomic declaration, for the census inventory.
+  static const std::regex re(
+      R"(\b(?:std\s*::\s*)?atomic\w*(?:\s*<[^;{=]*>)?\s+([A-Za-z_]\w*))");
+  return re;
+}
+
+const std::regex& cross_peer_ptr_re() {
+  static const std::regex re(
+      R"(\b(?:core\s*::\s*)?(?:Peer|System)\s*[*&])");
+  return re;
+}
+
 // ---------------------------------------------------------------------------
-// odr-header-def: a brace-tracking pass over the stripped text that flags
-// function definitions at namespace scope in headers unless they are
-// inline / constexpr / template / static.  Class bodies are skipped
-// (member definitions are implicitly inline).
+// Structural pass: one brace-tracking walk over the stripped text drives
+//   * odr-header-def   (function definitions at namespace scope in headers)
+//   * mutable-global   (namespace-scope mutable objects, incl. `static
+//                       inline` class members and brace-initialized forms)
+//   * static-local-state (function-local mutable `static`)
+//   * cross-peer-ptr   (Peer*/System* members of protocol state)
+// and collects the shared-state census records for --census.
+// Class bodies are skipped for ODR purposes (members are implicitly
+// inline); namespace/class/function scopes are tracked on a stack.
 // ---------------------------------------------------------------------------
 
 const std::regex& fn_introducer_re() {
@@ -559,31 +704,174 @@ const std::regex& odr_exempt_re() {
   return re;
 }
 
-void scan_header_odr(const FileContext& ctx, const std::string& stripped,
-                     std::vector<Finding>* findings) {
+const std::regex& decl_keyword_re() {
+  // A declaration introducer that is definitely *not* an object definition.
+  static const std::regex re(
+      R"(\b(?:using|typedef|namespace|class|struct|union|enum|template|friend|extern|static_assert|concept|requires|operator|return|if|for|while|switch|case|goto|public|private|protected|asm|new|delete|throw)\b)");
+  return re;
+}
+
+const std::regex& const_decl_re() {
+  static const std::regex re(R"(\bconst(?:expr|init|eval)?\b)");
+  return re;
+}
+
+const std::regex& var_decl_re() {
+  // "<type tokens> <name> [dims] [= init]" — the shape of an object
+  // definition; captures the declared name.
+  static const std::regex re(
+      R"(^[A-Za-z_][\w:<>,*&\s.\[\]]*[\s&*>]([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?\s*(?:=.*)?$)");
+  return re;
+}
+
+std::string trim(const std::string& s) {
+  const std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+/// Best-effort name of the object a declaration introduces (census label).
+std::string declared_name(const std::string& intro) {
+  std::smatch m;
+  if (std::regex_match(intro, m, var_decl_re())) return m[1].str();
+  static const std::regex before_init_re(R"(([A-Za-z_]\w*)\s*[({=\[])");
+  if (std::regex_search(intro, m, before_init_re)) return m[1].str();
+  static const std::regex id_re(R"([A-Za-z_]\w*)");
+  std::string last;
+  for (auto it = std::sregex_iterator(intro.begin(), intro.end(), id_re);
+       it != std::sregex_iterator(); ++it) {
+    last = it->str();
+  }
+  return last.empty() ? "<unnamed>" : last;
+}
+
+/// True when `in` declares a mutable object (not a function, type alias, or
+/// const/constexpr object).  A '(' before any '=' means a parameter list or
+/// constructor-style init of a function declaration — rejected; a '(' after
+/// '=' is just an initializer call.
+bool is_mutable_var_decl(const std::string& in) {
+  const std::size_t paren = in.find('(');
+  const std::size_t eq = in.find('=');
+  if (paren != std::string::npos &&
+      (eq == std::string::npos || paren < eq)) {
+    return false;
+  }
+  if (std::regex_search(in, decl_keyword_re())) return false;
+  if (std::regex_search(in, const_decl_re())) return false;
+  return std::regex_match(in, var_decl_re());
+}
+
+void scan_structure(const FileContext& ctx, const std::string& stripped,
+                    std::vector<Finding>* findings,
+                    std::vector<CensusRecord>* census) {
   static const std::regex ns_re(R"(\bnamespace\b)");
   static const std::regex class_re(R"(\b(?:class|struct|union|enum)\b)");
+  static const std::regex static_re(R"(\bstatic\b)");
+  static const std::regex inline_re(R"(\binline\b)");
   std::vector<char> scopes;  // 'n' namespace, 'c' class, 'f'/'o' other
   std::string intro;         // declaration text since the last ; { }
   int intro_line = 0;
   int line = 1;
   bool line_start = true;
+
+  const auto ns_scope = [&scopes] {
+    return std::all_of(scopes.begin(), scopes.end(),
+                       [](char k) { return k == 'n'; });
+  };
+  const auto fn_scope = [&scopes] {
+    return std::find(scopes.begin(), scopes.end(), 'f') != scopes.end();
+  };
+  const auto class_top = [&scopes] {
+    return !scopes.empty() && scopes.back() == 'c';
+  };
+
+  const auto record = [&](const char* kind, const std::string& in, int at) {
+    if (census != nullptr) {
+      census->push_back({kind, ctx.display_path, declared_name(in), at});
+    }
+  };
+
+  // Namespace-scope object, or a `static inline` class data member — both
+  // are one process-wide instance every shard would share.
+  const auto check_global = [&](const std::string& in, int at) {
+    if (ns_scope()) {
+      if (!is_mutable_var_decl(in)) return;
+    } else if (class_top()) {
+      if (!std::regex_search(in, static_re) ||
+          !std::regex_search(in, inline_re) ||
+          !is_mutable_var_decl(in)) {
+        return;
+      }
+    } else {
+      return;
+    }
+    record("global", in, at);
+    if (ctx.shard_scope) {
+      findings->push_back({ctx.display_path, at, Rule::kMutableGlobal});
+    }
+  };
+
+  const auto check_static_local = [&](const std::string& in, int at) {
+    if (!fn_scope()) return;
+    if (!std::regex_search(in, static_re)) return;
+    if (std::regex_search(in, const_decl_re())) return;  // immutable: fine
+    record("static-local", in, at);
+    if (ctx.shard_scope) {
+      findings->push_back({ctx.display_path, at, Rule::kStaticLocalState});
+    }
+  };
+
+  // A ';'-terminated member declaration holding Peer*/System*&.  Anything
+  // with a parameter list (functions returning Peer*) is out of scope.
+  const auto check_cross_peer = [&](const std::string& in, int at) {
+    if (!ctx.cross_peer_scope || !class_top()) return;
+    if (in.find('(') != std::string::npos) return;
+    if (std::regex_search(in, decl_keyword_re())) return;
+    if (!std::regex_search(in, cross_peer_ptr_re())) return;
+    findings->push_back({ctx.display_path, at, Rule::kCrossPeerPtr});
+  };
+
   for (std::size_t i = 0; i < stripped.size(); ++i) {
     const char c = stripped[i];
     if (c == '\n') {
       ++line;
       line_start = true;
+      // Keep a token separator where the declaration wraps lines.
+      if (!intro.empty() && intro.back() != ' ') intro += ' ';
       continue;
     }
     if (line_start && (c == ' ' || c == '\t')) continue;
-    if (line_start && c == '#') {  // preprocessor line: not a declaration
-      while (i < stripped.size() && stripped[i] != '\n') ++i;
-      ++line;
+    if (line_start && c == '#') {
+      // Preprocessor directive (plus any \-continued lines): no
+      // declaration in here, and a multi-line #define's braces must not
+      // disturb the scope stack.
+      for (;;) {
+        std::size_t eol = i;
+        while (eol < stripped.size() && stripped[eol] != '\n') ++eol;
+        bool continued = false;
+        for (std::size_t k = eol; k > i;) {
+          --k;
+          if (stripped[k] == ' ' || stripped[k] == '\t') continue;
+          continued = stripped[k] == '\\';
+          break;
+        }
+        i = eol;
+        ++line;
+        if (!continued || i >= stripped.size()) break;
+        ++i;  // consume the newline; keep eating the continuation line
+      }
       line_start = true;
       continue;
     }
     line_start = false;
     if (c == ';') {
+      const std::string in = trim(intro);
+      if (!in.empty()) {
+        check_global(in, intro_line);
+        check_static_local(in, intro_line);
+        check_cross_peer(in, intro_line);
+      }
       intro.clear();
       continue;
     }
@@ -593,22 +881,24 @@ void scan_header_odr(const FileContext& ctx, const std::string& stripped,
       continue;
     }
     if (c == '{') {
+      const std::string in = trim(intro);
       char kind = 'o';
-      if (std::regex_search(intro, ns_re)) {
+      if (std::regex_search(in, ns_re)) {
         kind = 'n';
-      } else if (std::regex_search(intro, fn_introducer_re()) &&
-                 !std::regex_search(intro, std::regex("="))) {
+      } else if (std::regex_search(in, fn_introducer_re()) &&
+                 !std::regex_search(in, std::regex("="))) {
         kind = 'f';
-        const bool ns_scope =
-            std::all_of(scopes.begin(), scopes.end(),
-                        [](char k) { return k == 'n'; });
-        if (ns_scope && !intro.empty() &&
-            !std::regex_search(intro, odr_exempt_re())) {
+        if (ctx.is_header && ns_scope() && !in.empty() &&
+            !std::regex_search(in, odr_exempt_re())) {
           findings->push_back(
               {ctx.display_path, intro_line, Rule::kOdrHeaderDef});
         }
-      } else if (std::regex_search(intro, class_re)) {
+      } else if (std::regex_search(in, class_re)) {
         kind = 'c';
+      } else if (!in.empty()) {
+        // Brace-initialized object definition: `Foo g{...};` etc.
+        check_global(in, intro_line);
+        check_static_local(in, intro_line);
       }
       scopes.push_back(kind);
       intro.clear();
@@ -624,7 +914,17 @@ void scan_header_odr(const FileContext& ctx, const std::string& stripped,
 
 void scan_file(const FileContext& ctx, const std::vector<std::string>& lines,
                const std::vector<std::string>& raw_lines,
-               std::vector<Finding>* findings) {
+               std::vector<Finding>* findings,
+               std::vector<CensusRecord>* census) {
+  // sync::Mutex members are only useful when the file actually annotates
+  // what they guard; a raw standard mutex is never visible to the analysis.
+  bool file_has_guarded_by = false;
+  for (const auto& l : lines) {
+    if (l.find("GUARDED_BY(") != std::string::npos) {
+      file_has_guarded_by = true;
+      break;
+    }
+  }
   // Whole-file rule: headers need #pragma once.
   if (ctx.is_header) {
     bool has_pragma = false;
@@ -679,6 +979,37 @@ void scan_file(const FileContext& ctx, const std::vector<std::string>& lines,
     }
     if (ctx.hot_path && std::regex_search(l, hot_path_string_re())) {
       findings->push_back({ctx.display_path, lineno, Rule::kHotPathString});
+    }
+    if (ctx.mutex_scope) {
+      std::smatch m;
+      if (std::regex_search(l, m, raw_mutex_member_re())) {
+        if (census != nullptr) {
+          census->push_back({"mutex", ctx.display_path, m[1].str(), lineno});
+        }
+        findings->push_back(
+            {ctx.display_path, lineno, Rule::kUnguardedMutexMember});
+      } else if (std::regex_search(l, m, sync_mutex_member_re())) {
+        if (census != nullptr) {
+          census->push_back({"mutex", ctx.display_path, m[1].str(), lineno});
+        }
+        if (!file_has_guarded_by) {
+          findings->push_back(
+              {ctx.display_path, lineno, Rule::kUnguardedMutexMember});
+        }
+      }
+    }
+    if (std::regex_search(l, atomic_use_re())) {
+      if (census != nullptr) {
+        std::smatch m;
+        const std::string name =
+            std::regex_search(l, m, atomic_decl_name_re()) ? m[1].str()
+                                                           : "<expr>";
+        census->push_back({"atomic", ctx.display_path, name, lineno});
+      }
+      if (ctx.atomic_scope) {
+        findings->push_back(
+            {ctx.display_path, lineno, Rule::kAtomicInProtocol});
+      }
     }
     if (ctx.raw_int_scope) {
       std::smatch m;
@@ -763,14 +1094,20 @@ FileContext make_context(const fs::path& path) {
   const bool in_workload = p.find("/workload/") != std::string::npos;
   const bool in_baseline = p.find("/baseline/") != std::string::npos;
   const bool unit_layer = has_suffix(p, "/core/units.h") ||
-                          has_suffix(p, "/core/stream_types.h");
+                          has_suffix(p, "/core/stream_types.h") ||
+                          has_suffix(p, "/core/thread_annotations.h");
   const bool config = has_suffix(p, "/core/params.h");
   ctx.value_scope =
       (in_core || in_net || in_model || in_workload || in_baseline) &&
       !unit_layer;
   ctx.raw_int_scope =
       (in_core || in_net || in_model || in_workload) && !unit_layer && !config;
-  ctx.seconds_scope = (in_core || in_net || in_model) && !unit_layer && !config;
+  ctx.seconds_scope = (in_core || in_net || in_model || in_workload) &&
+                      !unit_layer && !config;
+  ctx.shard_scope =
+      (in_core || in_net || in_model || in_workload || in_baseline) &&
+      !unit_layer;
+  ctx.cross_peer_scope = (in_core || in_workload) && !unit_layer;
   // The per-tick control-plane files: one BM copy/scan per partner per
   // period.  String formatting here is either a perf bug or debug-only.
   for (const char* hot : {"/core/peer.", "/core/system.", "/core/buffer_map.",
@@ -781,6 +1118,8 @@ FileContext make_context(const fs::path& path) {
     }
   }
   ctx.module = file_module(ctx.display_path);
+  ctx.atomic_scope = !ctx.module.empty() && !ctx.in_sim && !unit_layer;
+  ctx.mutex_scope = !ctx.module.empty();
   return ctx;
 }
 
@@ -832,7 +1171,9 @@ struct FileResult {
   Annotations annotations;
 };
 
-FileResult lint_file(const fs::path& path, std::vector<std::string>* errors) {
+FileResult lint_file(const fs::path& path, std::vector<std::string>* errors,
+                     std::vector<CensusRecord>* census = nullptr,
+                     std::vector<std::string>* raw_out = nullptr) {
   FileResult result;
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -852,18 +1193,29 @@ FileResult lint_file(const fs::path& path, std::vector<std::string>* errors) {
   for (const auto& e : result.annotations.errors) errors->push_back(e);
 
   std::vector<Finding> all;
-  scan_file(ctx, stripped, raw_lines, &all);
-  if (ctx.is_header) scan_header_odr(ctx, stripped_text, &all);
+  scan_file(ctx, stripped, raw_lines, &all, census);
+  scan_structure(ctx, stripped_text, &all, census);
 
   for (const auto& f : all) {
     if (!rule_active(f.rule)) continue;
-    const auto it = result.annotations.allow.find(f.line);
     const char* id = kRules[static_cast<std::size_t>(f.rule)].id;
-    if (it != result.annotations.allow.end() && it->second.count(id) > 0) {
-      continue;  // suppressed
+    if (f.line > 0 && result.annotations.consume_allow(f.line, id)) {
+      continue;  // suppressed (and the allow site is marked used)
     }
     result.findings.push_back(f);
   }
+  // A lint:allow that suppressed nothing is dead weight that hides future
+  // regressions — report the annotation itself.  Sites whose rule is
+  // filtered out by --rules are not judged (the finding could not fire).
+  if (rule_active(Rule::kStaleAllow)) {
+    for (const auto& site : result.annotations.allows) {
+      if (!site.used && rule_active(site.id)) {
+        result.findings.push_back(
+            {ctx.display_path, site.origin, Rule::kStaleAllow});
+      }
+    }
+  }
+  if (raw_out != nullptr) *raw_out = raw_lines;
   return result;
 }
 
@@ -930,15 +1282,189 @@ int run_fixture_mode(const std::vector<fs::path>& files) {
   return 1;
 }
 
+// ---------------------------------------------------------------------------
+// Shared-state census (--census / --census-check) and --list-allows
+// ---------------------------------------------------------------------------
+
+/// Repo-relative census path: trim everything before the last "/src/"
+/// component so the inventory is stable however the tool is invoked.
+std::string census_path(const std::string& p) {
+  const std::size_t pos = p.rfind("/src/");
+  if (pos != std::string::npos) return p.substr(pos + 1);
+  return p;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct CensusEntry {
+  std::string kind, file, name, why;
+};
+
+/// The `// census: <why>` justification for a record, from the same line or
+/// the line above it.  Empty when the declaration carries none.
+std::string census_why(const std::vector<std::string>& raw_lines, int line) {
+  for (const int cand : {line, line - 1}) {
+    if (cand < 1 || cand > static_cast<int>(raw_lines.size())) continue;
+    const std::string& l = raw_lines[static_cast<std::size_t>(cand - 1)];
+    const std::size_t comment = l.find("//");
+    if (comment == std::string::npos) continue;
+    const std::size_t mark = l.find("census:", comment);
+    if (mark == std::string::npos) continue;
+    return trim(l.substr(mark + 7));
+  }
+  return "";
+}
+
+std::string render_census(std::vector<CensusEntry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const CensusEntry& a, const CensusEntry& b) {
+              return std::tie(a.file, a.kind, a.name) <
+                     std::tie(b.file, b.kind, b.name);
+            });
+  std::string out;
+  out += "{\n";
+  out +=
+      "  \"_comment\": \"Shared-state census: every mutex, atomic, "
+      "namespace-scope mutable object and function-local static under src/. "
+      "Each entry carries the in-source census justification. Regenerate "
+      "from the repo root with: "
+      "coolstream_lint --census=tools/lint/shared_state.json src\",\n";
+  out += "  \"entries\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const CensusEntry& e = entries[i];
+    out += "    {\"kind\": \"" + json_escape(e.kind) + "\", \"file\": \"" +
+           json_escape(e.file) + "\", \"name\": \"" + json_escape(e.name) +
+           "\", \"why\": \"" + json_escape(e.why) + "\"}";
+    out += i + 1 < entries.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+/// --census=<path|->: emit the inventory; --census-check=<file>: recompute
+/// and require it byte-identical to the checked-in allowlist.
+int run_census_mode(const std::vector<fs::path>& files,
+                    const std::string& out_path, bool check) {
+  std::vector<std::string> errors;
+  std::vector<CensusEntry> entries;
+  for (const auto& path : files) {
+    std::vector<CensusRecord> records;
+    std::vector<std::string> raw_lines;
+    (void)lint_file(path, &errors, &records, &raw_lines);
+    for (const auto& rec : records) {
+      const std::string why = census_why(raw_lines, rec.line);
+      if (why.empty()) {
+        errors.push_back(rec.file + ":" + std::to_string(rec.line) +
+                         ": shared state (" + rec.kind + " '" + rec.name +
+                         "') without a `// census: <why>` justification");
+      }
+      entries.push_back({rec.kind, census_path(rec.file), rec.name, why});
+    }
+  }
+  for (const auto& e : errors) std::fprintf(stderr, "%s\n", e.c_str());
+  if (!errors.empty()) return 1;
+  const std::string rendered = render_census(std::move(entries));
+
+  if (check) {
+    std::ifstream in(out_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "coolstream_lint: cannot read census file %s\n",
+                   out_path.c_str());
+      return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    if (buf.str() != rendered) {
+      std::fprintf(stderr,
+                   "coolstream_lint: shared-state census drifted from %s\n"
+                   "  The tree's mutexes/atomics/globals/static-locals no "
+                   "longer match the checked-in inventory.\n"
+                   "  If the change is intentional, regenerate with:\n"
+                   "    coolstream_lint --census=%s <roots>\n"
+                   "  and justify every new entry in review.\n",
+                   out_path.c_str(), out_path.c_str());
+      std::fprintf(stderr, "---- recomputed census ----\n%s",
+                   rendered.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "coolstream_lint: census matches %s\n",
+                 out_path.c_str());
+    return 0;
+  }
+  if (out_path == "-") {
+    std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+    return 0;
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "coolstream_lint: cannot write %s\n",
+                 out_path.c_str());
+    return 2;
+  }
+  out << rendered;
+  std::fprintf(stderr, "coolstream_lint: census written to %s\n",
+               out_path.c_str());
+  return 0;
+}
+
+/// --list-allows: the full suppression inventory, with liveness.
+int run_list_allows(const std::vector<fs::path>& files) {
+  std::vector<std::string> errors;
+  std::size_t total = 0, stale = 0;
+  for (const auto& path : files) {
+    const FileResult r = lint_file(path, &errors);
+    for (const auto& site : r.annotations.allows) {
+      ++total;
+      if (!site.used) ++stale;
+      std::printf("%s:%d: lint:allow(%s)%s\n", path.generic_string().c_str(),
+                  site.origin, site.id.c_str(),
+                  site.used ? "" : "  [stale]");
+    }
+  }
+  for (const auto& e : errors) std::fprintf(stderr, "%s\n", e.c_str());
+  if (!errors.empty()) return 2;
+  std::fprintf(stderr, "coolstream_lint: %zu allow(s), %zu stale\n", total,
+               stale);
+  return stale > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool fixture_mode = false;
+  bool list_allows = false;
+  std::string census_out;    // --census=<path|->
+  std::string census_check;  // --census-check=<file>
   std::vector<std::string> roots;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--fixtures") {
       fixture_mode = true;
+    } else if (arg == "--list-allows") {
+      list_allows = true;
+    } else if (arg.rfind("--census=", 0) == 0) {
+      census_out = arg.substr(9);
+    } else if (arg.rfind("--census-check=", 0) == 0) {
+      census_check = arg.substr(15);
     } else if (arg.rfind("--rules=", 0) == 0) {
       std::stringstream ss(arg.substr(8));
       std::string id;
@@ -958,8 +1484,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(
           stderr,
-          "usage: coolstream_lint [--fixtures] [--rules=<id>[,<id>...]] "
-          "<file-or-dir>...\n");
+          "usage: coolstream_lint [--fixtures] [--rules=<id>[,<id>...]]\n"
+          "                       [--list-allows] [--census=<path|->]\n"
+          "                       [--census-check=<file>] <file-or-dir>...\n");
       return 2;
     } else {
       roots.push_back(arg);
@@ -977,6 +1504,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!census_check.empty()) return run_census_mode(files, census_check, true);
+  if (!census_out.empty()) return run_census_mode(files, census_out, false);
+  if (list_allows) return run_list_allows(files);
   if (fixture_mode) return run_fixture_mode(files);
 
   std::size_t finding_count = 0;

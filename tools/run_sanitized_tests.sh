@@ -42,10 +42,11 @@ if [[ ",$SAN," == *",thread,"* ]]; then
 fi
 
 if [ "$QUICK" = "1" ]; then
-  # The suites where instrumentation has signal: the threaded components,
-  # the slab/event engine, the protocol core, and one end-to-end pass.
+  # The suites where instrumentation has signal: the threaded components
+  # (incl. the thread-pool contention stress tier), the slab/event engine,
+  # the protocol core, and one end-to-end pass.
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j 1 \
-    -R 'sim_tests|sim_allocation_tests|core_tests|integration_tests'
+    -R 'sim_tests|sim_stress_tests|sim_allocation_tests|core_tests|integration_tests'
 else
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 fi
