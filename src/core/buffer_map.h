@@ -30,6 +30,10 @@
 
 namespace coolstream::core {
 
+namespace layout {
+struct Introspect;  // layout_audit.h: offsetof over audited private members
+}  // namespace layout
+
 /// A 2K-tuple buffer map, word-packed.
 class BufferMap {
  public:
@@ -161,6 +165,8 @@ class BufferMap {
   }
 
  private:
+  friend struct layout::Introspect;  // member offsets for the layout census
+
   std::int32_t k_ = 0;
   std::uint32_t sub_bits_ = 0;
   SeqNum latest_[kMaxSubstreams]{};

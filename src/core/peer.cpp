@@ -22,11 +22,9 @@ constexpr std::size_t kMaxIntervalChanges = 64;
 
 Peer::Peer(System& system, net::NodeId id, PeerSpec spec,
            units::SessionId session_id, Tick now)
-    : sys_(system),
+    : PeerProtocolState{},
+      sys_(system),
       id_(id),
-      spec_(spec),
-      session_id_(session_id),
-      joined_at_(now),
       sync_(system.params().substream_count),
       cache_(system.params().buffer_block_count()),
       mcache_(static_cast<std::size_t>(system.params().mcache_size),
@@ -37,6 +35,12 @@ Peer::Peer(System& system, net::NodeId id, PeerSpec spec,
                  Tick::zero()),
       credits_(static_cast<std::size_t>(system.params().substream_count),
                0.0) {
+  // Identity fields live in the PeerProtocolState base (an aggregate, so
+  // it cannot take them through the mem-initializer list).
+  spec_ = spec;
+  session_id_ = session_id;
+  joined_at_ = now;
+
   // Stagger periodic timers with a random phase so thousands of peers do
   // not fire on the same tick edge.
   const Params& p = system.params();
@@ -166,7 +170,7 @@ void Peer::on_partnership_established(net::NodeId pid, bool incoming) {
   // "The update of the mCache entries is achieved by randomly replacing
   // entries when new partnership is established" (§V-C).
   mcache_.upsert(
-      McacheEntry{pid, sys_.now(), sys_.now(), sys_.is_reachable(pid)},
+      McacheEntry{sys_.now(), sys_.now(), pid, sys_.is_reachable(pid)},
       sys_.rng());
   // Give the new partner our buffer map right away so it can select
   // parents without waiting for the next periodic exchange.
@@ -627,7 +631,7 @@ void Peer::do_gossip() {
       3, sys_.rng(), [target](net::NodeId cand) { return cand == target; },
       sys_.mcache_scratch(),
       [&batch](const McacheEntry& e) { batch.push_back(e); });
-  batch.push_back(McacheEntry{id_, joined_at_, sys_.now(),
+  batch.push_back(McacheEntry{joined_at_, sys_.now(), id_,
                               net::accepts_inbound(spec_.type)});
   sys_.send_gossip(id_, target, std::move(batch));
 }

@@ -68,12 +68,21 @@ struct OutLink {
   SubstreamId substream{};
 };
 
-/// Running counters exposed for figures and tests.
+/// Running counters exposed for figures and tests.  Members are ordered
+/// 8-byte fields first, then the 32-bit counters (an even count), so the
+/// struct packs hole-free (layout_audit.h pins the size).
 struct PeerStats {
   std::uint64_t blocks_due = 0;        ///< playout deadlines passed
   std::uint64_t blocks_on_time = 0;    ///< of those, block was present
   units::Bytes bytes_up{};             ///< data-plane upload (lifetime)
   units::Bytes bytes_down{};
+  Duration stall_seconds{};            ///< total time spent frozen
+  /// Completed sub-stream subscription episodes, split by parent class
+  /// (capable = server/direct/UPnP).  Weak-parent subscriptions being
+  /// short-lived is the §V-B convergence mechanism.
+  Duration capable_subscription_time{};
+  Duration weak_subscription_time{};
+
   std::uint32_t adaptations = 0;       ///< Ineq.(1)/(2)-triggered reselects
   std::uint32_t parent_switches = 0;   ///< actual sub-stream parent changes
   std::uint32_t partnership_attempts = 0;
@@ -81,20 +90,70 @@ struct PeerStats {
   std::uint32_t window_skips = 0;      ///< fell out of a parent's buffer
   std::uint32_t deadline_skips = 0;    ///< jumped over already-due blocks
   std::uint32_t stalls = 0;            ///< player freezes (rebuffering)
-  Duration stall_seconds{};            ///< total time spent frozen
   std::uint32_t resyncs = 0;           ///< playout timeline re-anchors
-
-  /// Completed sub-stream subscription episodes, split by parent class
-  /// (capable = server/direct/UPnP).  Weak-parent subscriptions being
-  /// short-lived is the §V-B convergence mechanism.
   std::uint32_t capable_subscriptions_ended = 0;
-  Duration capable_subscription_time{};
   std::uint32_t weak_subscriptions_ended = 0;
-  Duration weak_subscription_time{};
 };
 
-/// One Coolstreaming node.
-class Peer {
+/// The hot, trivially-copyable slice of a peer: every scalar the protocol
+/// reads or writes on the tick path, split out of `Peer` so the future
+/// struct-of-arrays slab engine can lift it into an ID-indexed slab
+/// verbatim.  The contract — trivially copyable, standard layout, no heap,
+/// padding-tight, within a bytes/peer budget — is proved at compile time
+/// by layout_audit.h and regression-gated by tools/layout/layout_census.
+///
+/// `Peer` privately inherits this struct, so member names stay valid,
+/// unqualified, inside peer.cpp; the cold parts (vectors, buffers, the
+/// System back-reference) remain ordinary `Peer` members.  Members are
+/// ordered by alignment (8-byte fields, then the phase/flag bytes) so the
+/// only padding is the unavoidable tail.
+struct PeerProtocolState {
+  PeerSpec spec_;
+  units::SessionId session_id_{};
+  Tick joined_at_;
+
+  // join state
+  std::optional<Tick> first_bm_at_;
+
+  // playout state
+  GlobalSeq play_start_seq_ = kNoSeq;
+  Tick play_start_time_{-1.0};  ///< shifts forward across stalls
+  GlobalSeq last_deadline_counted_ = kNoSeq;
+  GlobalSeq stalled_on_ = kNoSeq;  ///< block the player waits for
+
+  // timers (absolute next-due times; staggered by a per-peer phase offset)
+  Tick next_bm_push_;
+  Tick next_gossip_;
+  Tick next_adaptation_;
+  Tick next_refill_;
+  Tick next_report_;
+  Tick last_adaptation_{-1.0e18};
+  Tick last_resync_{-1.0e18};
+
+  // reporting accumulators (since last status report)
+  std::uint64_t interval_due_ = 0;
+  std::uint64_t interval_on_time_ = 0;
+  units::Bytes interval_bytes_up_{};
+  units::Bytes interval_bytes_down_{};
+
+  /// Cached current buffer map + the SyncBuffer version it was built from
+  /// (~0: never built).  See Peer::refreshed_bm().
+  mutable BufferMap bm_cache_;
+  mutable std::uint64_t bm_cache_version_ = ~std::uint64_t{0};
+
+  PeerStats stats_;
+
+  PeerPhase phase_ = PeerPhase::kJoining;
+  bool start_decided_ = false;
+  bool start_sub_emitted_ = false;
+  bool had_incoming_ = false;
+  bool had_outgoing_ = false;
+};
+
+/// One Coolstreaming node.  Private inheritance of PeerProtocolState keeps
+/// the hot scalar state in one audited POD block (see above) while every
+/// protocol method keeps referring to the members by their plain names.
+class Peer : private PeerProtocolState {
  public:
   Peer(System& system, net::NodeId id, PeerSpec spec,
        units::SessionId session_id, Tick now);
@@ -232,14 +291,13 @@ class Peer {
   /// notification never arrived).
   void enforce_partner_silence(Tick now);
 
+  // Hot scalar state lives in the PeerProtocolState base; only the cold,
+  // heap-owning members (and the identity/back-reference pair) follow.
+
   // Back-reference to the *owning* System only: a peer never outlives its
   // shard, and partners are addressed by net::NodeId, never by pointer.
   System& sys_;  // lint:allow(cross-peer-ptr)
   net::NodeId id_;
-  PeerSpec spec_;
-  units::SessionId session_id_;
-  Tick joined_at_;
-  PeerPhase phase_ = PeerPhase::kJoining;
 
   SyncBuffer sync_;
   CacheBuffer cache_;
@@ -250,20 +308,10 @@ class Peer {
   std::vector<OutLink> out_links_;     ///< children we push to
   std::vector<double> credits_;        ///< fractional blocks per sub-stream
 
-  // join state
-  bool start_decided_ = false;
-  std::optional<Tick> first_bm_at_;
   /// Start times of in-flight partnership attempts.  Timestamped so that
   /// attempts whose confirm/reject was lost by the network can be aged out
   /// (a bare counter would leak and under-fill the partner set forever).
   std::vector<Tick> pending_attempts_;
-
-  // playout state
-  GlobalSeq play_start_seq_ = kNoSeq;
-  Tick play_start_time_{-1.0};  ///< shifts forward across stalls
-  GlobalSeq last_deadline_counted_ = kNoSeq;
-  GlobalSeq stalled_on_ = kNoSeq;  ///< block the player waits for
-  bool start_sub_emitted_ = false;
 
   /// Blocks skipped forward past a parent's buffer window; they count as
   /// missed when their playback deadline passes.
@@ -274,31 +322,7 @@ class Peer {
   };
   std::vector<SkipRange> skips_;
 
-  // timers (absolute next-due times; staggered by a per-peer phase offset)
-  Tick next_bm_push_;
-  Tick next_gossip_;
-  Tick next_adaptation_;
-  Tick next_refill_;
-  Tick next_report_;
-  Tick last_adaptation_{-1.0e18};
-  Tick last_resync_{-1.0e18};
-
-  // reporting accumulators (since last status report)
-  std::uint64_t interval_due_ = 0;
-  std::uint64_t interval_on_time_ = 0;
-  units::Bytes interval_bytes_up_{};
-  units::Bytes interval_bytes_down_{};
   std::vector<logging::PartnerChange> interval_changes_;
-
-  bool had_incoming_ = false;
-  bool had_outgoing_ = false;
-
-  /// Cached current buffer map + the SyncBuffer version it was built from
-  /// (~0: never built).  See refreshed_bm().
-  mutable BufferMap bm_cache_;
-  mutable std::uint64_t bm_cache_version_ = ~std::uint64_t{0};
-
-  PeerStats stats_;
 };
 
 }  // namespace coolstream::core

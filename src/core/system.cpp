@@ -191,7 +191,7 @@ void System::request_bootstrap_list(net::NodeId requester) {
                     auto batch = mcache_arena_.make();
                     for (net::NodeId id : bootstrap_ids_scratch_) {
                       batch.push_back(McacheEntry{
-                          id, bootstrap_.joined_at(id), now(),
+                          bootstrap_.joined_at(id), now(), id,
                           is_reachable(id)});
                     }
                     p->on_bootstrap_list(batch.items());

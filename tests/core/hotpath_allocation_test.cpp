@@ -168,10 +168,10 @@ TEST(HotpathAllocationTest, GossipReceiveIsAllocationFree) {
   // Entries for nodes the cache will already know after one delivery, so
   // the counted rounds exercise the refresh path (the steady state: gossip
   // mostly re-announces peers you have heard of).
-  batch.push_back(McacheEntry{net::NodeId(0), Tick(0.0), now, true});
-  batch.push_back(McacheEntry{net::NodeId(1), Tick(0.0), now, true});
-  batch.push_back(McacheEntry{net::NodeId(500), Tick(10.0), now, true});
-  batch.push_back(McacheEntry{net::NodeId(501), Tick(10.0), now, false});
+  batch.push_back(McacheEntry{Tick(0.0), now, net::NodeId(0), true});
+  batch.push_back(McacheEntry{Tick(0.0), now, net::NodeId(1), true});
+  batch.push_back(McacheEntry{Tick(10.0), now, net::NodeId(500), true});
+  batch.push_back(McacheEntry{Tick(10.0), now, net::NodeId(501), false});
   a->on_gossip(batch.items());  // warm: may insert new entries
 
   const std::uint64_t allocs_before = g_allocations;
@@ -184,7 +184,7 @@ TEST(HotpathAllocationTest, GossipReceiveIsAllocationFree) {
 
 TEST(HotpathAllocationTest, ArenaBatchCycleIsAllocationFree) {
   MessageArena<McacheEntry> arena(4);
-  const McacheEntry e{net::NodeId(7), Tick(1.0), Tick(2.0), true};
+  const McacheEntry e{Tick(1.0), Tick(2.0), net::NodeId(7), true};
   {
     auto warm = arena.make();  // allocates the first chunk
     warm.push_back(e);
@@ -211,8 +211,8 @@ TEST(HotpathAllocationTest, ArenaBatchCycleIsAllocationFree) {
 TEST(HotpathAllocationTest, BatchLeaseOutlivesArenaWithoutAllocating) {
   auto arena = std::make_unique<MessageArena<McacheEntry>>(4);
   auto batch = arena->make();
-  batch.push_back(McacheEntry{net::NodeId(3), Tick(0.0), Tick(0.0), true});
-  batch.push_back(McacheEntry{net::NodeId(4), Tick(0.0), Tick(0.0), false});
+  batch.push_back(McacheEntry{Tick(0.0), Tick(0.0), net::NodeId(3), true});
+  batch.push_back(McacheEntry{Tick(0.0), Tick(0.0), net::NodeId(4), false});
 
   const std::uint64_t allocs_before = g_allocations;
   arena.reset();  // System gone; queued deliveries may still hold leases
@@ -229,8 +229,8 @@ TEST(HotpathAllocationTest, McacheSamplingIsAllocationFree) {
   // Fill past capacity so upserts in the counted loop take the
   // replace-in-place path.
   for (std::uint32_t i = 0; i < 64; ++i) {
-    cache.upsert(McacheEntry{net::NodeId(i), Tick(static_cast<double>(i)),
-                             Tick(static_cast<double>(i)), true},
+    cache.upsert(McacheEntry{Tick(static_cast<double>(i)),
+                             Tick(static_cast<double>(i)), net::NodeId(i), true},
                  rng);
   }
   ASSERT_EQ(cache.size(), 32u);
@@ -246,8 +246,8 @@ TEST(HotpathAllocationTest, McacheSamplingIsAllocationFree) {
     cache.sample_into(
         3, rng, [round](net::NodeId id) { return id == net::NodeId(round % 64); },
         scratch, sink);
-    cache.upsert(McacheEntry{net::NodeId(round % 64), Tick(0.0),
-                             Tick(1000.0 + round), true},
+    cache.upsert(McacheEntry{Tick(0.0), Tick(1000.0 + round),
+                             net::NodeId(round % 64), true},
                  rng);
   }
   EXPECT_EQ(g_allocations - allocs_before, 0u);

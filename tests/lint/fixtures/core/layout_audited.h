@@ -1,0 +1,65 @@
+// Layout-contract fixtures: the layout rule family polices the bodies of
+// audited types (core/layout_audit.h).  The COOLSTREAM_LAYOUT_AUDIT
+// invocations below register the fixture types in the linter's pre-pass
+// exactly the way the real registry does, so the scanner walks these
+// struct bodies.
+//
+// This file is lint-test data only — it is never included or compiled.
+#pragma once
+
+#include <string>
+#include <vector>
+
+// Hot state that smuggles heap ownership and a vtable back in.
+struct LayoutHotState {
+  std::uint64_t generation = 0;
+  std::vector<int> history;  // lint:expect(heap-in-audited)
+  std::string label;         // lint:expect(heap-in-audited)
+  virtual void on_timer();   // lint:expect(virtual-in-protocol)
+};
+COOLSTREAM_LAYOUT_AUDIT(LayoutHotState, 64);
+
+// A slab entry ordered by decreasing alignment — the clean control.
+struct LayoutSlabEntry {
+  Tick updated{};
+  NodeId id = 0;
+  bool reachable = true;
+};
+COOLSTREAM_LAYOUT_AUDIT(LayoutSlabEntry, 16);
+
+// Reaches unregistered class state and embeds a raw entry array.
+struct LayoutPeerShadow {
+  OpaqueTracker tracker;       // lint:expect(unaudited-member)
+  LayoutSlabEntry entries[8];  // lint:expect(raw-aos)
+  std::uint64_t version = 0;
+};
+COOLSTREAM_LAYOUT_AUDIT(LayoutPeerShadow, 256);
+
+// A bool parked in front of the 8-byte fields costs seven bytes of
+// padding; moving it behind them costs nothing.
+struct LayoutMisordered {
+  bool live = false;  // lint:expect(padding-order)
+  std::uint64_t bytes_down = 0;
+  std::uint32_t stall_events = 0;
+};
+COOLSTREAM_LAYOUT_AUDIT(LayoutMisordered, 24);
+
+// An 8-aligned field on each side: the bool's hole disappears by moving
+// it next to the other sub-word members at the tail.
+struct LayoutSandwich {
+  std::uint64_t opened = 0;
+  bool paused = false;  // lint:expect(padding-order)
+  std::uint64_t closed = 0;
+  std::uint8_t flags = 0;
+};
+COOLSTREAM_LAYOUT_AUDIT(LayoutSandwich, 32);
+
+// Unavoidable mixed ordering stays silent: the 4-byte member before the
+// 8-byte one is already preceded by 8-byte state, so any reorder just
+// moves the hole to the tail.
+struct LayoutPackedOk {
+  std::uint64_t user_ref = 0;
+  std::uint32_t region = 0;
+  std::uint64_t joined = 0;
+};
+COOLSTREAM_LAYOUT_AUDIT(LayoutPackedOk, 24);

@@ -1,0 +1,14 @@
+// WILL_FAIL: an audited type whose sizeof exceeds its declared byte
+// budget must be rejected at compile time by COOLSTREAM_LAYOUT_AUDIT.
+#include "core/layout_audit.h"
+
+namespace coolstream {
+
+struct LayoutCaseOverBudget {
+  double samples[64];  // 512 bytes against a 64-byte budget
+};
+COOLSTREAM_LAYOUT_AUDIT(LayoutCaseOverBudget, 64);
+
+}  // namespace coolstream
+
+int main() { return 0; }

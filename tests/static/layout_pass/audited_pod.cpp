@@ -1,0 +1,26 @@
+// Control case for the layout compile-fail tier: a conforming POD passes
+// the audit macro, a matching pin, and can read the registry constexpr —
+// compiled with the identical command line as the WILL_FAIL cases, so a
+// broken include path cannot make those pass vacuously.
+#include <cstdint>
+
+#include "core/layout_audit.h"
+
+namespace coolstream {
+
+struct LayoutCasePacked {
+  double updated;      // 8 bytes
+  std::uint32_t hits;  // 4 bytes
+  bool live;           // 1 byte + 3 tail padding
+};
+COOLSTREAM_LAYOUT_AUDIT(LayoutCasePacked, 16);
+COOLSTREAM_LAYOUT_PIN(LayoutCasePacked, 16);
+
+// The real registry must stay within the per-peer budget gate from here
+// too — proves the header's constexpr machinery is usable downstream.
+static_assert(core::layout::bytes_per_peer() > 0);
+static_assert(core::layout::kRegistrySize >= 12);
+
+}  // namespace coolstream
+
+int main() { return 0; }

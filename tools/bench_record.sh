@@ -1,11 +1,15 @@
 #!/usr/bin/env sh
-# Appends one bench_protocol_hotpath run to the checked-in perf trajectory.
+# Appends one single-run bench result to a checked-in perf trajectory.
 #
-# bench_protocol_hotpath writes a single-run BENCH_protocol_hotpath.json
-# into its working directory (usually the build tree).  This script wraps
-# that run with a label, the date, and a machine tag, and appends it to the
-# trajectory array in the repository's BENCH_protocol_hotpath.json — the
-# file the README's perf-trajectory table is built from.
+# A bench tool writes a single-run BENCH_<name>.json into its working
+# directory (usually the build tree): one `"macro": {...}` line plus a
+# `"micro": [...]` array (possibly empty).  Producers today:
+#   bench/protocol_hotpath.cpp       -> BENCH_protocol_hotpath.json
+#   tools/layout_census --bench=FILE -> BENCH_sim_scale.json (bytes/peer)
+# This script wraps such a run with a label, the date, and a machine tag,
+# and appends it to the trajectory array in the matching repository-root
+# BENCH_<name>.json — the files the README's trajectory tables are built
+# from.
 #
 # Usage: tools/bench_record.sh <label> [results.json] [trajectory.json]
 #   label            short description of what the run measures, e.g.

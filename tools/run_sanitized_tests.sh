@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
 # Configures a sanitizer-instrumented build tree and runs the test suite
-# under it.  Defaults to ASan+UBSan; override with e.g.
+# under it, tier by tier, with a per-tier pass/fail summary.  Defaults to
+# ASan+UBSan; override with e.g.
 #   SAN=thread BUILD_DIR=build-tsan tools/run_sanitized_tests.sh
 #
 # Flags:
 #   --quick   1-core CI mode: serial build/ctest (no parallel spike on a
 #             small runner) and only the suites that exercise concurrency
 #             or the slab engine plus one end-to-end integration pass.
-set -euo pipefail
+#
+# Every tier runs even after an earlier one fails — the summary table shows
+# the whole picture — and the script exits with the first failing tier's
+# ctest exit code.
+set -uo pipefail
 
 SAN="${SAN:-address,undefined}"
 BUILD_DIR="${BUILD_DIR:-build-sanitize}"
@@ -28,8 +33,8 @@ fi
 
 cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCOOLSTREAM_SANITIZE="$SAN"
-cmake --build "$BUILD_DIR" -j "$JOBS"
+  -DCOOLSTREAM_SANITIZE="$SAN" || exit $?
+cmake --build "$BUILD_DIR" -j "$JOBS" || exit $?
 
 # halt_on_error so CI fails loudly; detect_leaks catches event-record and
 # callback ownership mistakes in the slab engine.
@@ -41,12 +46,59 @@ if [[ ",$SAN," == *",thread,"* ]]; then
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 suppressions=$SRC_DIR/tools/tsan.supp}"
 fi
 
+# Tiers: "<name>:<ctest -R regex>".  Each tier is one ctest invocation, so
+# a sanitizer report pinpoints the tier that produced it.
 if [ "$QUICK" = "1" ]; then
   # The suites where instrumentation has signal: the threaded components
   # (incl. the thread-pool contention stress tier), the slab/event engine,
   # the protocol core, and one end-to-end pass.
-  ctest --test-dir "$BUILD_DIR" --output-on-failure -j 1 \
-    -R 'sim_tests|sim_stress_tests|sim_allocation_tests|core_tests|integration_tests'
+  TIERS=(
+    "sim-engine:^(sim_tests|sim_stress_tests|sim_allocation_tests)$"
+    "protocol-core:^core_tests$"
+    "integration:^integration_tests$"
+  )
 else
-  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+  TIERS=(
+    "unit:^(sim_tests|net_tests|logging_tests|model_tests|baseline_tests)$"
+    "protocol-core:^(core_tests|workload_tests|analysis_tests)$"
+    "stress:^(sim_stress_tests|sim_allocation_tests|core_allocation_tests)$"
+    "integration:^(integration_tests|protocol_properties|golden_tests)$"
+    "static-and-lint:^(lint_.*|layout_census|compile_.*)$"
+  )
 fi
+
+declare -a TIER_NAMES TIER_STATUS TIER_CODES
+FIRST_FAIL_CODE=0
+
+for tier in "${TIERS[@]}"; do
+  name="${tier%%:*}"
+  regex="${tier#*:}"
+  echo
+  echo "==== tier: $name (-R '$regex') ===="
+  if ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error \
+       -j "$JOBS" -R "$regex"; then
+    code=0
+  else
+    code=$?
+  fi
+  TIER_NAMES+=("$name")
+  TIER_CODES+=("$code")
+  if [ "$code" -eq 0 ]; then
+    TIER_STATUS+=("PASS")
+  else
+    TIER_STATUS+=("FAIL")
+    if [ "$FIRST_FAIL_CODE" -eq 0 ]; then
+      FIRST_FAIL_CODE=$code
+    fi
+  fi
+done
+
+echo
+echo "==== sanitizer run summary (SAN=$SAN) ===="
+printf '%-18s %-6s %s\n' "tier" "result" "exit"
+printf '%-18s %-6s %s\n' "----" "------" "----"
+for i in "${!TIER_NAMES[@]}"; do
+  printf '%-18s %-6s %s\n' "${TIER_NAMES[$i]}" "${TIER_STATUS[$i]}" "${TIER_CODES[$i]}"
+done
+
+exit "$FIRST_FAIL_CODE"
