@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "core/system.h"
+#include "sim/stream_tags.h"
 
 namespace coolstream::core {
 namespace {
@@ -25,6 +26,7 @@ Peer::Peer(System& system, net::NodeId id, PeerSpec spec,
     : PeerProtocolState{},
       sys_(system),
       id_(id),
+      rng_(system.rng().stream(sim::peer_stream_tag(id))),
       sync_(system.params().substream_count),
       cache_(system.params().buffer_block_count()),
       mcache_(static_cast<std::size_t>(system.params().mcache_size),
@@ -42,9 +44,11 @@ Peer::Peer(System& system, net::NodeId id, PeerSpec spec,
   joined_at_ = now;
 
   // Stagger periodic timers with a random phase so thousands of peers do
-  // not fire on the same tick edge.
+  // not fire on the same tick edge.  Drawn from the peer's own stream:
+  // stagger (like every later random choice) is a function of the node id
+  // and the root seed only, never of join interleaving or shard layout.
   const Params& p = system.params();
-  sim::Rng& rng = system.rng();
+  sim::Rng& rng = rng_;
   next_bm_push_ = now + Duration(rng.uniform(0.0, p.bm_exchange_period));
   next_gossip_ = now + Duration(rng.uniform(0.0, p.gossip_period));
   next_adaptation_ =
@@ -118,7 +122,7 @@ void Peer::start_join() {
 void Peer::on_bootstrap_list(std::span<const McacheEntry> list) {
   if (!alive()) return;
   for (const auto& e : list) {
-    if (e.id != id_) mcache_.upsert(e, sys_.rng());
+    if (e.id != id_) mcache_.upsert(e, rng_);
   }
   const auto want = static_cast<std::size_t>(
       sys_.params().initial_partner_target);
@@ -135,25 +139,41 @@ void Peer::try_establish_partnerships(std::size_t want) {
   std::vector<McacheEntry>& candidates = sys_.candidate_scratch();
   candidates.clear();
   mcache_.sample_into(
-      want, sys_.rng(),
+      want, rng_,
       [this](const McacheEntry& cand) {
         return !cand.reachable || cand.id == id_ ||
-               find_partner(cand.id) != nullptr || !sys_.is_live(cand.id);
+               find_partner(cand.id) != nullptr ||
+               has_pending_attempt(cand.id) || !sys_.is_live(cand.id);
       },
       sys_.mcache_scratch(),
       [&candidates](const McacheEntry& e) { candidates.push_back(e); });
   for (const auto& cand : candidates) {
-    pending_attempts_.push_back(sys_.now());
+    pending_attempts_.push_back(PendingAttempt{sys_.now(), cand.id});
     ++stats_.partnership_attempts;
     sys_.attempt_partnership(id_, cand.id);
   }
 }
 
+bool Peer::has_pending_attempt(net::NodeId to) const noexcept {
+  for (const PendingAttempt& a : pending_attempts_) {
+    if (a.to == to) return true;
+  }
+  return false;
+}
+
+void Peer::clear_pending_attempt(net::NodeId to) {
+  for (auto it = pending_attempts_.begin(); it != pending_attempts_.end();
+       ++it) {
+    if (it->to == to) {
+      pending_attempts_.erase(it);
+      return;
+    }
+  }
+}
+
 void Peer::on_partnership_established(net::NodeId pid, bool incoming) {
   if (!alive()) return;
-  if (!incoming && !pending_attempts_.empty()) {
-    pending_attempts_.erase(pending_attempts_.begin());
-  }
+  if (!incoming) clear_pending_attempt(pid);
   if (find_partner(pid) != nullptr) return;  // already partners
   PartnerState ps;
   ps.id = pid;
@@ -171,7 +191,7 @@ void Peer::on_partnership_established(net::NodeId pid, bool incoming) {
   // entries when new partnership is established" (§V-C).
   mcache_.upsert(
       McacheEntry{sys_.now(), sys_.now(), pid, sys_.is_reachable(pid)},
-      sys_.rng());
+      rng_);
   // Give the new partner our buffer map right away so it can select
   // parents without waiting for the next periodic exchange.
   sys_.push_bm(id_, pid, refreshed_bm());
@@ -179,9 +199,7 @@ void Peer::on_partnership_established(net::NodeId pid, bool incoming) {
 
 void Peer::on_partnership_rejected(net::NodeId pid) {
   if (!alive()) return;
-  if (!pending_attempts_.empty()) {
-    pending_attempts_.erase(pending_attempts_.begin());
-  }
+  clear_pending_attempt(pid);
   ++stats_.partnership_rejections;
   // A full or unreachable peer is not useful right now; forget it so the
   // next sample draws elsewhere.
@@ -228,7 +246,7 @@ void Peer::on_bm_received(net::NodeId from, const BufferMap& bm) {
 void Peer::on_gossip(std::span<const McacheEntry> entries) {
   if (!alive()) return;
   for (const auto& e : entries) {
-    if (e.id != id_) mcache_.upsert(e, sys_.rng());
+    if (e.id != id_) mcache_.upsert(e, rng_);
   }
 }
 
@@ -280,7 +298,9 @@ void Peer::end_subscription(SubstreamId j) {
   const net::NodeId parent = parents_[j.index()];
   if (parent == net::kInvalidNode) return;
   const Duration lifetime = sys_.now() - sub_since_[j.index()];
-  const Peer* p = sys_.peer(parent);
+  // Reads only kind() and spec().type, both immutable after construction —
+  // safe to resolve from any shard's worker.
+  const Peer* p = sys_.peer(parent);  // lint:allow(cross-shard-call)
   const bool capable =
       p != nullptr && (p->kind() == PeerKind::kServer ||
                        net::accepts_inbound(p->spec().type));
@@ -364,7 +384,7 @@ net::NodeId Peer::select_parent(SubstreamId j, net::NodeId exclude) const {
     }
     // "If there is more than one qualified partners, the peer will choose
     // one of them randomly."
-    return least_loaded[sys_.rng().below(least_loaded.size())];
+    return least_loaded[rng_.below(least_loaded.size())];
   }
   // Temporary parent (§IV-B): the best available even if under-qualified;
   // it may be abandoned during the next adaptation.
@@ -481,8 +501,8 @@ void Peer::enforce_partner_silence(Tick now) {
   if (timeout <= 0.0) return;
   // Under message loss a dropped establishment confirm leaves this node
   // with a phantom partnership the other side never learned about; its BM
-  // silence is the only observable symptom.  Collect first — breaking a
-  // partnership mutates partners_ synchronously.
+  // silence is the only observable symptom.  Collect first — breaks are
+  // deferred to the tick flush, where they mutate partners_.
   std::vector<net::NodeId> stale;
   for (const auto& ps : partners_) {
     const Tick last_heard = ps.bm_time ? *ps.bm_time : ps.established;
@@ -585,8 +605,8 @@ void Peer::on_tick(Tick now) {
     // within the round trip.
     const Duration attempt_ttl =
         Duration(2.0 * sys_.config().latency.max_delay + 1.0);
-    std::erase_if(pending_attempts_, [now, attempt_ttl](Tick t0) {
-      return now - t0 >= attempt_ttl;
+    std::erase_if(pending_attempts_, [now, attempt_ttl](const PendingAttempt& a) {
+      return now - a.started >= attempt_ttl;
     });
     const std::size_t have = partner_count() + pending_attempts_.size();
     if (have < target) {
@@ -624,16 +644,20 @@ void Peer::on_tick(Tick now) {
 
 void Peer::do_gossip() {
   if (partners_.empty()) return;
-  const auto pick = sys_.rng().below(partners_.size());
+  const auto pick = rng_.below(partners_.size());
   const net::NodeId target = partners_[pick].id;
-  auto batch = sys_.message_arena().make();
+  // Entries ride inline in the effect (at most 3 sampled + self); the
+  // MessageArena is main-thread-only, so the System materializes the
+  // arena batch at the serial flush, not here.
+  EffectGossip g;
+  g.to = target;
   mcache_.sample_into(
-      3, sys_.rng(), [target](net::NodeId cand) { return cand == target; },
+      3, rng_, [target](net::NodeId cand) { return cand == target; },
       sys_.mcache_scratch(),
-      [&batch](const McacheEntry& e) { batch.push_back(e); });
-  batch.push_back(McacheEntry{joined_at_, sys_.now(), id_,
-                              net::accepts_inbound(spec_.type)});
-  sys_.send_gossip(id_, target, std::move(batch));
+      [&g](const McacheEntry& e) { g.entries[g.count++] = e; });
+  g.entries[g.count++] = McacheEntry{joined_at_, sys_.now(), id_,
+                                     net::accepts_inbound(spec_.type)};
+  sys_.send_gossip_entries(id_, g);
 }
 
 void Peer::check_media_ready(Tick now) {

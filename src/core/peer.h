@@ -28,6 +28,7 @@
 #include "net/address.h"
 #include "net/connectivity.h"
 #include "net/types.h"
+#include "sim/rng.h"
 
 namespace coolstream::core {
 
@@ -299,6 +300,13 @@ class Peer : private PeerProtocolState {
   System& sys_;  // lint:allow(cross-peer-ptr)
   net::NodeId id_;
 
+  /// The peer's private random stream, derived from the run's root seed
+  /// via Rng::stream(sim::peer_stream_tag(id)).  Every random decision the
+  /// protocol makes for this node draws from here, so the decisions are
+  /// identical no matter which shard (or how many shards) evaluates it.
+  /// Mutable: select_parent() is logically const but breaks ties randomly.
+  mutable sim::Rng rng_;
+
   SyncBuffer sync_;
   CacheBuffer cache_;
   Mcache mcache_;
@@ -308,10 +316,18 @@ class Peer : private PeerProtocolState {
   std::vector<OutLink> out_links_;     ///< children we push to
   std::vector<double> credits_;        ///< fractional blocks per sub-stream
 
-  /// Start times of in-flight partnership attempts.  Timestamped so that
-  /// attempts whose confirm/reject was lost by the network can be aged out
-  /// (a bare counter would leak and under-fill the partner set forever).
-  std::vector<Tick> pending_attempts_;
+  /// An in-flight partnership attempt.  Timestamped so that attempts whose
+  /// confirm/reject was lost by the network can be aged out (a bare counter
+  /// would leak and under-fill the partner set forever); targeted so that
+  /// candidate sampling never re-dials a node we are already dialing.
+  struct PendingAttempt {
+    Tick started;
+    net::NodeId to;
+  };
+  std::vector<PendingAttempt> pending_attempts_;
+
+  bool has_pending_attempt(net::NodeId to) const noexcept;
+  void clear_pending_attempt(net::NodeId to);
 
   /// Blocks skipped forward past a parent's buffer window; they count as
   /// missed when their playback deadline passes.

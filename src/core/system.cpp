@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 
 #include "core/invariants.h"
 #include "net/bandwidth.h"
+#include "sim/stream_tags.h"
 
 namespace coolstream::core {
 namespace {
@@ -33,13 +35,34 @@ System::System(sim::Simulation& simulation, Params params,
                  ? static_cast<std::size_t>(params.bootstrap_list_size)
                  : 0)) {
   params_.validate();
+  shard_count_ = resolve_shard_count(config_.shards);
+  shard_scratch_.resize(static_cast<std::size_t>(shard_count_));
 }
 
 System::~System() { tick_handle_.cancel(); }
 
+int System::resolve_shard_count(int configured) {
+  int n = configured;
+  if (n <= 0) {
+    if (const char* env = std::getenv("COOLSTREAM_SHARDS")) n = std::atoi(env);
+  }
+  if (n < 1) n = 1;
+  return std::min(n, 64);
+}
+
 void System::start() {
   assert(!started_);
   started_ = true;
+  // Stream-tag collision check: every per-peer RNG substream tag must stay
+  // outside the reserved subsystem namespace, for the widest id this run
+  // can ever mint — otherwise a peer and e.g. the churn driver would share
+  // one random stream and sharding could perturb the workload.
+  assert(sim::peer_stream_tag(net::kInvalidNode) >=
+         sim::kMaxReservedStreamTag);
+  if (shard_count_ > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<sim::ThreadPool>(
+        static_cast<std::size_t>(shard_count_));
+  }
   for (int s = 0; s < config_.server_count; ++s) {
     PeerSpec spec;
     spec.user_id = 0;  // servers are infrastructure, not users
@@ -123,8 +146,27 @@ void System::leave(net::NodeId id, bool graceful) {
 }
 
 bool System::is_live(net::NodeId id) const noexcept {
+  // During the parallel protocol phase peers flip their own phase bytes
+  // (join/buffer/play transitions); cross-shard liveness queries answer
+  // from the tick-start snapshot instead — deterministic and race-free.
+  if (in_protocol_phase_) {
+    return id < alive_snapshot_.size() && alive_snapshot_[id] != 0;
+  }
   const Peer* p = peer(id);
   return p != nullptr && p->alive();
+}
+
+std::size_t System::current_shard() const noexcept {
+  const TickEffectSink* s = tick_effect_sink();
+  return s != nullptr ? s->shard : 0;
+}
+
+Mcache::SampleScratch& System::mcache_scratch() noexcept {
+  return shard_scratch_[current_shard()].mcache;
+}
+
+std::vector<McacheEntry>& System::candidate_scratch() noexcept {
+  return shard_scratch_[current_shard()].candidates;
 }
 
 Peer* System::peer(net::NodeId id) noexcept {
@@ -175,6 +217,10 @@ SeqNum System::source_head(SubstreamId j, Tick t) const noexcept {
 // --------------------------------------------------------------------------
 
 void System::request_bootstrap_list(net::NodeId requester) {
+  if (TickEffectSink* s = tick_effect_sink()) {
+    s->emit(EffectBootstrap{});
+    return;
+  }
   // Round trip to the boot-strap node; the list is sampled when the
   // response is generated (server-side state at that instant).
   const Duration rtt =
@@ -199,6 +245,10 @@ void System::request_bootstrap_list(net::NodeId requester) {
 }
 
 void System::attempt_partnership(net::NodeId from, net::NodeId to) {
+  if (TickEffectSink* s = tick_effect_sink()) {
+    s->emit(EffectAttempt{to});
+    return;
+  }
   transport_.send(from, to, net::MessageKind::kPartnership, [this, from, to] {
     Peer* callee = peer(to);
     Peer* caller = peer(from);
@@ -228,6 +278,10 @@ void System::attempt_partnership(net::NodeId from, net::NodeId to) {
 }
 
 void System::push_bm(net::NodeId from, net::NodeId to, const BufferMap& bm) {
+  if (TickEffectSink* s = tick_effect_sink()) {
+    s->emit(EffectBmPush{to, bm});
+    return;
+  }
   // Periodic BM exchange is modelled with zero latency (the exchange
   // period, 1 s, dominates the tens-of-ms delivery delay); messages are
   // still counted for control-overhead reporting.
@@ -243,6 +297,10 @@ void System::push_bm(net::NodeId from, net::NodeId to, const BufferMap& bm) {
 }
 
 void System::subscribe(net::NodeId child, net::NodeId parent, SubstreamId j) {
+  if (TickEffectSink* s = tick_effect_sink()) {
+    s->emit(EffectSubscribe{parent, j});
+    return;
+  }
   ++stats_.subscriptions;
   transport_.count_only(net::MessageKind::kSubscribe);
   if (Peer* p = peer(parent); p != nullptr && p->alive()) {
@@ -252,6 +310,10 @@ void System::subscribe(net::NodeId child, net::NodeId parent, SubstreamId j) {
 
 void System::unsubscribe(net::NodeId child, net::NodeId parent,
                          SubstreamId j) {
+  if (TickEffectSink* s = tick_effect_sink()) {
+    s->emit(EffectUnsubscribe{parent, j});
+    return;
+  }
   transport_.count_only(net::MessageKind::kSubscribe);
   if (Peer* p = peer(parent); p != nullptr && p->alive()) {
     p->on_unsubscribe(child, j);
@@ -262,7 +324,9 @@ void System::send_gossip(net::NodeId from, net::NodeId to,
                          MessageArena<McacheEntry>::Batch batch) {
   // The lease rides inside the delivery callback: a dropped message
   // releases it on callback destruction, a duplicated one copies it
-  // (refcount bump, no heap).
+  // (refcount bump, no heap).  Arena batches are main-thread-only, so this
+  // entry point is serial-context-only by construction.
+  assert(tick_effect_sink() == nullptr);
   transport_.send(from, to, net::MessageKind::kGossip,
                   [this, to, batch = std::move(batch)] {
                     if (Peer* p = peer(to); p != nullptr && p->alive()) {
@@ -271,55 +335,119 @@ void System::send_gossip(net::NodeId from, net::NodeId to,
                   });
 }
 
+void System::send_gossip_entries(net::NodeId from, const EffectGossip& gossip) {
+  if (TickEffectSink* s = tick_effect_sink()) {
+    s->emit(gossip);
+    return;
+  }
+  auto batch = mcache_arena_.make();
+  for (std::uint32_t i = 0; i < gossip.count; ++i) {
+    batch.push_back(gossip.entries[i]);
+  }
+  send_gossip(from, gossip.to, std::move(batch));
+}
+
 void System::break_partnership(net::NodeId a, net::NodeId b) {
+  if (TickEffectSink* s = tick_effect_sink()) {
+    s->emit(EffectBreak{b});
+    return;
+  }
   transport_.count_only(net::MessageKind::kPartnership);
   if (Peer* pa = peer(a); pa != nullptr && pa->alive()) pa->on_partner_left(b);
   if (Peer* pb = peer(b); pb != nullptr && pb->alive()) pb->on_partner_left(a);
 }
 
 void System::report(const logging::Report& r) {
+  if (TickEffectSink* s = tick_effect_sink()) {
+    s->emit(EffectReport{r});
+    return;
+  }
   transport_.count_only(net::MessageKind::kReport);
   if (log_ != nullptr) log_->submit(r);
 }
 
 void System::notify(net::NodeId id, SessionEvent event) {
+  if (TickEffectSink* s = tick_effect_sink()) {
+    s->emit(EffectNotify{event});
+    return;
+  }
   if (observer) observer(id, event);
 }
 
 // --------------------------------------------------------------------------
-// Data plane
+// Data plane: the phased, shardable tick
+//
+// The serial tick interleaved flow transfer and protocol timers in live_
+// order; the sharded engine replays the same physics as three phases whose
+// outputs are pure functions of the frozen tick-start state:
+//
+//   F1 (by parent)  rates from frozen heads -> InFlow slots   | barrier
+//   F2 (by child)   apply slots: credits, skips, inserts      | barrier
+//   P  (by peer)    bytes_up roll-up + on_tick, cross-peer    | barrier
+//                   calls deferred as effects                 |
+//   flush (serial)  effects applied in canonical sender order
+//
+// One shard runs the identical engine inline, so the 1-shard run IS the
+// serial baseline and every N produces bit-identical state.
 // --------------------------------------------------------------------------
 
 void System::tick() {
-  flow_transfer(params_.flow_dt());
-  // Protocol timers run after data movement so BMs reflect this tick's
-  // arrivals.  Iterate a stable copy: on_tick can trigger leaves of *other*
-  // nodes only indirectly (it never calls System::leave), but partner lists
-  // mutate freely.
+  const Duration dt = params_.flow_dt();
   const Tick t = now();
-  for (std::size_t i = 0; i < live_.size(); ++i) {
-    Peer* p = peer(live_[i]);
-    if (p != nullptr && p->alive()) p->on_tick(t);
+  const auto k_streams = static_cast<std::size_t>(params_.substream_count);
+  ++tick_stamp_;
+
+  // Freeze the tick-start view: peer order, liveness, and flow slots.
+  tick_order_.assign(live_.begin(), live_.end());
+  alive_snapshot_.assign(peers_.size(), 0);
+  for (const net::NodeId id : tick_order_) alive_snapshot_[id] = 1;
+  if (inflow_.size() < peers_.size() * k_streams) {
+    inflow_.resize(peers_.size() * k_streams);
   }
+  effects_.reset(static_cast<std::size_t>(shard_count_));
+
+  run_sharded_phase([this, dt](std::size_t s) { flow_rates(s, dt); });
+  run_sharded_phase([this, dt](std::size_t s) { flow_apply(s, dt); });
+  in_protocol_phase_ = true;
+  run_sharded_phase([this, t](std::size_t s) { protocol_phase(s, t); });
+  in_protocol_phase_ = false;
+
+  for (ShardScratch& s : shard_scratch_) {
+    stats_.blocks_transferred += s.blocks_transferred;
+    s.blocks_transferred = 0;
+  }
+  flush_effects();
 }
 
-void System::flow_transfer(Duration dt) {
+void System::run_sharded_phase(
+    const std::function<void(std::size_t)>& phase) {
+  if (pool_ == nullptr) {
+    for (int s = 0; s < shard_count_; ++s) phase(static_cast<std::size_t>(s));
+    return;
+  }
+  sim::parallel_for(*pool_, static_cast<std::size_t>(shard_count_), phase);
+}
+
+void System::flow_rates(std::size_t shard, Duration dt) {
   const units::BlockRate sub_rate = params_.substream_block_rate_typed();
   const units::BlockRate catchup_cap = sub_rate * params_.max_catchup_factor;
-  const units::Bytes block_bytes = params_.block_bytes();
+  const auto k_streams = static_cast<std::size_t>(params_.substream_count);
+  std::vector<units::BlockRate>& demands = shard_scratch_[shard].demands;
 
-  for (net::NodeId id : live_) {
+  for (const net::NodeId id : tick_order_) {
+    if (shard_of(id) != shard) continue;
     Peer* parent = peer(id);
     if (parent == nullptr || !parent->alive()) continue;
     auto& links = parent->out_links();
     if (links.empty()) continue;
 
-    // Demands per outgoing sub-stream connection (blocks/s).
-    demand_scratch_.assign(links.size(), units::BlockRate::zero());
+    // Demands per outgoing sub-stream connection (blocks/s), from heads
+    // frozen at tick start — no phase writes them until F2.
+    demands.assign(links.size(), units::BlockRate::zero());
     bool any_stale = false;
     for (std::size_t k = 0; k < links.size(); ++k) {
       const OutLink& l = links[k];
-      Peer* child = peer(l.child);
+      const Peer* child = peer(l.child);
       if (child == nullptr || !child->alive() ||
           child->parent_of(l.substream) != id) {
         any_stale = true;
@@ -328,9 +456,9 @@ void System::flow_transfer(Duration dt) {
       const BlockCount backlog =
           parent->head(l.substream) - child->head(l.substream);
       if (backlog <= BlockCount::zero()) {
-        demand_scratch_[k] = sub_rate;
+        demands[k] = sub_rate;
       } else {
-        demand_scratch_[k] =
+        demands[k] =
             std::min(units::rate_of(backlog, dt) + sub_rate, catchup_cap);
       }
     }
@@ -341,41 +469,26 @@ void System::flow_transfer(Duration dt) {
     }
     const auto rates =
         config_.allocation == AllocationPolicy::kMaxMinFair
-            ? net::max_min_fair(capacity, demand_scratch_)
-            : net::equal_share(capacity, demand_scratch_);
+            ? net::max_min_fair(capacity, demands)
+            : net::equal_share(capacity, demands);
 
+    // Publish one InFlow slot per granted link.  Exactly one parent can
+    // pass the parent_of() check for a given (child, sub-stream), so each
+    // slot has a unique writer this phase.
     for (std::size_t k = 0; k < links.size(); ++k) {
       if (rates[k] <= units::BlockRate::zero()) continue;
       const OutLink& l = links[k];
-      Peer* child = peer(l.child);
-      if (child == nullptr || !child->alive()) continue;
-      double& credit = child->credit(l.substream);
-      credit = std::min(credit + rates[k] * dt, kMaxFlowCredit);
-
-      const SeqNum parent_head = parent->head(l.substream);
-      // Blocks already past the child's playback deadline are not "in
-      // need" (§IV-B) and are never pushed; jump the child forward.
-      const SeqNum dead = child->deadline_floor(l.substream);
-      if (child->head(l.substream) < dead) {
-        child->count_deadline_skip();
-        child->sync().start_at(l.substream, dead + BlockCount(1));
+      const Peer* child = peer(l.child);
+      if (child == nullptr || !child->alive() ||
+          child->parent_of(l.substream) != id) {
+        continue;  // stale link: never granted a slot
       }
-      while (credit >= 1.0 && child->head(l.substream) < parent_head) {
-        SeqNum next = child->head(l.substream) + BlockCount(1);
-        const SeqNum oldest = parent->cache().oldest(parent_head);
-        if (next < oldest) {
-          // The child fell behind the parent's cache window: the missing
-          // range is gone (pushed out by playout) and must be skipped.
-          child->handle_window_gap(l.substream, oldest);
-          next = child->head(l.substream) + BlockCount(1);
-          if (next > parent_head) break;
-        }
-        child->sync().insert(l.substream, next);
-        credit -= 1.0;
-        ++stats_.blocks_transferred;
-        parent->add_bytes_up(block_bytes);
-        child->add_bytes_down(block_bytes);
-      }
+      InFlow& slot = inflow_[l.child * k_streams + l.substream.index()];
+      slot.rate = rates[k];
+      slot.parent_head = parent->head(l.substream);
+      slot.parent = id;
+      slot.pushed = 0;
+      slot.stamp = tick_stamp_;
     }
 
     if (any_stale) {
@@ -386,6 +499,131 @@ void System::flow_transfer(Duration dt) {
       });
     }
   }
+}
+
+void System::flow_apply(std::size_t shard, Duration dt) {
+  const units::Bytes block_bytes = params_.block_bytes();
+  const auto k_streams = static_cast<std::size_t>(params_.substream_count);
+  std::uint64_t& blocks = shard_scratch_[shard].blocks_transferred;
+
+  for (const net::NodeId id : tick_order_) {
+    if (shard_of(id) != shard) continue;
+    Peer* child = peer(id);
+    if (child == nullptr || !child->alive()) continue;
+    for (SubstreamId j : substreams(params_.substream_count)) {
+      InFlow& slot = inflow_[id * k_streams + j.index()];
+      if (slot.stamp != tick_stamp_) continue;  // no grant this tick
+      double& credit = child->credit(j);
+      credit = std::min(credit + slot.rate * dt, kMaxFlowCredit);
+
+      const SeqNum parent_head = slot.parent_head;
+      // Blocks already past the child's playback deadline are not "in
+      // need" (§IV-B) and are never pushed; jump the child forward.
+      const SeqNum dead = child->deadline_floor(j);
+      if (child->head(j) < dead) {
+        child->count_deadline_skip();
+        child->sync().start_at(j, dead + BlockCount(1));
+      }
+      // The parent's cache window is a pure function of its frozen head
+      // and the (deployment-wide) window size, so the child computes it
+      // from its own CacheBuffer — no cross-shard read.
+      const SeqNum oldest = child->cache().oldest(parent_head);
+      while (credit >= 1.0 && child->head(j) < parent_head) {
+        SeqNum next = child->head(j) + BlockCount(1);
+        if (next < oldest) {
+          // The child fell behind the parent's cache window: the missing
+          // range is gone (pushed out by playout) and must be skipped.
+          child->handle_window_gap(j, oldest);
+          next = child->head(j) + BlockCount(1);
+          if (next > parent_head) break;
+        }
+        child->sync().insert(j, next);
+        credit -= 1.0;
+        ++blocks;
+        ++slot.pushed;
+        child->add_bytes_down(block_bytes);
+      }
+    }
+  }
+}
+
+void System::protocol_phase(std::size_t shard, Tick t) {
+  const units::Bytes block_bytes = params_.block_bytes();
+  const auto k_streams = static_cast<std::size_t>(params_.substream_count);
+  TickEffectSink sink;
+  sink.mailbox = &effects_;
+  sink.shard = shard;
+  set_tick_effect_sink(&sink);
+  for (std::uint32_t pos = 0;
+       pos < static_cast<std::uint32_t>(tick_order_.size()); ++pos) {
+    const net::NodeId id = tick_order_[pos];
+    if (shard_of(id) != shard) continue;
+    Peer* p = peer(id);
+    if (p == nullptr || !p->alive()) continue;
+    // Parent-side roll-up of what F2 moved on our out-links: children
+    // recorded per-slot push counts; we own our bytes_up tally.
+    for (const OutLink& l : p->out_links()) {
+      const InFlow& slot = inflow_[l.child * k_streams + l.substream.index()];
+      if (slot.stamp != tick_stamp_ || slot.parent != id) continue;
+      for (std::uint32_t n = 0; n < slot.pushed; ++n) {
+        p->add_bytes_up(block_bytes);
+      }
+    }
+    sink.pos = pos;
+    p->on_tick(t);
+  }
+  set_tick_effect_sink(nullptr);
+}
+
+void System::flush_effects() {
+  effects_.drain(
+      tick_order_.size(),
+      [this](std::uint32_t pos) { return shard_of(tick_order_[pos]); },
+      [this](std::uint32_t pos, TickEffect&& e) {
+        apply_effect(tick_order_[pos], std::move(e));
+      });
+}
+
+void System::apply_effect(net::NodeId from, TickEffect&& effect) {
+  assert(tick_effect_sink() == nullptr && "flush must run serially");
+  std::visit(
+      [this, from](auto&& e) {
+        using E = std::decay_t<decltype(e)>;
+        if constexpr (std::is_same_v<E, EffectBmPush>) {
+          push_bm(from, e.to, e.bm);
+        } else if constexpr (std::is_same_v<E, EffectSubscribe>) {
+          // Stale intent: an earlier flush effect (say, a broken
+          // partnership) made the sender reselect this sub-stream's parent
+          // mid-flush; applying the old subscription would plant a serving
+          // link the child no longer points at.
+          const Peer* p = peer(from);
+          if (p != nullptr && p->parent_of(e.substream) == e.parent) {
+            subscribe(from, e.parent, e.substream);
+          }
+        } else if constexpr (std::is_same_v<E, EffectUnsubscribe>) {
+          // Mirror guard: if a mid-flush reselect re-subscribed the sender
+          // to this same parent, the deferred unsubscribe must not tear the
+          // fresh link down.
+          const Peer* p = peer(from);
+          if (p == nullptr || p->parent_of(e.substream) != e.parent) {
+            unsubscribe(from, e.parent, e.substream);
+          }
+        } else if constexpr (std::is_same_v<E, EffectBreak>) {
+          break_partnership(from, e.other);
+        } else if constexpr (std::is_same_v<E, EffectGossip>) {
+          send_gossip_entries(from, e);
+        } else if constexpr (std::is_same_v<E, EffectAttempt>) {
+          attempt_partnership(from, e.to);
+        } else if constexpr (std::is_same_v<E, EffectBootstrap>) {
+          request_bootstrap_list(from);
+        } else if constexpr (std::is_same_v<E, EffectReport>) {
+          report(e.report);
+        } else {
+          static_assert(std::is_same_v<E, EffectNotify>);
+          notify(from, e.event);
+        }
+      },
+      std::move(effect));
 }
 
 // --------------------------------------------------------------------------

@@ -27,11 +27,14 @@
 #include "core/mcache.h"
 #include "core/params.h"
 #include "core/peer.h"
+#include "core/tick_effects.h"
 #include "logging/log_server.h"
 #include "net/latency.h"
 #include "net/topology.h"
 #include "net/transport.h"
+#include "sim/shard_mailbox.h"
 #include "sim/simulation.h"
+#include "sim/thread_pool.h"
 #include "sim/time_series.h"
 
 namespace coolstream::core {
@@ -65,6 +68,12 @@ struct SystemConfig {
   /// Only honoured in builds configured with -DCOOLSTREAM_AUDIT=ON; 0
   /// disables auditing even there.
   double audit_period = 0.0;
+  /// Protocol shards: peers are partitioned by id across N workers that
+  /// run the tick's phases between deterministic barriers.  N >= 1 fixes
+  /// the count; 0 (the default) resolves the COOLSTREAM_SHARDS environment
+  /// variable, falling back to 1.  Every N produces bit-identical results
+  /// (the tests/sharded differential tier is the proof).
+  int shards = 0;
 };
 
 /// Session milestones surfaced to workload drivers.
@@ -161,18 +170,22 @@ class System {
   void subscribe(net::NodeId child, net::NodeId parent, SubstreamId j);
   void unsubscribe(net::NodeId child, net::NodeId parent, SubstreamId j);
   /// Gossip push of membership entries (an arena batch lease; the chunk
-  /// recycles when every queued delivery has run or been dropped).
+  /// recycles when every queued delivery has run or been dropped).  Serial
+  /// contexts only — the parallel phase routes via send_gossip_entries.
   void send_gossip(net::NodeId from, net::NodeId to,
                    MessageArena<McacheEntry>::Batch batch);
+  /// Gossip push with the entries carried inline (shard-safe): deferred in
+  /// the parallel phase, materialized into an arena batch at the flush.
+  void send_gossip_entries(net::NodeId from, const EffectGossip& gossip);
   /// The control-plane message arena (gossip + boot-strap batches).
+  /// Main-thread-only: never touched inside the parallel phase.
   MessageArena<McacheEntry>& message_arena() noexcept { return mcache_arena_; }
-  /// Shared sampling scratch for Mcache::sample_into (no re-entrant use:
-  /// protocol callbacks never nest a second sample inside one).
-  Mcache::SampleScratch& mcache_scratch() noexcept { return mcache_scratch_; }
-  /// Shared candidate buffer for Peer::try_establish_partnerships.
-  std::vector<McacheEntry>& candidate_scratch() noexcept {
-    return candidate_scratch_;
-  }
+  /// Sampling scratch for Mcache::sample_into, one per shard (no
+  /// re-entrant use: protocol callbacks never nest a second sample inside
+  /// one; serial contexts all use shard 0's).
+  Mcache::SampleScratch& mcache_scratch() noexcept;
+  /// Candidate buffer for Peer::try_establish_partnerships (per shard).
+  std::vector<McacheEntry>& candidate_scratch() noexcept;
   /// Drops the partnership between two nodes (both sides notified).
   void break_partnership(net::NodeId a, net::NodeId b);
   /// Files a report with the log server (no-op when none attached).
@@ -192,11 +205,56 @@ class System {
   /// (COOLSTREAM_AUDIT builds with config().audit_period > 0); else null.
   InvariantAuditor* auditor() noexcept { return auditor_.get(); }
 
+  /// Resolved shard count (config().shards / COOLSTREAM_SHARDS / 1).
+  int shard_count() const noexcept { return shard_count_; }
+  /// The shard that owns node `id` (pure id partition, stable for the
+  /// node's lifetime).
+  std::size_t shard_of(net::NodeId id) const noexcept {
+    return id % static_cast<net::NodeId>(shard_count_);
+  }
+
  private:
   friend struct InvariantTestAccess;  // seeded-corruption hooks (tests only)
 
+  /// One worker's private buffers, indexed by shard (serial contexts use
+  /// shard 0's).  Consumed within a phase; contents never carry results
+  /// across peers, so placement cannot influence behaviour.
+  struct ShardScratch {
+    Mcache::SampleScratch mcache;
+    std::vector<McacheEntry> candidates;
+    std::vector<units::BlockRate> demands;
+    std::uint64_t blocks_transferred = 0;
+  };
+
+  /// Per-(child, sub-stream) flow slot: written by the unique owning
+  /// parent in the rate phase, consumed by the child in the apply phase.
+  /// `stamp` invalidates slots left over from earlier ticks.
+  struct InFlow {
+    units::BlockRate rate{};       ///< granted transfer rate this tick
+    SeqNum parent_head{};          ///< parent's head, frozen at tick start
+    net::NodeId parent = net::kInvalidNode;
+    std::uint32_t pushed = 0;      ///< blocks the child applied (bytes_up)
+    std::uint32_t stamp = 0;       ///< tick_stamp_ when written
+  };
+
   void tick();
-  void flow_transfer(Duration dt);
+  /// Runs `phase(shard)` for every shard — inline at 1 shard, on the
+  /// worker pool otherwise — and barriers before returning.
+  void run_sharded_phase(const std::function<void(std::size_t)>& phase);
+  /// Phase F1 (sharded by parent): compute per-link rates from the frozen
+  /// tick-start heads and publish them as InFlow slots.
+  void flow_rates(std::size_t shard, Duration dt);
+  /// Phase F2 (sharded by child): apply each sub-stream's slot — credits,
+  /// deadline/window skips, block inserts.
+  void flow_apply(std::size_t shard, Duration dt);
+  /// Phase P (sharded by peer): tally bytes_up from the slots, then run
+  /// Peer::on_tick with every cross-peer interaction deferred as effects.
+  void protocol_phase(std::size_t shard, Tick t);
+  /// Drains the effect mailbox in canonical sender order (serial).
+  void flush_effects();
+  void apply_effect(net::NodeId from, TickEffect&& effect);
+  std::size_t current_shard() const noexcept;
+  static int resolve_shard_count(int configured);
 
   sim::Simulation& sim_;
   Params params_;
@@ -217,14 +275,22 @@ class System {
   sim::FaultInjector* faults_ = nullptr;
   bool started_ = false;
 
-  // scratch buffers reused by flow_transfer to avoid per-tick allocation
-  std::vector<units::BlockRate> demand_scratch_;
+  // --- sharded tick engine -------------------------------------------------
+  int shard_count_ = 1;
+  std::uint32_t tick_stamp_ = 0;
+  /// True only while phase P workers run: is_live() then answers from the
+  /// frozen alive snapshot (peers mutate their own phase bytes in P).
+  bool in_protocol_phase_ = false;
+  std::unique_ptr<sim::ThreadPool> pool_;  ///< created by start() when N > 1
+  std::vector<net::NodeId> tick_order_;    ///< live_, frozen at tick start
+  std::vector<std::uint8_t> alive_snapshot_;  ///< by id, at tick start
+  std::vector<InFlow> inflow_;  ///< peers_.size() * K slots, stamp-guarded
+  sim::ShardMailbox<TickEffect> effects_;
+  std::vector<ShardScratch> shard_scratch_;  ///< one per shard
 
   // zero-alloc control plane: arena chunks and sampling scratch reused
   // across gossip sends, boot-strap responses and partner refills
   MessageArena<McacheEntry> mcache_arena_;
-  Mcache::SampleScratch mcache_scratch_;
-  std::vector<McacheEntry> candidate_scratch_;
   std::vector<std::size_t> bootstrap_idx_scratch_;
   std::vector<net::NodeId> bootstrap_ids_scratch_;
 };

@@ -1,0 +1,53 @@
+// Registry of Rng::stream() tag namespaces.
+//
+// Every subsystem that derives a substream from a run's root RNG does so
+// through a tag listed here, so tag collisions — two subsystems silently
+// sharing one random stream — are impossible by construction:
+//
+//   * workload drivers use the small ASCII literals (kFaultStreamTag,
+//     kChurnStreamTag), all below 2^40;
+//   * every peer owns the per-node substream peer_stream_tag(id), living
+//     in the disjoint "PEER" namespace above 2^56.
+//
+// The sharded System relies on this partition-independence: a peer's
+// random decisions are drawn from its own tagged stream, so they do not
+// depend on which shard evaluates it or on how many shards exist.  The
+// static_asserts below are the "no stream-tag collisions" check the
+// sharded engine's determinism argument rests on; System::start() also
+// asserts it at run time against the widest possible node id.
+#pragma once
+
+#include <cstdint>
+
+namespace coolstream::sim {
+
+/// Fault-injection schedule stream ("fault" in ASCII).
+inline constexpr std::uint64_t kFaultStreamTag = 0x6661756c74ULL;
+
+/// Churn-driver schedule stream ("churn" in ASCII).
+inline constexpr std::uint64_t kChurnStreamTag = 0x636875726eULL;
+
+/// Reserved subsystem tags all live below this bound.
+inline constexpr std::uint64_t kMaxReservedStreamTag = 1ULL << 40;
+
+/// Base of the per-peer tag namespace ("PEER" shifted clear of the
+/// reserved range); the low 32 bits carry the node id.
+inline constexpr std::uint64_t kPeerStreamTagBase = 0x50454552ULL << 32;
+
+/// The tag of peer `node_id`'s private random stream.
+constexpr std::uint64_t peer_stream_tag(std::uint64_t node_id) noexcept {
+  return kPeerStreamTagBase | (node_id & 0xFFFF'FFFFULL);
+}
+
+// The two namespaces must be disjoint for every representable id: the
+// smallest peer tag already clears the reserved ceiling, and the id mask
+// cannot disturb the base (its low 32 bits are zero), so peer tags are
+// both injective on the 32-bit id and strictly above every reserved tag.
+static_assert(kFaultStreamTag < kMaxReservedStreamTag);
+static_assert(kChurnStreamTag < kMaxReservedStreamTag);
+static_assert(kPeerStreamTagBase >= kMaxReservedStreamTag);
+static_assert(peer_stream_tag(0) == kPeerStreamTagBase);
+static_assert(peer_stream_tag(0xFFFF'FFFFULL) >= kPeerStreamTagBase);
+static_assert((kPeerStreamTagBase & 0xFFFF'FFFFULL) == 0);
+
+}  // namespace coolstream::sim

@@ -3,12 +3,15 @@
 #include <cmath>
 #include <sstream>
 
+#include "sim/stream_tags.h"
+
 namespace coolstream::workload {
 namespace {
 
-// Tags for the driver's private Rng streams (see sim::Rng::stream).
-constexpr std::uint64_t kInjectorStream = 0x6661756c74ULL;  // "fault"
-constexpr std::uint64_t kChurnStream = 0x636875726eULL;     // "churn"
+// Tags for the driver's private Rng streams, from the shared registry so
+// the per-peer tag namespace provably never collides with them.
+constexpr std::uint64_t kInjectorStream = sim::kFaultStreamTag;
+constexpr std::uint64_t kChurnStream = sim::kChurnStreamTag;
 
 }  // namespace
 

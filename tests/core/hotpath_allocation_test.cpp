@@ -144,10 +144,12 @@ TEST(HotpathAllocationTest, GossipSendPathIsAllocationFree) {
   Peer* a = t.connected_viewer();
   ASSERT_NE(a, nullptr);
 
-  // Warm-up round: grows the arena pool and the event slab to cover 64
-  // outstanding gossip messages, then drains them (uncounted — the global
-  // tick's status reports legitimately allocate).
-  for (int i = 0; i < 64; ++i) InvariantTestAccess::do_gossip(*a);
+  // Warm-up round: grows the arena pool, the event slab and the event
+  // queue's spill heap.  3x the counted burst so every capacity peaks well
+  // above what the counted region can reach even with background gossip
+  // still in flight at the measurement boundary; then drain (uncounted —
+  // the global tick's status reports legitimately allocate).
+  for (int i = 0; i < 192; ++i) InvariantTestAccess::do_gossip(*a);
   t.simulation.run_until(sim::Time(125.0));
   ASSERT_TRUE(a->alive());
 

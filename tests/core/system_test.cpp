@@ -192,7 +192,9 @@ TEST(SystemTest, NatViewersNeverAcceptInbound) {
 }
 
 TEST(SystemTest, ParentDepartureTriggersReselection) {
-  sim::Simulation simulation(23);
+  // Seed chosen so the topology below reliably forms viewer-viewer parent
+  // links within the warm-up window (the precondition this test needs).
+  sim::Simulation simulation(24);
   System sys(simulation, fast_params(), small_config(1), nullptr);
   sys.start();
   simulation.run_until(sim::Time(5.0));

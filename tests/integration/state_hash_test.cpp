@@ -81,8 +81,13 @@ std::string full_state_digest(std::uint64_t seed) {
 TEST(StateHashTest, FixedSeedRunIsBitIdenticalToPreRefactorGolden) {
   const std::string digest = full_state_digest(20070613);
   const std::uint64_t h = fnv1a(digest);
-  // Captured from the pre-refactor tree (PR 2 head, seed 20070613).
-  const std::uint64_t kGolden = 0xd15800752d512de0ULL;
+  // Captured at the sharded-engine change (seed 20070613).  Rebaselined
+  // there because peers moved to private per-node RNG streams and the tick
+  // became phase-split with deferred cross-peer effects — an intentional,
+  // documented behaviour change (DESIGN.md §15).  The invariant guarded
+  // here is unchanged: any later refactor must reproduce this digest bit
+  // for bit, at every shard count.
+  const std::uint64_t kGolden = 0xe6ad6de2276320c2ULL;
   EXPECT_EQ(h, kGolden) << "state digest hash changed: 0x" << std::hex << h
                         << " (simulation output is no longer bit-identical)";
 }

@@ -1,8 +1,9 @@
-// hot-path-string fixtures.  The file name matters: "core/peer.cpp" is in
-// the linter's hot-path file set (per-tick control-plane code), where
-// string formatting is either a perf bug or a debug-only site that must be
-// annotated.  Declarations that merely *name* to_string are not calls and
-// stay clean.
+// hot-path-string and cross-shard-call fixtures.  The file name matters:
+// "core/peer.cpp" is in the linter's hot-path file set (per-tick
+// control-plane code), where string formatting is either a perf bug or a
+// debug-only site that must be annotated — and in its parallel-phase set,
+// where direct System::peer() lookups must go through the effect mailbox.
+// Declarations that merely *name* to_string are not calls and stay clean.
 //
 // This file is lint-test data only — it is never compiled.
 #include <string>
@@ -27,6 +28,22 @@ std::string bad(const Bm& bm, int n) {
 std::string tolerated(const Bm& bm) {
   // Golden-trace serialization is off the hot path and says so.
   return bm.encode();  // lint:allow(hot-path-string)
+}
+
+struct Peer;
+struct System {
+  const Peer* peer(int id) const;
+};
+
+int racy(const System& sys, const System* sysp, int id) {
+  const Peer* a = sys.peer(id);   // lint:expect(cross-shard-call)
+  const Peer* b = sysp->peer(id);  // lint:expect(cross-shard-call)
+  return (a != nullptr) + (b != nullptr);
+}
+
+const Peer* immutable_read(const System& sys, int id) {
+  // Reads only construction-time fields of the target; provably serial.
+  return sys.peer(id);  // lint:allow(cross-shard-call)
 }
 
 }  // namespace coolstream::core

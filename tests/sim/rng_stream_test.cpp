@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/stream_tags.h"
+
 namespace coolstream::sim {
 namespace {
 
@@ -85,9 +87,61 @@ TEST(RngStreamTest, StreamIsIndependentOfParentSequence) {
   // The substream must also be independent of the parent's own output.
   for (std::uint64_t seed = 1; seed <= 20; ++seed) {
     Rng parent(seed);
-    Rng child = parent.stream(0x6661756c74ULL);
+    Rng child = parent.stream(kFaultStreamTag);
     const double chi2 = joint_chi_squared(parent, child, 4096);
     EXPECT_LT(chi2, 380.0) << "stream correlates with parent, seed " << seed;
+  }
+}
+
+// ---- per-peer substreams (sim/stream_tags.h) ------------------------------
+// The sharded System gives every peer a private stream tagged
+// peer_stream_tag(id).  Partition-independence rests on two things: the
+// tags never collide with the reserved subsystem tags, and streams of
+// adjacent node ids (which land on *different* shards under the modulo
+// partition) stay statistically independent.
+
+TEST(RngStreamTest, PeerTagNamespaceIsDisjointFromReservedTags) {
+  // Compile-time in stream_tags.h; re-checked here over the extremes so a
+  // registry edit that weakens the static_asserts still fails a test.
+  EXPECT_LT(kFaultStreamTag, kMaxReservedStreamTag);
+  EXPECT_LT(kChurnStreamTag, kMaxReservedStreamTag);
+  EXPECT_GE(peer_stream_tag(0), kMaxReservedStreamTag);
+  EXPECT_GE(peer_stream_tag(0xFFFF'FFFFULL), kMaxReservedStreamTag);
+  // Injective on the 32-bit id: distinct ids, distinct tags.
+  EXPECT_NE(peer_stream_tag(0), peer_stream_tag(1));
+  EXPECT_NE(peer_stream_tag(7), peer_stream_tag(7 + (1ULL << 16)));
+}
+
+TEST(RngStreamTest, AdjacentPeerSubstreamsAreIndependent) {
+  // Adjacent ids are the pairs the modulo partition separates onto
+  // neighbouring shards — exactly the streams that must not correlate for
+  // an N-shard run to be statistically equivalent to the serial one.
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const Rng root(seed * 0x9e3779b97f4a7c15ULL);
+    for (const std::uint64_t id : {0ULL, 1ULL, 1000ULL, 0xFFFF'FFFEULL}) {
+      Rng a = root.stream(peer_stream_tag(id));
+      Rng b = root.stream(peer_stream_tag(id + 1));
+      const double chi2 = joint_chi_squared(a, b, 4096);
+      EXPECT_LT(chi2, 380.0) << "peer streams " << id << " and " << id + 1
+                             << " of seed " << seed << " look correlated";
+    }
+  }
+}
+
+TEST(RngStreamTest, PeerSubstreamIndependentOfSubsystemStreams) {
+  // A peer's stream must not echo the fault/churn drivers' streams — the
+  // fault plane would otherwise be correlated with the decisions it is
+  // supposed to perturb.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Rng root(seed);
+    for (const std::uint64_t tag : {kFaultStreamTag, kChurnStreamTag}) {
+      Rng subsystem = root.stream(tag);
+      Rng peer = root.stream(peer_stream_tag(seed * 17));
+      const double chi2 = joint_chi_squared(subsystem, peer, 4096);
+      EXPECT_LT(chi2, 380.0)
+          << "peer stream correlates with subsystem tag 0x" << std::hex
+          << tag << " at seed " << std::dec << seed;
+    }
   }
 }
 

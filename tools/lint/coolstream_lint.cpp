@@ -65,6 +65,13 @@
 //                       the owning System
 //   atomic-in-protocol  std::atomic outside src/sim/ — atomics order
 //                       nondeterministically and break bit-determinism
+//   cross-shard-call    direct System::peer() lookup in parallel-phase
+//                       protocol code (core/peer.*) — during the sharded
+//                       tick another peer may be mid-mutation on a
+//                       different worker; cross-peer interaction goes
+//                       through the deferred-effect mailbox
+//                       (core/tick_effects.h); provably serial sites are
+//                       annotated with an allow in place
 //
 // The layout family (PR 9) polices the source-text side of the memory
 // contract in core/layout_audit.h.  A pre-pass collects every type named in
@@ -161,6 +168,7 @@ enum class Rule {
   kStaticLocalState,
   kUnguardedMutexMember,
   kCrossPeerPtr,
+  kCrossShardCall,
   kAtomicInProtocol,
   kHeapInAudited,
   kVirtualInProtocol,
@@ -229,6 +237,11 @@ constexpr RuleInfo kRules[] = {
      "raw Peer*/System* stored in protocol state; it dangles across shard "
      "boundaries — store net::NodeId and resolve through the owning "
      "System"},
+    {Rule::kCrossShardCall, "cross-shard-call",
+     "direct peer() lookup in parallel-phase protocol code; the peer may "
+     "be mid-mutation on another shard's worker — defer the interaction "
+     "through the effect mailbox (core/tick_effects.h), or mark a "
+     "provably serial site with lint:allow(cross-shard-call)"},
     {Rule::kAtomicInProtocol, "atomic-in-protocol",
      "std::atomic outside src/sim/; atomics order nondeterministically "
      "across threads and break bit-determinism"},
@@ -512,6 +525,8 @@ struct FileContext {
   bool hot_path = false;        // hot-path-string applies (per-tick files)
   bool shard_scope = false;     // mutable-global / static-local-state apply
   bool cross_peer_scope = false;  // cross-peer-ptr applies (per-peer state)
+  bool parallel_phase_scope = false;  // cross-shard-call applies (files whose
+                                      // code runs inside sharded tick phases)
   bool atomic_scope = false;      // atomic-in-protocol applies
   bool mutex_scope = false;       // unguarded-mutex-member applies
   std::string module;  // layering module ("" = unconstrained, e.g. bench/)
@@ -727,6 +742,14 @@ const std::regex& atomic_decl_name_re() {
 const std::regex& cross_peer_ptr_re() {
   static const std::regex re(
       R"(\b(?:core\s*::\s*)?(?:Peer|System)\s*[*&])");
+  return re;
+}
+
+const std::regex& cross_shard_call_re() {
+  // A System::peer() lookup through any object expression (`sys_.peer(`,
+  // `system->peer(`).  In parallel-phase code the resolved Peer may live on
+  // another shard and be mid-mutation on that shard's worker.
+  static const std::regex re(R"((?:\.|->)\s*peer\s*\()");
   return re;
 }
 
@@ -1244,6 +1267,10 @@ void scan_file(const FileContext& ctx, const std::vector<std::string>& lines,
     if (ctx.hot_path && std::regex_search(l, hot_path_string_re())) {
       findings->push_back({ctx.display_path, lineno, Rule::kHotPathString});
     }
+    if (ctx.parallel_phase_scope &&
+        std::regex_search(l, cross_shard_call_re())) {
+      findings->push_back({ctx.display_path, lineno, Rule::kCrossShardCall});
+    }
     if (ctx.mutex_scope) {
       std::smatch m;
       if (std::regex_search(l, m, raw_mutex_member_re())) {
@@ -1381,6 +1408,10 @@ FileContext make_context(const fs::path& path) {
       break;
     }
   }
+  // Peer code runs inside the sharded tick's parallel phases, where the
+  // only safe cross-peer channel is the deferred-effect mailbox.  System
+  // itself is exempt: it owns the phase barriers and does the resolving.
+  ctx.parallel_phase_scope = p.find("/core/peer.") != std::string::npos;
   ctx.module = file_module(ctx.display_path);
   ctx.atomic_scope = !ctx.module.empty() && !ctx.in_sim && !unit_layer;
   ctx.mutex_scope = !ctx.module.empty();

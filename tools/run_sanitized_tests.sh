@@ -56,6 +56,9 @@ if [ "$QUICK" = "1" ]; then
     "sim-engine:^(sim_tests|sim_stress_tests|sim_allocation_tests)$"
     "protocol-core:^core_tests$"
     "integration:^integration_tests$"
+    # The 8-shard flash-crowd stress run is where TSan sees the sharded
+    # tick's parallel phases race for real — always in the quick set.
+    "sharded-stress:^sharded_stress_tests$"
   )
 else
   TIERS=(
@@ -63,6 +66,7 @@ else
     "protocol-core:^(core_tests|workload_tests|analysis_tests)$"
     "stress:^(sim_stress_tests|sim_allocation_tests|core_allocation_tests)$"
     "integration:^(integration_tests|protocol_properties|golden_tests)$"
+    "sharded:^(sharded_tests|sharded_stress_tests|golden_tests_4shard)$"
     "static-and-lint:^(lint_.*|layout_census|compile_.*)$"
   )
 fi
